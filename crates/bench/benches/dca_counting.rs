@@ -1,0 +1,89 @@
+//! Ablation benches for the dynamic code analysis (paper Section IV-A):
+//!
+//! - interval-splitting representative execution vs per-thread brute force
+//!   (the reason the DCA outruns simulators), and
+//! - slice-mode evaluation (`G_v*`) vs full-value evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptx::kernel::KernelLaunch;
+use ptx_analysis::{count_launch, count_launch_bruteforce, count_plan};
+use ptx_codegen::Template;
+use std::hint::black_box;
+
+fn launch_for(kernel: &ptx::kernel::Kernel, threads: u64, args: Vec<u64>) -> KernelLaunch {
+    KernelLaunch {
+        kernel: 0,
+        tag: "bench".into(),
+        grid: (
+            threads.div_ceil(kernel.block_threads() as u64) as u32,
+            1,
+            1,
+        ),
+        args,
+        bytes_read: 0,
+        bytes_written: 0,
+    }
+}
+
+/// Interval splitting vs brute force on an elementwise kernel at growing
+/// grid sizes: fast mode is O(pieces), brute force O(threads).
+fn bench_splitting_vs_bruteforce(c: &mut Criterion) {
+    let kernel = Template::ActRelu.build();
+    let mut group = c.benchmark_group("counting/relu_kernel");
+    for threads in [1_000u64, 10_000, 100_000] {
+        let launch = launch_for(&kernel, threads, vec![0x1000, 0x2000, threads - 37]);
+        group.bench_with_input(
+            BenchmarkId::new("interval_splitting", threads),
+            &launch,
+            |b, l| b.iter(|| black_box(count_launch(&kernel, l, true).unwrap())),
+        );
+        // brute force only at the sizes where it terminates in reasonable time
+        if threads <= 10_000 {
+            group.bench_with_input(
+                BenchmarkId::new("bruteforce", threads),
+                &launch,
+                |b, l| b.iter(|| black_box(count_launch_bruteforce(&kernel, l).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Slice-restricted evaluation vs full evaluation on the GEMM kernel (long
+/// fma-dense inner loops are exactly what slicing skips).
+fn bench_slice_ablation(c: &mut Criterion) {
+    let kernel = Template::GemmTiled.build();
+    let launch = KernelLaunch {
+        kernel: 0,
+        tag: "gemm".into(),
+        grid: (256, 1, 1),
+        args: vec![0x1000, 0x2000, 0x3000, 256, 256, 1024, 64, 0, 0],
+        bytes_read: 0,
+        bytes_written: 0,
+    };
+    let mut group = c.benchmark_group("counting/gemm_slice_ablation");
+    group.bench_function("slice_Gv*", |b| {
+        b.iter(|| black_box(count_launch(&kernel, &launch, true).unwrap()))
+    });
+    group.bench_function("full_evaluation", |b| {
+        b.iter(|| black_box(count_launch(&kernel, &launch, false).unwrap()))
+    });
+    group.finish();
+}
+
+/// Whole-plan counting for a zoo model (rayon-parallel, memoized).
+fn bench_plan_counting(c: &mut Criterion) {
+    let model = cnn_ir::zoo::build("mobilenet").unwrap();
+    let plan = ptx_codegen::lower(&model, "sm_61").unwrap();
+    c.bench_function("counting/mobilenet_plan", |b| {
+        b.iter(|| black_box(count_plan(&plan, true).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_splitting_vs_bruteforce,
+    bench_slice_ablation,
+    bench_plan_counting
+);
+criterion_main!(benches);

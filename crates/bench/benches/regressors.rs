@@ -1,0 +1,65 @@
+//! Training and inference latency of the five regression algorithms — the
+//! `t_pm` of the paper's Table IV cost model, and the "XGBoost to improve
+//! execution time" / "KNN runtime grows with the dataset" discussion of
+//! Section IV-B.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlkit::{Dataset, RegressorKind};
+use std::hint::black_box;
+
+/// Synthetic corpus shaped like the paper's (few rows, few features).
+fn synthetic(rows: usize) -> Dataset {
+    let mut d = Dataset::new(
+        (0..6).map(|i| format!("f{i}")).collect::<Vec<_>>(),
+    );
+    for i in 0..rows {
+        let x: Vec<f64> = (0..6)
+            .map(|f| ((i * 31 + f * 17) % 97) as f64 / 9.7)
+            .collect();
+        let y = (x[0] * 0.3 + x[2]).min(8.0) + (x[4] * x[1]).sqrt() * 0.1;
+        d.push(format!("r{i}"), x, y);
+    }
+    d
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = synthetic(64);
+    let mut group = c.benchmark_group("regressors/train_64rows");
+    for kind in RegressorKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, k| {
+            b.iter(|| black_box(k.fit(&data, 42)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let data = synthetic(64);
+    let row = data.x[7].clone();
+    let mut group = c.benchmark_group("regressors/predict_one");
+    for kind in RegressorKind::ALL {
+        let model = kind.fit(&data, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &model, |b, m| {
+            b.iter(|| black_box(m.predict_row(&row)))
+        });
+    }
+    group.finish();
+}
+
+/// KNN inference cost vs training-set size (Section IV-B: "the execution
+/// time increases linearly proportional to the number of data entries").
+fn bench_knn_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regressors/knn_vs_dataset_size");
+    for rows in [64usize, 512, 4096] {
+        let data = synthetic(rows);
+        let model = RegressorKind::KNearestNeighbors.fit(&data, 0);
+        let row = data.x[3].clone();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &model, |b, m| {
+            b.iter(|| black_box(m.predict_row(&row)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference, bench_knn_scaling);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Extended-corpus experiment (the paper's future work: "we work on
+//! preparing more standard CNNs and variations of well-known CNNs ... to
+//! expand our training dataset"): add the 8 variant architectures
+//! (ResNet-18/34, Wide-ResNet, VGG-11/13, SqueezeNet, ShuffleNet,
+//! GoogLeNet) to the Table I zoo and measure what the extra data buys.
+//!
+//! ```text
+//! cargo run --release -p cnnperf-bench --bin ablation_extended_corpus
+//! ```
+
+use cnnperf_bench::corpus_cached;
+use cnnperf_core::prelude::*;
+use mlkit::repeated_split_eval;
+
+fn main() {
+    let base = corpus_cached();
+
+    eprintln!("[bench] building variant corpus (8 extra CNNs x 2 GPUs) ...");
+    let variant_models: Vec<_> = cnn_ir::zoo::variants::all_variants()
+        .into_iter()
+        .map(|(_, build)| build())
+        .collect();
+    let extra = build_corpus(&variant_models, &gpu_sim::training_devices())
+        .expect("variant corpus");
+
+    // merge the two corpora
+    let mut merged = base.dataset.clone();
+    for i in 0..extra.dataset.len() {
+        merged.push(
+            extra.dataset.labels[i].clone(),
+            extra.dataset.x[i].clone(),
+            extra.dataset.y[i],
+        );
+    }
+
+    let seeds: Vec<u64> = (0..20).collect();
+    let mut table = Table::new(
+        "Extended-corpus ablation (20-seed repeated 70/30 splits)",
+        &["Corpus", "Rows", "Model", "MAPE", "R2"],
+    )
+    .align(0, Align::Left)
+    .align(2, Align::Left);
+
+    for (name, data) in [("Table I zoo (paper)", &base.dataset), ("zoo + 8 variants", &merged)]
+    {
+        for kind in [RegressorKind::DecisionTree, RegressorKind::LinearRegression] {
+            let (_, agg) = repeated_split_eval(data, kind, 0.7, &seeds);
+            table.row(vec![
+                name.to_string(),
+                data.len().to_string(),
+                kind.name().to_string(),
+                format!("{:.2}% ± {:.2}", agg.mape.mean, agg.mape.std),
+                format!("{:.3}", agg.r2.mean),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    // and the Fig.4-style held-out check: do variants improve predictions
+    // on the six held-out standard CNNs?
+    let eval_names = cnn_ir::zoo::fig4_eval_names();
+    let holdout = |data: &mlkit::Dataset| {
+        let (train, _) = data.partition_by_label(|l| {
+            eval_names.iter().any(|n| l.starts_with(&format!("{n}@")))
+        });
+        let p = PerformancePredictor::train(&train, RegressorKind::DecisionTree, 42);
+        let dev = gpu_sim::specs::gtx_1080_ti();
+        let mut y_true = Vec::new();
+        let mut y_pred = Vec::new();
+        for name in eval_names {
+            let prof = base.profile(name).expect("profiled");
+            let s = base
+                .samples
+                .iter()
+                .find(|s| s.model == name && s.device == dev.name)
+                .expect("sample");
+            y_true.push(s.ipc);
+            y_pred.push(p.predict(prof, &dev));
+        }
+        mlkit::metrics::mape(&y_true, &y_pred)
+    };
+    println!(
+        "Fig.4 held-out MAPE: zoo-only {:.2}%  vs  zoo+variants {:.2}%",
+        holdout(&base.dataset),
+        holdout(&merged)
+    );
+}

@@ -1,0 +1,81 @@
+//! Feature-set ablation (extension): how much does each predictor family
+//! contribute, and does a reduced feature space hold up (cf. the authors'
+//! DDECS'22 reduced-feature-space result)?
+//!
+//! Runs the Table II protocol over: CNN-only features, GPU-only features,
+//! the paper's combined set, and greedy forward selection.
+//!
+//! ```text
+//! cargo run --release -p cnnperf-bench --bin ablation_features
+//! ```
+
+use cnnperf_bench::corpus_cached;
+use cnnperf_core::prelude::*;
+use mlkit::{correlation_ranking, forward_select, project, repeated_split_eval};
+
+fn eval_subset(corpus: &Corpus, features: &[&str], label: &str) -> Vec<String> {
+    let sub = project(&corpus.dataset, features);
+    let seeds: Vec<u64> = (0..20).collect();
+    let (_, agg) = repeated_split_eval(&sub, RegressorKind::DecisionTree, 0.7, &seeds);
+    vec![
+        label.to_string(),
+        features.join(", "),
+        format!("{:.2}% ± {:.2}", agg.mape.mean, agg.mape.std),
+        format!("{:.3}", agg.r2.mean),
+    ]
+}
+
+fn main() {
+    let corpus = corpus_cached();
+
+    let mut table = Table::new(
+        "Feature-set ablation (Decision Tree, 20-seed repeated 70/30 splits)",
+        &["Set", "Features", "MAPE", "R2"],
+    )
+    .align(0, Align::Left)
+    .align(1, Align::Left);
+
+    table.row(eval_subset(
+        &corpus,
+        &["ptx_instructions", "trainable_params"],
+        "CNN only",
+    ));
+    table.row(eval_subset(
+        &corpus,
+        &["mem_bandwidth_gbs", "cuda_cores", "base_clock_mhz", "l2_cache_kb"],
+        "GPU only",
+    ));
+    table.row(eval_subset(
+        &corpus,
+        &[
+            "ptx_instructions",
+            "trainable_params",
+            "mem_bandwidth_gbs",
+            "cuda_cores",
+            "base_clock_mhz",
+            "l2_cache_kb",
+        ],
+        "paper set",
+    ));
+    table.row(eval_subset(
+        &corpus,
+        &["ptx_instructions", "trainable_params", "mem_bandwidth_gbs"],
+        "Table III top-3",
+    ));
+    println!("{table}");
+
+    println!("Correlation ranking (|pearson r| with IPC):");
+    for (name, r) in correlation_ranking(&corpus.dataset) {
+        println!("  {name:22} {r:.3}");
+    }
+
+    println!("\nGreedy forward selection (Decision Tree, hold-out MAPE):");
+    for step in forward_select(&corpus.dataset, RegressorKind::DecisionTree, 4, 42) {
+        println!(
+            "  + {:20} -> MAPE {:.2}%  (features: {})",
+            step.added,
+            step.mape,
+            step.features.join(", ")
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Regenerates the paper's **Fig. 4 (a-d)**: predicted vs original IPC on
+//! the GTX 1080 Ti for six standard CNNs that are *entirely independent of
+//! the training phase*, for each of the four non-linear regressors
+//! (Decision Tree, KNN, XG Boost, Random Forest).
+//!
+//! The six evaluation CNNs are removed from the corpus before training, so
+//! the predictors have never seen them on any device.
+//!
+//! ```text
+//! cargo run --release -p cnnperf-bench --bin fig4_pred_vs_actual
+//! ```
+
+use cnnperf_bench::corpus_cached;
+use cnnperf_core::prelude::*;
+
+fn main() {
+    let corpus = corpus_cached();
+    let eval_names = cnn_ir::zoo::fig4_eval_names();
+    let device = gpu_sim::specs::gtx_1080_ti();
+
+    // hold the six CNNs (all their device rows) out of training
+    let (train_all, _held) = corpus.dataset.partition_by_label(|label| {
+        eval_names
+            .iter()
+            .any(|n| label.starts_with(&format!("{n}@")))
+    });
+
+    let panels = [
+        ("(a) Decision Tree", RegressorKind::DecisionTree),
+        ("(b) KNN", RegressorKind::KNearestNeighbors),
+        ("(c) XG Boost", RegressorKind::XgBoost),
+        ("(d) Random Forest Tree", RegressorKind::RandomForest),
+    ];
+
+    let mut overall: Vec<(String, f64)> = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for (panel, kind) in panels {
+        let predictor = PerformancePredictor::train(&train_all, kind, 42);
+        let mut table = Table::new(
+            format!("Fig. 4 {panel}: predicted vs original IPC on {}", device.name),
+            &["CNN", "Original IPC", "Predicted IPC", "APE"],
+        )
+        .align(0, Align::Left);
+        let mut y_true = Vec::new();
+        let mut y_pred = Vec::new();
+        for name in eval_names {
+            let profile = corpus.profile(name).expect("profiled in corpus");
+            let sample = corpus
+                .samples
+                .iter()
+                .find(|s| s.model == name && s.device == device.name)
+                .expect("sample exists");
+            let pred = predictor.predict(profile, &device);
+            let ape = 100.0 * ((sample.ipc - pred) / sample.ipc).abs();
+            table.row(vec![
+                name.to_string(),
+                fixed(sample.ipc, 3),
+                fixed(pred, 3),
+                pct(ape),
+            ]);
+            csv_rows.push(vec![
+                kind.name().to_string(),
+                name.to_string(),
+                format!("{:.6}", sample.ipc),
+                format!("{pred:.6}"),
+            ]);
+            y_true.push(sample.ipc);
+            y_pred.push(pred);
+        }
+        let mape = mlkit::metrics::mape(&y_true, &y_pred);
+        println!("{table}");
+        println!("  {} MAPE over the six held-out CNNs: {:.2}%\n", kind.name(), mape);
+        overall.push((kind.name().to_string(), mape));
+    }
+
+    let csv = cnnperf_bench::write_csv(
+        "fig4_pred_vs_actual",
+        &["regressor", "cnn", "original_ipc", "predicted_ipc"],
+        &csv_rows,
+    );
+    println!("figure series written to {}", csv.display());
+
+    overall.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!("Summary (best first):");
+    for (name, mape) in &overall {
+        println!("  {name:22} {mape:6.2}%");
+    }
+    println!(
+        "\nPaper's observation: \"all predictive models' predictions are close to each \
+         other and do not differ significantly\" — spread between the four panels above: {:.2} pp.",
+        overall.last().expect("4 panels").1 - overall.first().expect("4 panels").1
+    );
+}

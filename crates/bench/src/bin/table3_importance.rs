@@ -1,0 +1,65 @@
+//! Regenerates the paper's **Table III**: the predictors with the most
+//! impact on the final Decision Tree, by impurity-decrease importance.
+//!
+//! ```text
+//! cargo run --release -p cnnperf-bench --bin table3_importance
+//! ```
+
+use cnnperf_bench::corpus_cached;
+use cnnperf_core::prelude::*;
+
+fn describe(feature: &str) -> &'static str {
+    match feature {
+        "ptx_instructions" => "Number of instructions to be executed",
+        "trainable_params" => "Number of connections between neurons",
+        "mem_bandwidth_gbs" => "Available memory bandwidth",
+        "cuda_cores" => "Total CUDA cores of the GPGPU",
+        "base_clock_mhz" => "GPGPU base frequency",
+        "l2_cache_kb" => "L2 cache size",
+        _ => "",
+    }
+}
+
+fn main() {
+    let corpus = corpus_cached();
+    let (train, _) = corpus.dataset.split(0.7, 42);
+    let predictor = PerformancePredictor::train(&train, RegressorKind::DecisionTree, 42);
+
+    let mut table = Table::new(
+        "Table III: Predictors used by the Decision Tree (impurity-decrease importance)",
+        &["Feature", "Brief description", "Importance"],
+    )
+    .align(0, Align::Left)
+    .align(1, Align::Left);
+
+    let imps = predictor
+        .feature_importances()
+        .expect("decision tree has importances");
+    for (name, imp) in &imps {
+        table.row(vec![name.clone(), describe(name).to_string(), fixed(*imp, 5)]);
+    }
+    println!("{table}");
+    println!(
+        "Paper's Table III: Memory Bandwidth 0.72583, trainable params 0.2599, \
+         executed instructions 0.0141."
+    );
+    println!(
+        "Note: with two training GPUs every device feature separates them equally, \
+         so which GPU feature carries the importance is a tie-break; in our corpus \
+         the CNN-side variation (instruction count) dominates the IPC variance, \
+         while in the paper's hardware measurements the device split dominated."
+    );
+
+    // model-agnostic cross-check: permutation importance on the hold-out set
+    let (_, test) = corpus.dataset.split(0.7, 42);
+    let model = mlkit::RegressorKind::DecisionTree.fit(&train, 42);
+    let mut perm = Table::new(
+        "Cross-check: permutation importance (RMSE increase on the 30% hold-out)",
+        &["Feature", "dRMSE"],
+    )
+    .align(0, Align::Left);
+    for (name, delta) in mlkit::permutation_importance(&model, &test, 42) {
+        perm.row(vec![name, format!("{delta:+.4}")]);
+    }
+    println!("\n{perm}");
+}

@@ -1,0 +1,180 @@
+//! The paper's *Static Analyzer* module (Fig. 3, phase 1).
+//!
+//! Walks a [`ModelGraph`] once and produces a [`ModelSummary`] with the
+//! quantities the paper's Table I reports — layer count, neurons and
+//! trainable parameters — plus the future-work metrics (FLOPs, MACs) and
+//! activation-memory footprint used by the lowering pass.
+
+use crate::graph::{GraphError, ModelGraph};
+use crate::layer::ParamCount;
+use crate::shape::TensorShape;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer breakdown produced by the analyzer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerSummary {
+    pub name: String,
+    pub kind: String,
+    pub output_shape: TensorShape,
+    pub params: ParamCount,
+    pub macs: u64,
+    pub flops: u64,
+}
+
+/// Whole-model summary (one row of the paper's Table I plus extensions).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelSummary {
+    pub name: String,
+    /// Input spatial side length (all zoo models use square inputs).
+    pub input_size: (u32, u32),
+    /// The depth the architecture is named after (Table I "Layers").
+    pub nominal_depth: u32,
+    /// Number of graph nodes (framework-level layer count).
+    pub num_nodes: usize,
+    /// Sum of output elements over all layers, Keras-style (Table I "Neurons").
+    pub neurons: u64,
+    /// Table I "Trainable Parameters".
+    pub trainable_params: u64,
+    pub non_trainable_params: u64,
+    /// Count of weighted layers (conv + dense).
+    pub weighted_layers: usize,
+    /// Future-work metrics from the paper's conclusion.
+    pub macs: u64,
+    pub flops: u64,
+    /// Bytes of fp32 activations for a single forward pass (batch 1).
+    pub activation_bytes: u64,
+    pub per_layer: Vec<LayerSummary>,
+}
+
+impl ModelSummary {
+    pub fn total_params(&self) -> u64 {
+        self.trainable_params + self.non_trainable_params
+    }
+}
+
+/// Analyze one model graph. Cost is a single topological walk.
+pub fn analyze(graph: &ModelGraph) -> Result<ModelSummary, GraphError> {
+    let shapes = graph.infer_shapes()?;
+    let mut per_layer = Vec::with_capacity(graph.len());
+    let mut params = ParamCount::ZERO;
+    let mut neurons = 0u64;
+    let mut macs = 0u64;
+    let mut flops = 0u64;
+    let mut activation_bytes = 0u64;
+    let mut weighted_layers = 0usize;
+
+    for node in graph.nodes() {
+        let ins: Vec<TensorShape> =
+            node.inputs.iter().map(|i| shapes[i.index()]).collect();
+        let out = shapes[node.id.index()];
+        let p = node.layer.param_count(&ins);
+        let m = node.layer.macs(&ins, out);
+        let f = node.layer.flops(&ins, out);
+
+        params += p;
+        neurons += out.elements();
+        macs += m;
+        flops += f;
+        activation_bytes += out.elements() * 4;
+        if node.layer.is_weighted() {
+            weighted_layers += 1;
+        }
+
+        per_layer.push(LayerSummary {
+            name: node.name.clone(),
+            kind: node.layer.kind_name().to_string(),
+            output_shape: out,
+            params: p,
+            macs: m,
+            flops: f,
+        });
+    }
+
+    let input = graph.input_shape();
+    Ok(ModelSummary {
+        name: graph.name().to_string(),
+        input_size: (input.h, input.w),
+        nominal_depth: graph.nominal_depth(),
+        num_nodes: graph.len(),
+        neurons,
+        trainable_params: params.trainable,
+        non_trainable_params: params.non_trainable,
+        weighted_layers,
+        macs,
+        flops,
+        activation_bytes,
+        per_layer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::layer::{ActKind, Conv2d, Dense, Layer, Pool2d};
+    use crate::shape::Padding;
+
+    /// LeNet-ish toy model with hand-checkable numbers.
+    fn toy() -> ModelGraph {
+        let mut b = GraphBuilder::new("toy", 4);
+        let x = b.input(TensorShape::square(28, 1));
+        let x = b.layer(Layer::Conv2d(Conv2d::new(6, 5, 1, Padding::Valid)), &[x]);
+        let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
+        let x = b.layer(Layer::Pool2d(Pool2d::max(2, 2, Padding::Valid)), &[x]);
+        let x = b.layer(Layer::Flatten, &[x]);
+        let x = b.layer(Layer::Dense(Dense::new(10)), &[x]);
+        b.finish(x)
+    }
+
+    #[test]
+    fn trainable_params_sum() {
+        let s = analyze(&toy()).unwrap();
+        // conv: 5*5*1*6 + 6 = 156; dense: 12*12*6*10 + 10 = 8650
+        assert_eq!(s.trainable_params, 156 + 8650);
+        assert_eq!(s.non_trainable_params, 0);
+    }
+
+    #[test]
+    fn neurons_include_every_layer_output() {
+        let s = analyze(&toy()).unwrap();
+        let conv_out = 24 * 24 * 6;
+        let pool_out = 12 * 12 * 6;
+        let expected = 28 * 28       // input
+            + conv_out               // conv
+            + conv_out               // relu
+            + pool_out               // pool
+            + pool_out               // flatten
+            + 10; // dense
+        assert_eq!(s.neurons, expected as u64);
+    }
+
+    #[test]
+    fn macs_and_flops() {
+        let s = analyze(&toy()).unwrap();
+        let conv_macs = 24 * 24 * 6 * 25;
+        let dense_macs = 864 * 10;
+        assert_eq!(s.macs, (conv_macs + dense_macs) as u64);
+        assert!(s.flops > s.macs);
+    }
+
+    #[test]
+    fn weighted_layer_count() {
+        let s = analyze(&toy()).unwrap();
+        assert_eq!(s.weighted_layers, 2);
+    }
+
+    #[test]
+    fn activation_bytes_are_fp32() {
+        let s = analyze(&toy()).unwrap();
+        assert_eq!(s.activation_bytes, s.neurons * 4);
+    }
+
+    #[test]
+    fn per_layer_rows_cover_graph() {
+        let g = toy();
+        let s = analyze(&g).unwrap();
+        assert_eq!(s.per_layer.len(), g.len());
+        assert_eq!(s.num_nodes, g.len());
+        assert_eq!(s.input_size, (28, 28));
+    }
+}

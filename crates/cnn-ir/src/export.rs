@@ -1,0 +1,70 @@
+//! Graph export: Graphviz DOT rendering of model graphs (handy for
+//! inspecting zoo architectures and custom models).
+
+use crate::graph::ModelGraph;
+use crate::layer::Layer;
+use std::fmt::Write;
+
+/// Render the model as a Graphviz `digraph`. Nodes are labeled with the
+/// layer kind and output shape; weighted layers are drawn as boxes.
+pub fn to_dot(graph: &ModelGraph) -> String {
+    let shapes = graph.infer_shapes().ok();
+    let mut s = String::new();
+    writeln!(s, "digraph \"{}\" {{", graph.name()).expect("write");
+    writeln!(s, "  rankdir=TB;").expect("write");
+    writeln!(s, "  node [fontsize=10];").expect("write");
+    for node in graph.nodes() {
+        let shape_txt = shapes
+            .as_ref()
+            .map(|sh| format!("\\n{}", sh[node.id.index()]))
+            .unwrap_or_default();
+        let style = match &node.layer {
+            Layer::Input { .. } => "shape=invhouse, style=filled, fillcolor=lightblue",
+            l if l.is_weighted() => "shape=box, style=filled, fillcolor=lightyellow",
+            Layer::Add | Layer::Multiply | Layer::Concat => "shape=diamond",
+            _ => "shape=ellipse",
+        };
+        writeln!(
+            s,
+            "  n{} [label=\"{}{}\", {}];",
+            node.id.index(),
+            node.name,
+            shape_txt,
+            style
+        )
+        .expect("write");
+        for input in &node.inputs {
+            writeln!(s, "  n{} -> n{};", input.index(), node.id.index()).expect("write");
+        }
+    }
+    writeln!(s, "}}").expect("write");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = crate::zoo::build("alexnet").expect("zoo model");
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"alexnet\""));
+        // every node declared
+        for node in g.nodes() {
+            assert!(dot.contains(&format!("n{} [", node.id.index())));
+        }
+        // edge count matches input fan-in
+        let edges: usize = g.nodes().iter().map(|n| n.inputs.len()).sum();
+        let arrows = dot.matches(" -> ").count();
+        assert_eq!(arrows, edges);
+    }
+
+    #[test]
+    fn weighted_layers_are_boxes() {
+        let g = crate::zoo::build("vgg16").expect("zoo model");
+        let dot = to_dot(&g);
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=invhouse"));
+    }
+}

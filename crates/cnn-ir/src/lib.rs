@@ -1,0 +1,35 @@
+//! # cnn-ir — CNN graph IR, static analyzer and model zoo
+//!
+//! This crate implements the model-side substrate of the paper *"Fast and
+//! Accurate: Machine Learning Techniques for Performance Estimation of CNNs
+//! for GPGPUs"*:
+//!
+//! - a layer-level intermediate representation for convolutional networks
+//!   ([`graph::ModelGraph`], [`layer::Layer`]),
+//! - the paper's *Static Analyzer* module ([`analyzer::analyze`]) computing
+//!   trainable parameters, neurons, layer counts, FLOPs and MACs, and
+//! - the 32-model zoo of the paper's Table I ([`zoo`]).
+//!
+//! ```
+//! let model = cnn_ir::zoo::build("vgg16").unwrap();
+//! let summary = cnn_ir::analyze(&model).unwrap();
+//! assert_eq!(summary.trainable_params, 138_357_544); // matches Keras
+//! ```
+
+pub mod analyzer;
+pub mod export;
+pub mod graph;
+pub mod layer;
+pub mod shape;
+pub mod transform;
+pub mod zoo;
+
+pub use analyzer::{analyze, LayerSummary, ModelSummary};
+pub use export::to_dot;
+pub use graph::{GraphBuilder, GraphError, ModelGraph, Node, NodeId};
+pub use layer::{
+    ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, ParamCount,
+    Pool2d, PoolKind, ShapeError,
+};
+pub use shape::{Padding, TensorShape};
+pub use transform::{fold_batch_norm, FoldStats};

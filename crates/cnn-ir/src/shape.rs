@@ -1,0 +1,196 @@
+//! Tensor shapes and padding arithmetic.
+//!
+//! Shapes describe a single sample (batch size is applied at lowering time),
+//! laid out as `H x W x C` to match the conventions of the frameworks the
+//! paper profiles (Keras/TensorFlow). A "flat" tensor (dense-layer activations)
+//! is represented with `h == w == 1`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of one activation tensor: height, width, channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    pub h: u32,
+    pub w: u32,
+    pub c: u32,
+}
+
+impl TensorShape {
+    /// A spatial `h x w x c` tensor.
+    pub const fn hwc(h: u32, w: u32, c: u32) -> Self {
+        Self { h, w, c }
+    }
+
+    /// A flat feature vector of `n` elements.
+    pub const fn flat(n: u32) -> Self {
+        Self { h: 1, w: 1, c: n }
+    }
+
+    /// Square spatial input of side `s` with `c` channels (most ImageNet CNNs).
+    pub const fn square(s: u32, c: u32) -> Self {
+        Self { h: s, w: s, c }
+    }
+
+    /// Total number of scalar elements.
+    pub fn elements(&self) -> u64 {
+        self.h as u64 * self.w as u64 * self.c as u64
+    }
+
+    /// True when the tensor carries no spatial extent (`1 x 1 x C`).
+    pub fn is_flat(&self) -> bool {
+        self.h == 1 && self.w == 1
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+/// Spatial padding policy for convolution and pooling windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// TensorFlow-style `SAME`: output spatial size is `ceil(in / stride)`.
+    Same,
+    /// No padding: output is `floor((in - k) / stride) + 1`.
+    Valid,
+    /// Explicit asymmetric padding in pixels.
+    Explicit {
+        top: u32,
+        bottom: u32,
+        left: u32,
+        right: u32,
+    },
+}
+
+impl Padding {
+    /// Symmetric explicit padding of `p` pixels on all four sides.
+    pub const fn uniform(p: u32) -> Self {
+        Padding::Explicit {
+            top: p,
+            bottom: p,
+            left: p,
+            right: p,
+        }
+    }
+
+    /// Output extent for the vertical (height) axis for window `k`, stride
+    /// `s`, input `n`. Returns `None` when the window does not fit.
+    pub fn out_h(&self, n: u32, k: u32, s: u32) -> Option<u32> {
+        assert!(s > 0, "stride must be positive");
+        assert!(k > 0, "window must be positive");
+        match *self {
+            Padding::Same => Some(n.div_ceil(s)),
+            Padding::Valid => explicit_extent(n, k, s, 0, 0),
+            Padding::Explicit { top, bottom, .. } => {
+                explicit_extent(n, k, s, top, bottom)
+            }
+        }
+    }
+
+    /// Output extent for the horizontal (width) axis.
+    pub fn out_w(&self, n: u32, k: u32, s: u32) -> Option<u32> {
+        assert!(s > 0, "stride must be positive");
+        assert!(k > 0, "window must be positive");
+        match *self {
+            Padding::Same => Some(n.div_ceil(s)),
+            Padding::Valid => explicit_extent(n, k, s, 0, 0),
+            Padding::Explicit { left, right, .. } => {
+                explicit_extent(n, k, s, left, right)
+            }
+        }
+    }
+
+    /// Total padding applied along the height axis for input extent `n`.
+    pub fn pad_h(&self, n: u32, k: u32, s: u32) -> u32 {
+        match *self {
+            Padding::Same => same_total_pad(n, k, s),
+            Padding::Valid => 0,
+            Padding::Explicit { top, bottom, .. } => top + bottom,
+        }
+    }
+
+    /// Total padding applied along the width axis for input extent `n`.
+    pub fn pad_w(&self, n: u32, k: u32, s: u32) -> u32 {
+        match *self {
+            Padding::Same => same_total_pad(n, k, s),
+            Padding::Valid => 0,
+            Padding::Explicit { left, right, .. } => left + right,
+        }
+    }
+}
+
+fn explicit_extent(n: u32, k: u32, s: u32, lo: u32, hi: u32) -> Option<u32> {
+    let padded = n + lo + hi;
+    if k > padded {
+        None
+    } else {
+        Some((padded - k) / s + 1)
+    }
+}
+
+/// Total `SAME` padding along one axis (TensorFlow semantics).
+fn same_total_pad(n: u32, k: u32, s: u32) -> u32 {
+    let out = n.div_ceil(s);
+    ((out - 1) * s + k).saturating_sub(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_multiplies_dims() {
+        assert_eq!(TensorShape::hwc(224, 224, 3).elements(), 224 * 224 * 3);
+        assert_eq!(TensorShape::flat(1000).elements(), 1000);
+    }
+
+    #[test]
+    fn flat_detection() {
+        assert!(TensorShape::flat(10).is_flat());
+        assert!(!TensorShape::hwc(2, 1, 10).is_flat());
+    }
+
+    #[test]
+    fn same_padding_ceil_division() {
+        // 224 / stride 2 -> 112
+        assert_eq!(Padding::Same.out_h(224, 3, 2), Some(112));
+        assert_eq!(Padding::Same.out_h(224, 3, 1), Some(224));
+        // odd input
+        assert_eq!(Padding::Same.out_h(7, 3, 2), Some(4));
+    }
+
+    #[test]
+    fn valid_padding_floor() {
+        assert_eq!(Padding::Valid.out_h(224, 3, 1), Some(222));
+        assert_eq!(Padding::Valid.out_h(7, 7, 1), Some(1));
+        assert_eq!(Padding::Valid.out_h(6, 7, 1), None);
+        // AlexNet first conv: 227 input, 11x11 window, stride 4 -> 55
+        assert_eq!(Padding::Valid.out_h(227, 11, 4), Some(55));
+    }
+
+    #[test]
+    fn explicit_padding_asymmetric() {
+        let p = Padding::Explicit {
+            top: 0,
+            bottom: 1,
+            left: 0,
+            right: 1,
+        };
+        // ResNet-style stride-2 3x3 with (0,1) pad on 224 -> 112
+        assert_eq!(p.out_h(224, 3, 2), Some(112));
+        assert_eq!(p.out_w(224, 3, 2), Some(112));
+    }
+
+    #[test]
+    fn same_total_pad_matches_tf() {
+        // k=3, s=1: pad 2 total regardless of n
+        assert_eq!(same_total_pad(224, 3, 1), 2);
+        // k=3, s=2, n even: pad 1 total
+        assert_eq!(same_total_pad(224, 3, 2), 1);
+        // k=1: no pad
+        assert_eq!(same_total_pad(224, 1, 1), 0);
+    }
+}

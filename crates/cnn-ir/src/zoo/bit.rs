@@ -1,0 +1,168 @@
+//! Big Transfer (BiT) models — `m-r50x1`, `m-r50x3`, `m-r101x1`, `m-r101x3`
+//! and `m-r154x4` from the paper's Table I (Kolesnikov et al., 2020).
+//!
+//! BiT uses a pre-activation ResNet-v2 body with *group normalization*
+//! (32 groups) instead of batch norm and bias-free, weight-standardized
+//! convolutions. Weight standardization changes values, not parameter
+//! counts, so the IR models it as a plain convolution.
+//!
+//! `m-r154x4` is Table I's name for BiT R152x4 (the depth "154" is a typo
+//! in the paper; no R154 exists in the BiT family).
+
+use super::common::classifier_head;
+use crate::graph::{GraphBuilder, ModelGraph, NodeId};
+use crate::layer::{ActKind, Conv2d, Layer};
+use crate::shape::{Padding, TensorShape};
+
+const GN_GROUPS: u32 = 32;
+
+fn gn_relu(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let x = b.layer(Layer::GroupNorm { groups: GN_GROUPS }, &[x]);
+    b.layer(Layer::Activation(ActKind::Relu), &[x])
+}
+
+fn conv(b: &mut GraphBuilder, x: NodeId, out_c: u32, k: u32, s: u32) -> NodeId {
+    b.layer(
+        Layer::Conv2d(Conv2d::new(out_c, k, s, Padding::Same).no_bias()),
+        &[x],
+    )
+}
+
+/// Pre-activation bottleneck with GN. Stride is applied by the middle 3x3
+/// conv at the first block of stages 2-4 (BiT convention).
+fn block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    filters: u32,
+    stride: u32,
+    project: bool,
+) -> NodeId {
+    let pre = gn_relu(b, x);
+    let shortcut = if project {
+        conv(b, pre, 4 * filters, 1, stride)
+    } else {
+        x
+    };
+    let y = conv(b, pre, filters, 1, 1);
+    let y = gn_relu(b, y);
+    let y = conv(b, y, filters, 3, stride);
+    let y = gn_relu(b, y);
+    let y = conv(b, y, 4 * filters, 1, 1);
+    b.layer(Layer::Add, &[shortcut, y])
+}
+
+fn stage(
+    b: &mut GraphBuilder,
+    mut x: NodeId,
+    filters: u32,
+    blocks: u32,
+    stride1: u32,
+) -> NodeId {
+    x = block(b, x, filters, stride1, true);
+    for _ in 1..blocks {
+        x = block(b, x, filters, 1, false);
+    }
+    x
+}
+
+/// Build a BiT-style ResNet-v2 with the given stage depths and width
+/// multiplier.
+fn bit(name: &str, depth: u32, blocks: [u32; 4], width: u32) -> ModelGraph {
+    let mut b = GraphBuilder::new(name, depth);
+    let x = b.input(TensorShape::square(224, 3));
+    // Root block: 7x7/2 conv, padded 3x3/2 max pool.
+    let x = b.layer(
+        Layer::ZeroPad {
+            top: 3,
+            bottom: 3,
+            left: 3,
+            right: 3,
+        },
+        &[x],
+    );
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(64 * width, 7, 2, Padding::Valid).no_bias()),
+        &[x],
+    );
+    let x = super::common::padded_maxpool_3x3_s2(&mut b, x);
+    let x = stage(&mut b, x, 64 * width, blocks[0], 1);
+    let x = stage(&mut b, x, 128 * width, blocks[1], 2);
+    let x = stage(&mut b, x, 256 * width, blocks[2], 2);
+    let x = stage(&mut b, x, 512 * width, blocks[3], 2);
+    let x = gn_relu(&mut b, x);
+    let x = classifier_head(&mut b, x, 1000);
+    b.finish(x)
+}
+
+pub fn m_r50x1() -> ModelGraph {
+    bit("m-r50x1", 50, [3, 4, 6, 3], 1)
+}
+
+pub fn m_r50x3() -> ModelGraph {
+    bit("m-r50x3", 50, [3, 4, 6, 3], 3)
+}
+
+pub fn m_r101x1() -> ModelGraph {
+    bit("m-r101x1", 101, [3, 4, 23, 3], 1)
+}
+
+pub fn m_r101x3() -> ModelGraph {
+    bit("m-r101x3", 101, [3, 4, 23, 3], 3)
+}
+
+pub fn m_r154x4() -> ModelGraph {
+    bit("m-r154x4", 154, [3, 8, 36, 3], 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+
+    #[test]
+    fn r50x1_close_to_paper() {
+        // Paper Table I: 25,549,352. GN-vs-BN bookkeeping differences keep
+        // us within a fraction of a percent.
+        let s = analyze(&m_r50x1()).unwrap();
+        let paper = 25_549_352f64;
+        let rel = (s.trainable_params as f64 - paper).abs() / paper;
+        assert!(rel < 0.01, "r50x1 params {} vs paper {paper}", s.trainable_params);
+    }
+
+    #[test]
+    fn width_scales_quadratically() {
+        let p1 = analyze(&m_r50x1()).unwrap().trainable_params;
+        let p3 = analyze(&m_r50x3()).unwrap().trainable_params;
+        // conv weights scale ~x9; the 1000-class head only ~x3
+        assert!(p3 > 7 * p1 && p3 < 9 * p1, "p1={p1} p3={p3}");
+    }
+
+    #[test]
+    fn r101x3_close_to_paper() {
+        let s = analyze(&m_r101x3()).unwrap();
+        let paper = 387_934_888f64;
+        let rel = (s.trainable_params as f64 - paper).abs() / paper;
+        assert!(rel < 0.02, "r101x3 params {} vs paper {paper}", s.trainable_params);
+    }
+
+    #[test]
+    fn r154x4_close_to_paper() {
+        let s = analyze(&m_r154x4()).unwrap();
+        let paper = 936_533_224f64;
+        let rel = (s.trainable_params as f64 - paper).abs() / paper;
+        assert!(rel < 0.02, "r154x4 params {} vs paper {paper}", s.trainable_params);
+    }
+
+    #[test]
+    fn all_norms_are_group_norm() {
+        let g = m_r50x1();
+        assert!(g
+            .nodes()
+            .iter()
+            .all(|n| !matches!(n.layer, Layer::BatchNorm(_))));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.layer, Layer::GroupNorm { .. })));
+    }
+}

@@ -1,0 +1,189 @@
+//! Shared building blocks used across zoo architectures.
+
+use crate::graph::{GraphBuilder, NodeId};
+use crate::layer::{
+    ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, Pool2d, PoolKind,
+};
+use crate::shape::Padding;
+
+/// `Conv -> BN -> ReLU` with a bias-free convolution (the dominant pattern in
+/// post-2015 architectures).
+pub fn conv_bn_relu(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_c: u32,
+    k: u32,
+    s: u32,
+    pad: Padding,
+) -> NodeId {
+    let x = b.layer(Layer::Conv2d(Conv2d::new(out_c, k, s, pad).no_bias()), &[x]);
+    let x = b.layer(Layer::BatchNorm(BatchNorm::default()), &[x]);
+    b.layer(Layer::Activation(ActKind::Relu), &[x])
+}
+
+/// `Conv -> BN` (no activation), bias-free.
+pub fn conv_bn(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_c: u32,
+    k: u32,
+    s: u32,
+    pad: Padding,
+) -> NodeId {
+    let x = b.layer(Layer::Conv2d(Conv2d::new(out_c, k, s, pad).no_bias()), &[x]);
+    b.layer(Layer::BatchNorm(BatchNorm::default()), &[x])
+}
+
+/// `BN -> ReLU` pre-activation (ResNet v2 / DenseNet style).
+pub fn bn_relu(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let x = b.layer(Layer::BatchNorm(BatchNorm::default()), &[x]);
+    b.layer(Layer::Activation(ActKind::Relu), &[x])
+}
+
+/// Inception-style conv: bias-free conv + BN *without* gamma + ReLU.
+pub fn conv_bn_relu_noscale(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_c: u32,
+    kh: u32,
+    kw: u32,
+    s: u32,
+    pad: Padding,
+) -> NodeId {
+    let mut conv = Conv2d::rect(out_c, kh, kw, pad).no_bias();
+    conv.stride = (s, s);
+    let x = b.layer(Layer::Conv2d(conv), &[x]);
+    let x = b.layer(
+        Layer::BatchNorm(BatchNorm {
+            scale: false,
+            center: true,
+        }),
+        &[x],
+    );
+    b.layer(Layer::Activation(ActKind::Relu), &[x])
+}
+
+/// Keras-style `SeparableConv2D` without bias: depthwise (no bias) followed
+/// by a pointwise projection (no bias).
+pub fn separable_conv(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_c: u32,
+    k: u32,
+    s: u32,
+    pad: Padding,
+) -> NodeId {
+    let x = b.layer(
+        Layer::DepthwiseConv2d(DepthwiseConv2d::new(k, s, pad).no_bias()),
+        &[x],
+    );
+    b.layer(
+        Layer::Conv2d(Conv2d::new(out_c, 1, 1, Padding::Same).no_bias()),
+        &[x],
+    )
+}
+
+/// Squeeze-and-excitation block: global-average pool, bottleneck MLP with
+/// biased 1x1 convs, sigmoid gate, channel-wise multiply. Returns the gated
+/// tensor. `se_c` is the bottleneck width.
+pub fn se_block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    channels: u32,
+    se_c: u32,
+    act: ActKind,
+) -> NodeId {
+    let _ = channels; // shape inference recovers it; kept for readability
+    let s = b.layer(
+        Layer::GlobalPool {
+            kind: PoolKind::Avg,
+        },
+        &[x],
+    );
+    // 1x1 convs on a 1x1 spatial map == dense layers with bias.
+    let s = b.layer(Layer::Conv2d(Conv2d::new(se_c, 1, 1, Padding::Same)), &[s]);
+    let s = b.layer(Layer::Activation(act), &[s]);
+    let s = b.layer(
+        Layer::Conv2d(Conv2d::new(channels, 1, 1, Padding::Same)),
+        &[s],
+    );
+    let s = b.layer(Layer::Activation(ActKind::Sigmoid), &[s]);
+    b.layer(Layer::Multiply, &[x, s])
+}
+
+/// Standard ImageNet classifier head: global average pool, dense, softmax.
+pub fn classifier_head(b: &mut GraphBuilder, x: NodeId, classes: u32) -> NodeId {
+    let x = b.layer(
+        Layer::GlobalPool {
+            kind: PoolKind::Avg,
+        },
+        &[x],
+    );
+    let x = b.layer(Layer::Dense(Dense::new(classes)), &[x]);
+    b.layer(Layer::Activation(ActKind::Softmax), &[x])
+}
+
+/// 3x3/2 `VALID` max pool after a one-pixel zero pad (ResNet stem idiom).
+pub fn padded_maxpool_3x3_s2(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let x = b.layer(
+        Layer::ZeroPad {
+            top: 1,
+            bottom: 1,
+            left: 1,
+            right: 1,
+        },
+        &[x],
+    );
+    b.layer(Layer::Pool2d(Pool2d::max(3, 2, Padding::Valid)), &[x])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use crate::shape::TensorShape;
+
+    #[test]
+    fn conv_bn_relu_counts() {
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input(TensorShape::square(8, 3));
+        let x = conv_bn_relu(&mut b, x, 16, 3, 1, Padding::Same);
+        let g = b.finish(x);
+        let s = analyze(&g).unwrap();
+        // conv 3*3*3*16 = 432, BN gamma+beta = 32
+        assert_eq!(s.trainable_params, 432 + 32);
+        assert_eq!(s.non_trainable_params, 32);
+    }
+
+    #[test]
+    fn separable_conv_matches_keras() {
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input(TensorShape::square(19, 128));
+        let x = separable_conv(&mut b, x, 256, 3, 1, Padding::Same);
+        let g = b.finish(x);
+        let s = analyze(&g).unwrap();
+        // depthwise 3*3*128 = 1152, pointwise 128*256 = 32768
+        assert_eq!(s.trainable_params, 1152 + 32768);
+    }
+
+    #[test]
+    fn se_block_params() {
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input(TensorShape::square(4, 32));
+        let x = se_block(&mut b, x, 32, 8, ActKind::Swish);
+        let g = b.finish(x);
+        let s = analyze(&g).unwrap();
+        // squeeze conv 32*8+8, excite conv 8*32+32
+        assert_eq!(s.trainable_params, 32 * 8 + 8 + 8 * 32 + 32);
+    }
+
+    #[test]
+    fn padded_maxpool_halves() {
+        let mut b = GraphBuilder::new("t", 1);
+        let x = b.input(TensorShape::square(112, 64));
+        let x = padded_maxpool_3x3_s2(&mut b, x);
+        let g = b.finish(x);
+        let shapes = g.infer_shapes().unwrap();
+        assert_eq!(shapes.last().unwrap().h, 56);
+    }
+}

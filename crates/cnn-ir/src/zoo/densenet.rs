@@ -1,0 +1,129 @@
+//! DenseNet-121/169/201 (Huang et al., 2017), Keras layout: growth rate 32,
+//! bottleneck factor 4, compression 0.5.
+
+use super::common::{bn_relu, classifier_head, padded_maxpool_3x3_s2};
+use crate::graph::{GraphBuilder, ModelGraph, NodeId};
+use crate::layer::{Conv2d, Layer, Pool2d};
+use crate::shape::{Padding, TensorShape};
+
+const GROWTH: u32 = 32;
+
+/// One dense layer: BN-ReLU-Conv1x1(4g) -> BN-ReLU-Conv3x3(g), concatenated
+/// with its input.
+fn dense_layer(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let y = bn_relu(b, x);
+    let y = b.layer(
+        Layer::Conv2d(Conv2d::new(4 * GROWTH, 1, 1, Padding::Same).no_bias()),
+        &[y],
+    );
+    let y = bn_relu(b, y);
+    let y = b.layer(
+        Layer::Conv2d(Conv2d::new(GROWTH, 3, 1, Padding::Same).no_bias()),
+        &[y],
+    );
+    b.layer(Layer::Concat, &[x, y])
+}
+
+fn dense_block(b: &mut GraphBuilder, mut x: NodeId, layers: u32) -> NodeId {
+    for _ in 0..layers {
+        x = dense_layer(b, x);
+    }
+    x
+}
+
+/// Transition: BN-ReLU-Conv1x1 (compression 0.5) + 2x2/2 average pool.
+fn transition(b: &mut GraphBuilder, x: NodeId, in_c: u32) -> NodeId {
+    let y = bn_relu(b, x);
+    let y = b.layer(
+        Layer::Conv2d(Conv2d::new(in_c / 2, 1, 1, Padding::Same).no_bias()),
+        &[y],
+    );
+    b.layer(Layer::Pool2d(Pool2d::avg(2, 2, Padding::Valid)), &[y])
+}
+
+fn densenet(name: &str, depth: u32, blocks: [u32; 4]) -> ModelGraph {
+    let mut b = GraphBuilder::new(name, depth);
+    let x = b.input(TensorShape::square(224, 3));
+    let x = b.layer(
+        Layer::ZeroPad {
+            top: 3,
+            bottom: 3,
+            left: 3,
+            right: 3,
+        },
+        &[x],
+    );
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(64, 7, 2, Padding::Valid).no_bias()),
+        &[x],
+    );
+    let x = bn_relu(&mut b, x);
+    let mut x = padded_maxpool_3x3_s2(&mut b, x);
+    let mut channels = 64u32;
+    for (i, &n) in blocks.iter().enumerate() {
+        x = dense_block(&mut b, x, n);
+        channels += n * GROWTH;
+        if i + 1 < blocks.len() {
+            x = transition(&mut b, x, channels);
+            channels /= 2;
+        }
+    }
+    let x = bn_relu(&mut b, x);
+    let x = classifier_head(&mut b, x, 1000);
+    b.finish(x)
+}
+
+pub fn densenet121() -> ModelGraph {
+    densenet("densenet121", 121, [6, 12, 24, 16])
+}
+
+pub fn densenet169() -> ModelGraph {
+    densenet("densenet169", 169, [6, 12, 32, 32])
+}
+
+pub fn densenet201() -> ModelGraph {
+    densenet("densenet201", 201, [6, 12, 48, 32])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+
+    #[test]
+    fn densenet121_params_match_keras_and_paper() {
+        let s = analyze(&densenet121()).unwrap();
+        assert_eq!(s.trainable_params, 7_978_856); // == paper Table I
+        assert_eq!(s.total_params(), 8_062_504); // == Keras total
+    }
+
+    #[test]
+    fn densenet169_params_match_paper() {
+        assert_eq!(
+            analyze(&densenet169()).unwrap().trainable_params,
+            14_149_480
+        );
+    }
+
+    #[test]
+    fn densenet201_params_match_paper() {
+        assert_eq!(
+            analyze(&densenet201()).unwrap().trainable_params,
+            20_013_928
+        );
+    }
+
+    #[test]
+    fn channel_growth_follows_concat() {
+        let g = densenet121();
+        let shapes = g.infer_shapes().unwrap();
+        // final feature map: 7x7x1024
+        let gap_idx = g
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.layer, Layer::GlobalPool { .. }))
+            .unwrap();
+        let pre = g.nodes()[gap_idx].inputs[0];
+        assert_eq!(shapes[pre.index()], TensorShape::hwc(7, 7, 1024));
+    }
+}

@@ -1,0 +1,206 @@
+//! EfficientNet B0-B7 (Tan & Le, 2019) with the Keras compound-scaling
+//! rules: `round_filters` / `round_repeats`, MBConv blocks with
+//! squeeze-and-excitation and swish activations.
+//!
+//! Note: the paper's Table I lists `efficientnetb5` with a 156x156 input;
+//! the reference resolution is 456x456 and that is what we build.
+
+use super::common::se_block;
+use crate::graph::{GraphBuilder, ModelGraph, NodeId};
+use crate::layer::{
+    ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, PoolKind,
+};
+use crate::shape::{Padding, TensorShape};
+
+/// (width coefficient, depth coefficient, resolution) for B0..B7.
+const COEFFS: [(f64, f64, u32); 8] = [
+    (1.0, 1.0, 224),
+    (1.0, 1.1, 240),
+    (1.1, 1.2, 260),
+    (1.2, 1.4, 300),
+    (1.4, 1.8, 380),
+    (1.6, 2.2, 456),
+    (1.8, 2.6, 528),
+    (2.0, 3.1, 600),
+];
+
+/// Base block arguments: (kernel, repeats, filters_in, filters_out, expand,
+/// stride). SE ratio is 0.25 everywhere.
+const BLOCKS: [(u32, u32, u32, u32, u32, u32); 7] = [
+    (3, 1, 32, 16, 1, 1),
+    (3, 2, 16, 24, 6, 2),
+    (5, 2, 24, 40, 6, 2),
+    (3, 3, 40, 80, 6, 2),
+    (5, 3, 80, 112, 6, 1),
+    (5, 4, 112, 192, 6, 2),
+    (3, 1, 192, 320, 6, 1),
+];
+
+/// Keras `round_filters`: snap to multiples of 8, never dropping below 90 %
+/// of the scaled value.
+pub(crate) fn round_filters(filters: u32, width: f64) -> u32 {
+    const DIV: u32 = 8;
+    let scaled = filters as f64 * width;
+    let mut new = ((scaled + DIV as f64 / 2.0) as u32 / DIV) * DIV;
+    new = new.max(DIV);
+    if (new as f64) < 0.9 * scaled {
+        new += DIV;
+    }
+    new
+}
+
+/// Keras `round_repeats`: ceil of the scaled repeat count.
+pub(crate) fn round_repeats(repeats: u32, depth: f64) -> u32 {
+    (repeats as f64 * depth).ceil() as u32
+}
+
+fn bn(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    b.layer(Layer::BatchNorm(BatchNorm::default()), &[x])
+}
+
+fn swish(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    b.layer(Layer::Activation(ActKind::Swish), &[x])
+}
+
+/// One MBConv block. `f_in`/`f_out` are already width-rounded.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    f_in: u32,
+    f_out: u32,
+    kernel: u32,
+    stride: u32,
+    expand: u32,
+) -> NodeId {
+    let expanded = f_in * expand;
+    let mut y = x;
+    if expand != 1 {
+        y = b.layer(
+            Layer::Conv2d(Conv2d::new(expanded, 1, 1, Padding::Same).no_bias()),
+            &[y],
+        );
+        y = bn(b, y);
+        y = swish(b, y);
+    }
+    y = b.layer(
+        Layer::DepthwiseConv2d(
+            DepthwiseConv2d::new(kernel, stride, Padding::Same).no_bias(),
+        ),
+        &[y],
+    );
+    y = bn(b, y);
+    y = swish(b, y);
+    // SE bottleneck width derives from the block *input* filters.
+    let se_c = (f_in / 4).max(1);
+    y = se_block(b, y, expanded, se_c, ActKind::Swish);
+    y = b.layer(
+        Layer::Conv2d(Conv2d::new(f_out, 1, 1, Padding::Same).no_bias()),
+        &[y],
+    );
+    y = bn(b, y);
+    if stride == 1 && f_in == f_out {
+        y = b.layer(Layer::Dropout { rate: 0.2 }, &[y]);
+        y = b.layer(Layer::Add, &[x, y]);
+    }
+    y
+}
+
+/// Build EfficientNet B`variant` (0..=7).
+pub fn efficientnet(variant: usize) -> ModelGraph {
+    assert!(variant <= 7, "EfficientNet variants are B0..B7");
+    let (width, depth, res) = COEFFS[variant];
+    let name = format!("efficientnetb{variant}");
+    // Nominal depths as reported in the paper's Table I.
+    let nominal = [240, 342, 342, 387, 477, 579, 669, 816][variant];
+    let mut b = GraphBuilder::new(name, nominal);
+    let x = b.input(TensorShape::square(res, 3));
+    // Stem
+    let stem_c = round_filters(32, width);
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(stem_c, 3, 2, Padding::Same).no_bias()),
+        &[x],
+    );
+    let x = bn(&mut b, x);
+    let mut x = swish(&mut b, x);
+    // Blocks
+    for (kernel, repeats, f_in, f_out, expand, stride) in BLOCKS {
+        let f_in = round_filters(f_in, width);
+        let f_out = round_filters(f_out, width);
+        let repeats = round_repeats(repeats, depth);
+        for i in 0..repeats {
+            let (fi, s) = if i == 0 { (f_in, stride) } else { (f_out, 1) };
+            x = mbconv(&mut b, x, fi, f_out, kernel, s, expand);
+        }
+    }
+    // Head
+    let head_c = round_filters(1280, width);
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(head_c, 1, 1, Padding::Same).no_bias()),
+        &[x],
+    );
+    let x = bn(&mut b, x);
+    let x = swish(&mut b, x);
+    let x = b.layer(
+        Layer::GlobalPool {
+            kind: PoolKind::Avg,
+        },
+        &[x],
+    );
+    let x = b.layer(Layer::Dropout { rate: 0.2 }, &[x]);
+    let x = b.layer(Layer::Dense(Dense::new(1000)), &[x]);
+    let x = b.layer(Layer::Activation(ActKind::Softmax), &[x]);
+    b.finish(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+
+    #[test]
+    fn round_filters_matches_keras() {
+        assert_eq!(round_filters(32, 1.0), 32);
+        assert_eq!(round_filters(32, 1.1), 32); // 35.2 -> 32 (>= 0.9*35.2)
+        assert_eq!(round_filters(32, 1.2), 40); // 38.4 -> 40
+        assert_eq!(round_filters(16, 1.4), 24); // 22.4 -> 24
+        assert_eq!(round_filters(1280, 2.0), 2560);
+    }
+
+    #[test]
+    fn round_repeats_is_ceil() {
+        assert_eq!(round_repeats(1, 1.0), 1);
+        assert_eq!(round_repeats(2, 1.1), 3);
+        assert_eq!(round_repeats(4, 3.1), 13);
+    }
+
+    #[test]
+    fn b0_params_match_keras_and_paper() {
+        let s = analyze(&efficientnet(0)).unwrap();
+        assert_eq!(s.trainable_params, 5_288_548); // == paper Table I
+    }
+
+    #[test]
+    fn larger_variants_grow_monotonically() {
+        let mut prev = 0u64;
+        for v in 0..=7 {
+            let p = analyze(&efficientnet(v)).unwrap().trainable_params;
+            assert!(p > prev, "B{v} ({p}) not larger than predecessor ({prev})");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn b7_params_close_to_paper() {
+        let s = analyze(&efficientnet(7)).unwrap();
+        let paper = 66_347_960f64;
+        let rel = (s.trainable_params as f64 - paper).abs() / paper;
+        assert!(rel < 0.02, "B7 params {} vs paper {paper}", s.trainable_params);
+    }
+
+    #[test]
+    #[should_panic(expected = "B0..B7")]
+    fn variant_out_of_range_panics() {
+        let _ = efficientnet(8);
+    }
+}

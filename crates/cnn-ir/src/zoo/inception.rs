@@ -1,0 +1,257 @@
+//! Inception-V3 (Szegedy et al., 2016) and Inception-ResNet-V2 (Szegedy et
+//! al., 2017), Keras layouts. Both use bias-free convolutions with
+//! scale-free batch norm (`conv2d_bn`), except the residual "up" projections
+//! in Inception-ResNet which are biased linear convolutions.
+
+use super::common::{classifier_head, conv_bn_relu_noscale as cbr};
+use crate::graph::{GraphBuilder, ModelGraph, NodeId};
+use crate::layer::{ActKind, Conv2d, Layer, Pool2d};
+use crate::shape::{Padding, TensorShape};
+
+const V: Padding = Padding::Valid;
+const S: Padding = Padding::Same;
+
+fn maxpool32(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    b.layer(Layer::Pool2d(Pool2d::max(3, 2, V)), &[x])
+}
+
+fn avgpool31(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    b.layer(Layer::Pool2d(Pool2d::avg(3, 1, S)), &[x])
+}
+
+/// Shared stem of both architectures (299x299x3 -> 35x35x192).
+fn stem(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let x = cbr(b, x, 32, 3, 3, 2, V);
+    let x = cbr(b, x, 32, 3, 3, 1, V);
+    let x = cbr(b, x, 64, 3, 3, 1, S);
+    let x = maxpool32(b, x);
+    let x = cbr(b, x, 80, 1, 1, 1, V);
+    let x = cbr(b, x, 192, 3, 3, 1, V);
+    maxpool32(b, x)
+}
+
+/// Inception-A module of V3 (`mixed0..2`), `pool_c` is the pool branch width.
+fn v3_block_a(b: &mut GraphBuilder, x: NodeId, pool_c: u32) -> NodeId {
+    let b1 = cbr(b, x, 64, 1, 1, 1, S);
+    let b5 = cbr(b, x, 48, 1, 1, 1, S);
+    let b5 = cbr(b, b5, 64, 5, 5, 1, S);
+    let b3 = cbr(b, x, 64, 1, 1, 1, S);
+    let b3 = cbr(b, b3, 96, 3, 3, 1, S);
+    let b3 = cbr(b, b3, 96, 3, 3, 1, S);
+    let bp = avgpool31(b, x);
+    let bp = cbr(b, bp, pool_c, 1, 1, 1, S);
+    b.layer(Layer::Concat, &[b1, b5, b3, bp])
+}
+
+/// Inception-B module of V3 (`mixed4..7`), `c` is the 7x1/1x7 channel width.
+fn v3_block_b(b: &mut GraphBuilder, x: NodeId, c: u32) -> NodeId {
+    let b1 = cbr(b, x, 192, 1, 1, 1, S);
+    let b7 = cbr(b, x, c, 1, 1, 1, S);
+    let b7 = cbr(b, b7, c, 1, 7, 1, S);
+    let b7 = cbr(b, b7, 192, 7, 1, 1, S);
+    let bd = cbr(b, x, c, 1, 1, 1, S);
+    let bd = cbr(b, bd, c, 7, 1, 1, S);
+    let bd = cbr(b, bd, c, 1, 7, 1, S);
+    let bd = cbr(b, bd, c, 7, 1, 1, S);
+    let bd = cbr(b, bd, 192, 1, 7, 1, S);
+    let bp = avgpool31(b, x);
+    let bp = cbr(b, bp, 192, 1, 1, 1, S);
+    b.layer(Layer::Concat, &[b1, b7, bd, bp])
+}
+
+/// Inception-C module of V3 (`mixed9`, `mixed10`) with split branches.
+fn v3_block_c(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let b1 = cbr(b, x, 320, 1, 1, 1, S);
+    let b3 = cbr(b, x, 384, 1, 1, 1, S);
+    let b3a = cbr(b, b3, 384, 1, 3, 1, S);
+    let b3b = cbr(b, b3, 384, 3, 1, 1, S);
+    let b3 = b.layer(Layer::Concat, &[b3a, b3b]);
+    let bd = cbr(b, x, 448, 1, 1, 1, S);
+    let bd = cbr(b, bd, 384, 3, 3, 1, S);
+    let bda = cbr(b, bd, 384, 1, 3, 1, S);
+    let bdb = cbr(b, bd, 384, 3, 1, 1, S);
+    let bd = b.layer(Layer::Concat, &[bda, bdb]);
+    let bp = avgpool31(b, x);
+    let bp = cbr(b, bp, 192, 1, 1, 1, S);
+    b.layer(Layer::Concat, &[b1, b3, bd, bp])
+}
+
+pub fn inception_v3() -> ModelGraph {
+    let mut b = GraphBuilder::new("inceptionv3", 48);
+    let x = b.input(TensorShape::square(299, 3));
+    let x = stem(&mut b, x);
+    // 35x35 modules
+    let x = v3_block_a(&mut b, x, 32); // mixed0 -> 256
+    let x = v3_block_a(&mut b, x, 64); // mixed1 -> 288
+    let x = v3_block_a(&mut b, x, 64); // mixed2 -> 288
+    // mixed3: reduction to 17x17x768
+    let r3 = cbr(&mut b, x, 384, 3, 3, 2, V);
+    let rd = cbr(&mut b, x, 64, 1, 1, 1, S);
+    let rd = cbr(&mut b, rd, 96, 3, 3, 1, S);
+    let rd = cbr(&mut b, rd, 96, 3, 3, 2, V);
+    let rp = maxpool32(&mut b, x);
+    let x = b.layer(Layer::Concat, &[r3, rd, rp]);
+    // 17x17 modules
+    let x = v3_block_b(&mut b, x, 128); // mixed4
+    let x = v3_block_b(&mut b, x, 160); // mixed5
+    let x = v3_block_b(&mut b, x, 160); // mixed6
+    let x = v3_block_b(&mut b, x, 192); // mixed7
+    // mixed8: reduction to 8x8x1280
+    let r3 = cbr(&mut b, x, 192, 1, 1, 1, S);
+    let r3 = cbr(&mut b, r3, 320, 3, 3, 2, V);
+    let r7 = cbr(&mut b, x, 192, 1, 1, 1, S);
+    let r7 = cbr(&mut b, r7, 192, 1, 7, 1, S);
+    let r7 = cbr(&mut b, r7, 192, 7, 1, 1, S);
+    let r7 = cbr(&mut b, r7, 192, 3, 3, 2, V);
+    let rp = maxpool32(&mut b, x);
+    let x = b.layer(Layer::Concat, &[r3, r7, rp]);
+    // 8x8 modules
+    let x = v3_block_c(&mut b, x); // mixed9 -> 2048
+    let x = v3_block_c(&mut b, x); // mixed10
+    let x = classifier_head(&mut b, x, 1000);
+    b.finish(x)
+}
+
+/// Biased linear 1x1 projection used by Inception-ResNet residual branches.
+fn up_proj(b: &mut GraphBuilder, x: NodeId, out_c: u32) -> NodeId {
+    b.layer(Layer::Conv2d(Conv2d::new(out_c, 1, 1, S)), &[x])
+}
+
+/// Inception-ResNet residual block. The constant residual scaling (0.17 /
+/// 0.1 / 0.2) affects values only, so the IR models the merge as `Add`.
+fn irv2_block35(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let b0 = cbr(b, x, 32, 1, 1, 1, S);
+    let b1 = cbr(b, x, 32, 1, 1, 1, S);
+    let b1 = cbr(b, b1, 32, 3, 3, 1, S);
+    let b2 = cbr(b, x, 32, 1, 1, 1, S);
+    let b2 = cbr(b, b2, 48, 3, 3, 1, S);
+    let b2 = cbr(b, b2, 64, 3, 3, 1, S);
+    let mixed = b.layer(Layer::Concat, &[b0, b1, b2]);
+    let up = up_proj(b, mixed, 320);
+    let y = b.layer(Layer::Add, &[x, up]);
+    b.layer(Layer::Activation(ActKind::Relu), &[y])
+}
+
+fn irv2_block17(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let b0 = cbr(b, x, 192, 1, 1, 1, S);
+    let b1 = cbr(b, x, 128, 1, 1, 1, S);
+    let b1 = cbr(b, b1, 160, 1, 7, 1, S);
+    let b1 = cbr(b, b1, 192, 7, 1, 1, S);
+    let mixed = b.layer(Layer::Concat, &[b0, b1]);
+    let up = up_proj(b, mixed, 1088);
+    let y = b.layer(Layer::Add, &[x, up]);
+    b.layer(Layer::Activation(ActKind::Relu), &[y])
+}
+
+fn irv2_block8(b: &mut GraphBuilder, x: NodeId, relu_out: bool) -> NodeId {
+    let b0 = cbr(b, x, 192, 1, 1, 1, S);
+    let b1 = cbr(b, x, 192, 1, 1, 1, S);
+    let b1 = cbr(b, b1, 224, 1, 3, 1, S);
+    let b1 = cbr(b, b1, 256, 3, 1, 1, S);
+    let mixed = b.layer(Layer::Concat, &[b0, b1]);
+    let up = up_proj(b, mixed, 2080);
+    let y = b.layer(Layer::Add, &[x, up]);
+    if relu_out {
+        b.layer(Layer::Activation(ActKind::Relu), &[y])
+    } else {
+        y
+    }
+}
+
+pub fn inception_resnet_v2() -> ModelGraph {
+    let mut b = GraphBuilder::new("InceptionResNetV2", 164);
+    let x = b.input(TensorShape::square(299, 3));
+    let x = stem(&mut b, x);
+    // mixed 5b (Inception-A) -> 35x35x320
+    let b0 = cbr(&mut b, x, 96, 1, 1, 1, S);
+    let b1 = cbr(&mut b, x, 48, 1, 1, 1, S);
+    let b1 = cbr(&mut b, b1, 64, 5, 5, 1, S);
+    let b2 = cbr(&mut b, x, 64, 1, 1, 1, S);
+    let b2 = cbr(&mut b, b2, 96, 3, 3, 1, S);
+    let b2 = cbr(&mut b, b2, 96, 3, 3, 1, S);
+    let bp = avgpool31(&mut b, x);
+    let bp = cbr(&mut b, bp, 64, 1, 1, 1, S);
+    let mut x = b.layer(Layer::Concat, &[b0, b1, b2, bp]);
+    // 10x block35
+    for _ in 0..10 {
+        x = irv2_block35(&mut b, x);
+    }
+    // mixed 6a (Reduction-A) -> 17x17x1088
+    let r0 = cbr(&mut b, x, 384, 3, 3, 2, V);
+    let r1 = cbr(&mut b, x, 256, 1, 1, 1, S);
+    let r1 = cbr(&mut b, r1, 256, 3, 3, 1, S);
+    let r1 = cbr(&mut b, r1, 384, 3, 3, 2, V);
+    let rp = maxpool32(&mut b, x);
+    let mut x = b.layer(Layer::Concat, &[r0, r1, rp]);
+    // 20x block17
+    for _ in 0..20 {
+        x = irv2_block17(&mut b, x);
+    }
+    // mixed 7a (Reduction-B) -> 8x8x2080
+    let r0 = cbr(&mut b, x, 256, 1, 1, 1, S);
+    let r0 = cbr(&mut b, r0, 384, 3, 3, 2, V);
+    let r1 = cbr(&mut b, x, 256, 1, 1, 1, S);
+    let r1 = cbr(&mut b, r1, 288, 3, 3, 2, V);
+    let r2 = cbr(&mut b, x, 256, 1, 1, 1, S);
+    let r2 = cbr(&mut b, r2, 288, 3, 3, 1, S);
+    let r2 = cbr(&mut b, r2, 320, 3, 3, 2, V);
+    let rp = maxpool32(&mut b, x);
+    let mut x = b.layer(Layer::Concat, &[r0, r1, r2, rp]);
+    // 9x block8 + final linear block8
+    for _ in 0..9 {
+        x = irv2_block8(&mut b, x, true);
+    }
+    let x = irv2_block8(&mut b, x, false);
+    // conv_7b
+    let x = cbr(&mut b, x, 1536, 1, 1, 1, S);
+    let x = classifier_head(&mut b, x, 1000);
+    b.finish(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use crate::shape::TensorShape;
+
+    #[test]
+    fn v3_params_match_keras_and_paper() {
+        let s = analyze(&inception_v3()).unwrap();
+        assert_eq!(s.trainable_params, 23_817_352); // == paper Table I
+        assert_eq!(s.total_params(), 23_851_784); // == Keras total
+    }
+
+    #[test]
+    fn irv2_params_match_keras_and_paper() {
+        let s = analyze(&inception_resnet_v2()).unwrap();
+        assert_eq!(s.trainable_params, 55_813_192); // == paper Table I
+        assert_eq!(s.total_params(), 55_873_736); // == Keras total
+    }
+
+    #[test]
+    fn v3_stage_shapes() {
+        let g = inception_v3();
+        let shapes = g.infer_shapes().unwrap();
+        for want in [
+            TensorShape::hwc(35, 35, 288),
+            TensorShape::hwc(17, 17, 768),
+            TensorShape::hwc(8, 8, 2048),
+        ] {
+            assert!(shapes.contains(&want), "missing stage shape {want}");
+        }
+    }
+
+    #[test]
+    fn irv2_stage_shapes() {
+        let g = inception_resnet_v2();
+        let shapes = g.infer_shapes().unwrap();
+        for want in [
+            TensorShape::hwc(35, 35, 320),
+            TensorShape::hwc(17, 17, 1088),
+            TensorShape::hwc(8, 8, 2080),
+            TensorShape::hwc(8, 8, 1536),
+        ] {
+            assert!(shapes.contains(&want), "missing stage shape {want}");
+        }
+    }
+}

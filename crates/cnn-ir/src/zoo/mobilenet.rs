@@ -1,0 +1,201 @@
+//! MobileNet v1 (Howard et al., 2017) and MobileNetV2 (Sandler et al., 2018),
+//! Keras layouts with width multiplier 1.0.
+
+use crate::graph::{GraphBuilder, ModelGraph, NodeId};
+use crate::layer::{
+    ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, PoolKind,
+};
+use crate::shape::{Padding, TensorShape};
+
+fn bn(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    b.layer(Layer::BatchNorm(BatchNorm::default()), &[x])
+}
+
+fn relu6(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    b.layer(Layer::Activation(ActKind::Relu6), &[x])
+}
+
+/// MobileNet v1 depthwise-separable block.
+fn dw_sep_block(b: &mut GraphBuilder, x: NodeId, out_c: u32, stride: u32) -> NodeId {
+    let x = b.layer(
+        Layer::DepthwiseConv2d(DepthwiseConv2d::new(3, stride, Padding::Same).no_bias()),
+        &[x],
+    );
+    let x = bn(b, x);
+    let x = relu6(b, x);
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(out_c, 1, 1, Padding::Same).no_bias()),
+        &[x],
+    );
+    let x = bn(b, x);
+    relu6(b, x)
+}
+
+pub fn mobilenet_v1() -> ModelGraph {
+    let mut b = GraphBuilder::new("mobilenet", 28);
+    let x = b.input(TensorShape::square(224, 3));
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(32, 3, 2, Padding::Same).no_bias()),
+        &[x],
+    );
+    let x = bn(&mut b, x);
+    let mut x = relu6(&mut b, x);
+    // (out_channels, stride) for the 13 separable blocks
+    let cfg: [(u32, u32); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (c, s) in cfg {
+        x = dw_sep_block(&mut b, x, c, s);
+    }
+    // Keras head: GAP -> dropout -> 1x1 conv classifier (with bias) -> softmax
+    let x = b.layer(
+        Layer::GlobalPool {
+            kind: PoolKind::Avg,
+        },
+        &[x],
+    );
+    let x = b.layer(Layer::Dropout { rate: 1e-3 }, &[x]);
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(1000, 1, 1, Padding::Same)),
+        &[x],
+    );
+    let x = b.layer(Layer::Activation(ActKind::Softmax), &[x]);
+    b.finish(x)
+}
+
+/// MobileNetV2 inverted residual. `expand` is the expansion factor `t`.
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_c: u32,
+    out_c: u32,
+    stride: u32,
+    expand: u32,
+) -> NodeId {
+    let mut y = x;
+    if expand != 1 {
+        y = b.layer(
+            Layer::Conv2d(Conv2d::new(in_c * expand, 1, 1, Padding::Same).no_bias()),
+            &[y],
+        );
+        y = bn(b, y);
+        y = relu6(b, y);
+    }
+    y = b.layer(
+        Layer::DepthwiseConv2d(DepthwiseConv2d::new(3, stride, Padding::Same).no_bias()),
+        &[y],
+    );
+    y = bn(b, y);
+    y = relu6(b, y);
+    y = b.layer(
+        Layer::Conv2d(Conv2d::new(out_c, 1, 1, Padding::Same).no_bias()),
+        &[y],
+    );
+    y = bn(b, y);
+    if stride == 1 && in_c == out_c {
+        y = b.layer(Layer::Add, &[x, y]);
+    }
+    y
+}
+
+pub fn mobilenet_v2() -> ModelGraph {
+    let mut b = GraphBuilder::new("MobileNetV2", 53);
+    let x = b.input(TensorShape::square(224, 3));
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(32, 3, 2, Padding::Same).no_bias()),
+        &[x],
+    );
+    let x = bn(&mut b, x);
+    let mut x = relu6(&mut b, x);
+    // (t, c, n, s)
+    let cfg: [(u32, u32, u32, u32); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut in_c = 32u32;
+    for (t, c, n, s) in cfg {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            x = inverted_residual(&mut b, x, in_c, c, stride, t);
+            in_c = c;
+        }
+    }
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(1280, 1, 1, Padding::Same).no_bias()),
+        &[x],
+    );
+    let x = bn(&mut b, x);
+    let x = relu6(&mut b, x);
+    let x = b.layer(
+        Layer::GlobalPool {
+            kind: PoolKind::Avg,
+        },
+        &[x],
+    );
+    let x = b.layer(Layer::Dense(Dense::new(1000)), &[x]);
+    let x = b.layer(Layer::Activation(ActKind::Softmax), &[x]);
+    b.finish(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+
+    #[test]
+    fn v1_params_match_keras_and_paper() {
+        let s = analyze(&mobilenet_v1()).unwrap();
+        assert_eq!(s.trainable_params, 4_231_976); // == paper Table I
+        assert_eq!(s.total_params(), 4_253_864); // == Keras total
+    }
+
+    #[test]
+    fn v2_params_match_keras_and_paper() {
+        let s = analyze(&mobilenet_v2()).unwrap();
+        assert_eq!(s.trainable_params, 3_504_872); // == paper Table I
+        assert_eq!(s.total_params(), 3_538_984); // == Keras total
+    }
+
+    #[test]
+    fn v2_residuals_only_on_matching_shapes() {
+        let g = mobilenet_v2();
+        // every Add node must have two same-shaped inputs (checked by shape
+        // inference succeeding) and MobileNetV2 has exactly 10 of them
+        let adds = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer, Layer::Add))
+            .count();
+        assert_eq!(adds, 10);
+    }
+
+    #[test]
+    fn v1_final_map_is_7x7x1024() {
+        let g = mobilenet_v1();
+        let shapes = g.infer_shapes().unwrap();
+        let gap = g
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.layer, Layer::GlobalPool { .. }))
+            .unwrap();
+        let pre = g.nodes()[gap].inputs[0];
+        assert_eq!(shapes[pre.index()], TensorShape::hwc(7, 7, 1024));
+    }
+}

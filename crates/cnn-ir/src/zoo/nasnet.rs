@@ -1,0 +1,260 @@
+//! NASNet-A Mobile and Large (Zoph et al., 2018), following the Keras
+//! implementation: stacked normal cells separated by reduction cells, with
+//! twice-applied separable convolutions and the factorized-reduction
+//! "adjust" path between cells.
+
+use crate::graph::{GraphBuilder, ModelGraph, NodeId};
+use crate::layer::{
+    ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, Pool2d, PoolKind,
+};
+use crate::shape::{Padding, TensorShape};
+
+fn bn(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    b.layer(Layer::BatchNorm(BatchNorm::default()), &[x])
+}
+
+fn relu(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    b.layer(Layer::Activation(ActKind::Relu), &[x])
+}
+
+/// Bias-free separable conv (depthwise + pointwise), as in Keras NASNet.
+fn sep(b: &mut GraphBuilder, x: NodeId, f: u32, k: u32, s: u32) -> NodeId {
+    let x = b.layer(
+        Layer::DepthwiseConv2d(DepthwiseConv2d::new(k, s, Padding::Same).no_bias()),
+        &[x],
+    );
+    b.layer(
+        Layer::Conv2d(Conv2d::new(f, 1, 1, Padding::Same).no_bias()),
+        &[x],
+    )
+}
+
+/// NASNet `_separable_conv_block`: the separable conv applied twice with
+/// BN-ReLU in between; only the first application may be strided.
+fn sep_block(b: &mut GraphBuilder, x: NodeId, f: u32, k: u32, s: u32) -> NodeId {
+    let x = relu(b, x);
+    let x = sep(b, x, f, k, s);
+    let x = bn(b, x);
+    let x = relu(b, x);
+    let x = sep(b, x, f, k, 1);
+    bn(b, x)
+}
+
+/// NASNet `_adjust_block`: reconcile the previous hidden state `p` with the
+/// current input `ip` (spatial via factorized reduction, channels via a 1x1
+/// projection).
+fn adjust(
+    b: &mut GraphBuilder,
+    p: NodeId,
+    ip: NodeId,
+    f: u32,
+    shapes: &dyn Fn(&GraphBuilder, NodeId) -> TensorShape,
+) -> NodeId {
+    let ps = shapes(b, p);
+    let ips = shapes(b, ip);
+    if ps.h != ips.h {
+        // factorized reduction: two stride-2 1x1-pool+conv paths, concatenated
+        let pr = relu(b, p);
+        let p1 = b.layer(Layer::Pool2d(Pool2d::avg(1, 2, Padding::Valid)), &[pr]);
+        let p1 = b.layer(
+            Layer::Conv2d(Conv2d::new(f / 2, 1, 1, Padding::Same).no_bias()),
+            &[p1],
+        );
+        let p2 = b.layer(Layer::Pool2d(Pool2d::avg(1, 2, Padding::Valid)), &[pr]);
+        let p2 = b.layer(
+            Layer::Conv2d(Conv2d::new(f - f / 2, 1, 1, Padding::Same).no_bias()),
+            &[p2],
+        );
+        let p = b.layer(Layer::Concat, &[p1, p2]);
+        bn(b, p)
+    } else if ps.c != f {
+        let p = relu(b, p);
+        let p = b.layer(
+            Layer::Conv2d(Conv2d::new(f, 1, 1, Padding::Same).no_bias()),
+            &[p],
+        );
+        bn(b, p)
+    } else {
+        p
+    }
+}
+
+/// Shared "squeeze" at the start of every cell: ReLU + 1x1 conv + BN.
+fn squeeze(b: &mut GraphBuilder, x: NodeId, f: u32) -> NodeId {
+    let x = relu(b, x);
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(f, 1, 1, Padding::Same).no_bias()),
+        &[x],
+    );
+    bn(b, x)
+}
+
+struct CellIo {
+    x: NodeId,
+    p: NodeId,
+}
+
+/// NASNet-A normal cell. Returns (output, new previous == ip).
+fn normal_cell(
+    b: &mut GraphBuilder,
+    ip: NodeId,
+    p: NodeId,
+    f: u32,
+    shapes: &dyn Fn(&GraphBuilder, NodeId) -> TensorShape,
+) -> CellIo {
+    let p = adjust(b, p, ip, f, shapes);
+    let h = squeeze(b, ip, f);
+    let x1a = sep_block(b, h, f, 5, 1);
+    let x1b = sep_block(b, p, f, 3, 1);
+    let x1 = b.layer(Layer::Add, &[x1a, x1b]);
+    let x2a = sep_block(b, p, f, 5, 1);
+    let x2b = sep_block(b, p, f, 3, 1);
+    let x2 = b.layer(Layer::Add, &[x2a, x2b]);
+    let x3a = b.layer(Layer::Pool2d(Pool2d::avg(3, 1, Padding::Same)), &[h]);
+    let x3 = b.layer(Layer::Add, &[x3a, p]);
+    let x4a = b.layer(Layer::Pool2d(Pool2d::avg(3, 1, Padding::Same)), &[p]);
+    let x4b = b.layer(Layer::Pool2d(Pool2d::avg(3, 1, Padding::Same)), &[p]);
+    let x4 = b.layer(Layer::Add, &[x4a, x4b]);
+    let x5a = sep_block(b, h, f, 3, 1);
+    let x5 = b.layer(Layer::Add, &[x5a, h]);
+    let out = b.layer(Layer::Concat, &[p, x1, x2, x3, x4, x5]);
+    CellIo { x: out, p: ip }
+}
+
+/// NASNet-A reduction cell (halves spatial extent, 4f output channels).
+fn reduction_cell(
+    b: &mut GraphBuilder,
+    ip: NodeId,
+    p: NodeId,
+    f: u32,
+    shapes: &dyn Fn(&GraphBuilder, NodeId) -> TensorShape,
+) -> CellIo {
+    let p = adjust(b, p, ip, f, shapes);
+    let h = squeeze(b, ip, f);
+    let x1a = sep_block(b, h, f, 5, 2);
+    let x1b = sep_block(b, p, f, 7, 2);
+    let x1 = b.layer(Layer::Add, &[x1a, x1b]);
+    let x2a = b.layer(Layer::Pool2d(Pool2d::max(3, 2, Padding::Same)), &[h]);
+    let x2b = sep_block(b, p, f, 7, 2);
+    let x2 = b.layer(Layer::Add, &[x2a, x2b]);
+    let x3a = b.layer(Layer::Pool2d(Pool2d::avg(3, 2, Padding::Same)), &[h]);
+    let x3b = sep_block(b, p, f, 5, 2);
+    let x3 = b.layer(Layer::Add, &[x3a, x3b]);
+    let x4a = b.layer(Layer::Pool2d(Pool2d::avg(3, 1, Padding::Same)), &[x1]);
+    let x4 = b.layer(Layer::Add, &[x2, x4a]);
+    let x5a = sep_block(b, x1, f, 3, 1);
+    let x5b = b.layer(Layer::Pool2d(Pool2d::max(3, 2, Padding::Same)), &[h]);
+    let x5 = b.layer(Layer::Add, &[x5a, x5b]);
+    let out = b.layer(Layer::Concat, &[x2, x3, x4, x5]);
+    CellIo { x: out, p: ip }
+}
+
+/// Build a NASNet-A model. `filters` is `penultimate_filters / 24`.
+fn nasnet(
+    name: &str,
+    nominal: u32,
+    input: u32,
+    stem_filters: u32,
+    filters: u32,
+    num_blocks: u32,
+) -> ModelGraph {
+    let mut b = GraphBuilder::new(name, nominal);
+    let input_id = b.input(TensorShape::square(input, 3));
+
+    // Shape oracle: recompute shapes incrementally as the graph grows.
+    // Graphs stay modest (<2k nodes) so a full re-inference per adjust call
+    // is acceptable at build time and keeps the builder simple.
+    let shapes = |builder: &GraphBuilder, id: NodeId| -> TensorShape {
+        // Reconstruct shapes via a temporary walk of the builder's nodes.
+        builder.peek_shapes()[id.index()]
+    };
+
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(stem_filters, 3, 2, Padding::Valid).no_bias()),
+        &[input_id],
+    );
+    let x = bn(&mut b, x);
+
+    let mut io = reduction_cell(&mut b, x, x, filters / 4, &shapes);
+    io = reduction_cell(&mut b, io.x, io.p, filters / 2, &shapes);
+    for _ in 0..num_blocks {
+        io = normal_cell(&mut b, io.x, io.p, filters, &shapes);
+    }
+    io = reduction_cell(&mut b, io.x, io.p, filters * 2, &shapes);
+    for _ in 0..num_blocks {
+        io = normal_cell(&mut b, io.x, io.p, filters * 2, &shapes);
+    }
+    io = reduction_cell(&mut b, io.x, io.p, filters * 4, &shapes);
+    for _ in 0..num_blocks {
+        io = normal_cell(&mut b, io.x, io.p, filters * 4, &shapes);
+    }
+
+    let x = relu(&mut b, io.x);
+    let x = b.layer(
+        Layer::GlobalPool {
+            kind: PoolKind::Avg,
+        },
+        &[x],
+    );
+    let x = b.layer(Layer::Dense(Dense::new(1000)), &[x]);
+    let x = b.layer(Layer::Activation(ActKind::Softmax), &[x]);
+    b.finish(x)
+}
+
+pub fn nasnet_mobile() -> ModelGraph {
+    nasnet("nasnetmobile", 771, 224, 32, 44, 4)
+}
+
+pub fn nasnet_large() -> ModelGraph {
+    nasnet("nasnetlarge", 1041, 331, 96, 168, 6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+
+    #[test]
+    fn mobile_params_close_to_paper() {
+        let s = analyze(&nasnet_mobile()).unwrap();
+        let paper = 5_289_978f64;
+        let rel = (s.trainable_params as f64 - paper).abs() / paper;
+        assert!(
+            rel < 0.10,
+            "nasnetmobile params {} vs paper {paper} (rel {rel:.3})",
+            s.trainable_params
+        );
+    }
+
+    #[test]
+    fn large_params_close_to_paper() {
+        let s = analyze(&nasnet_large()).unwrap();
+        let paper = 88_753_150f64;
+        let rel = (s.trainable_params as f64 - paper).abs() / paper;
+        assert!(
+            rel < 0.10,
+            "nasnetlarge params {} vs paper {paper} (rel {rel:.3})",
+            s.trainable_params
+        );
+    }
+
+    #[test]
+    fn mobile_penultimate_channels() {
+        // 6 * 44 * 4 = 1056 penultimate filters
+        let g = nasnet_mobile();
+        let shapes = g.infer_shapes().unwrap();
+        let gap = g
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.layer, Layer::GlobalPool { .. }))
+            .unwrap();
+        let pre = g.nodes()[gap].inputs[0];
+        assert_eq!(shapes[pre.index()].c, 1056);
+    }
+
+    #[test]
+    fn graphs_are_deep() {
+        assert!(nasnet_mobile().len() > 500);
+        assert!(nasnet_large().len() > 700);
+    }
+}

@@ -1,0 +1,261 @@
+//! ResNet v1 (He et al., 2015) and ResNet v2 (pre-activation, He et al.,
+//! 2016), following the Keras `applications` implementations the paper
+//! profiled (biased convolutions in v1, mixed bias policy in v2).
+
+use super::common::{bn_relu, classifier_head, padded_maxpool_3x3_s2};
+use crate::graph::{GraphBuilder, ModelGraph, NodeId};
+use crate::layer::{ActKind, BatchNorm, Conv2d, Layer, Pool2d};
+use crate::shape::{Padding, TensorShape};
+
+/// Biased conv + BN (Keras ResNet v1 convention).
+fn conv_bn_biased(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_c: u32,
+    k: u32,
+    s: u32,
+    pad: Padding,
+) -> NodeId {
+    let x = b.layer(Layer::Conv2d(Conv2d::new(out_c, k, s, pad)), &[x]);
+    b.layer(Layer::BatchNorm(BatchNorm::default()), &[x])
+}
+
+/// One v1 bottleneck block. `conv_shortcut` selects the projection shortcut
+/// used by the first block of every stack.
+fn block_v1(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    filters: u32,
+    stride: u32,
+    conv_shortcut: bool,
+) -> NodeId {
+    let shortcut = if conv_shortcut {
+        conv_bn_biased(b, x, 4 * filters, 1, stride, Padding::Same)
+    } else {
+        x
+    };
+    let y = conv_bn_biased(b, x, filters, 1, stride, Padding::Same);
+    let y = b.layer(Layer::Activation(ActKind::Relu), &[y]);
+    let y = conv_bn_biased(b, y, filters, 3, 1, Padding::Same);
+    let y = b.layer(Layer::Activation(ActKind::Relu), &[y]);
+    let y = conv_bn_biased(b, y, 4 * filters, 1, 1, Padding::Same);
+    let y = b.layer(Layer::Add, &[shortcut, y]);
+    b.layer(Layer::Activation(ActKind::Relu), &[y])
+}
+
+fn stack_v1(
+    b: &mut GraphBuilder,
+    mut x: NodeId,
+    filters: u32,
+    blocks: u32,
+    stride1: u32,
+) -> NodeId {
+    x = block_v1(b, x, filters, stride1, true);
+    for _ in 1..blocks {
+        x = block_v1(b, x, filters, 1, false);
+    }
+    x
+}
+
+fn resnet_v1(name: &str, depth: u32, blocks: [u32; 4]) -> ModelGraph {
+    let mut b = GraphBuilder::new(name, depth);
+    let x = b.input(TensorShape::square(224, 3));
+    let x = b.layer(
+        Layer::ZeroPad {
+            top: 3,
+            bottom: 3,
+            left: 3,
+            right: 3,
+        },
+        &[x],
+    );
+    let x = conv_bn_biased(&mut b, x, 64, 7, 2, Padding::Valid);
+    let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
+    let x = padded_maxpool_3x3_s2(&mut b, x);
+    let x = stack_v1(&mut b, x, 64, blocks[0], 1);
+    let x = stack_v1(&mut b, x, 128, blocks[1], 2);
+    let x = stack_v1(&mut b, x, 256, blocks[2], 2);
+    let x = stack_v1(&mut b, x, 512, blocks[3], 2);
+    let x = classifier_head(&mut b, x, 1000);
+    b.finish(x)
+}
+
+pub fn resnet50() -> ModelGraph {
+    resnet_v1("resnet50", 50, [3, 4, 6, 3])
+}
+
+pub fn resnet101() -> ModelGraph {
+    resnet_v1("resnet101", 101, [3, 4, 23, 3])
+}
+
+pub fn resnet152() -> ModelGraph {
+    resnet_v1("resnet152", 152, [3, 8, 36, 3])
+}
+
+/// One v2 pre-activation bottleneck block (Keras `block2`). The stack applies
+/// stride 2 at its *last* block.
+fn block_v2(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    filters: u32,
+    stride: u32,
+    conv_shortcut: bool,
+) -> NodeId {
+    let preact = bn_relu(b, x);
+    let shortcut = if conv_shortcut {
+        // projection applied to the pre-activated tensor, with bias
+        b.layer(
+            Layer::Conv2d(Conv2d::new(4 * filters, 1, stride, Padding::Same)),
+            &[preact],
+        )
+    } else if stride > 1 {
+        // subsample the identity path with a 1x1 max pool
+        b.layer(
+            Layer::Pool2d(Pool2d::max(1, stride, Padding::Valid)),
+            &[x],
+        )
+    } else {
+        x
+    };
+    let y = b.layer(
+        Layer::Conv2d(Conv2d::new(filters, 1, 1, Padding::Same).no_bias()),
+        &[preact],
+    );
+    let y = bn_relu(b, y);
+    let y = b.layer(
+        Layer::ZeroPad {
+            top: 1,
+            bottom: 1,
+            left: 1,
+            right: 1,
+        },
+        &[y],
+    );
+    let y = b.layer(
+        Layer::Conv2d(Conv2d::new(filters, 3, stride, Padding::Valid).no_bias()),
+        &[y],
+    );
+    let y = bn_relu(b, y);
+    let y = b.layer(
+        Layer::Conv2d(Conv2d::new(4 * filters, 1, 1, Padding::Same)),
+        &[y],
+    );
+    b.layer(Layer::Add, &[shortcut, y])
+}
+
+fn stack_v2(
+    b: &mut GraphBuilder,
+    mut x: NodeId,
+    filters: u32,
+    blocks: u32,
+    stride1: u32,
+) -> NodeId {
+    x = block_v2(b, x, filters, 1, true);
+    for _ in 1..blocks.saturating_sub(1) {
+        x = block_v2(b, x, filters, 1, false);
+    }
+    if blocks > 1 {
+        x = block_v2(b, x, filters, stride1, false);
+    }
+    x
+}
+
+fn resnet_v2(name: &str, depth: u32, blocks: [u32; 4]) -> ModelGraph {
+    let mut b = GraphBuilder::new(name, depth);
+    let x = b.input(TensorShape::square(224, 3));
+    let x = b.layer(
+        Layer::ZeroPad {
+            top: 3,
+            bottom: 3,
+            left: 3,
+            right: 3,
+        },
+        &[x],
+    );
+    // v2 stem conv keeps its bias and has no stem BN/ReLU.
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(64, 7, 2, Padding::Valid)),
+        &[x],
+    );
+    let x = padded_maxpool_3x3_s2(&mut b, x);
+    let x = stack_v2(&mut b, x, 64, blocks[0], 2);
+    let x = stack_v2(&mut b, x, 128, blocks[1], 2);
+    let x = stack_v2(&mut b, x, 256, blocks[2], 2);
+    let x = stack_v2(&mut b, x, 512, blocks[3], 1);
+    let x = bn_relu(&mut b, x); // post-activation before the head
+    let x = classifier_head(&mut b, x, 1000);
+    b.finish(x)
+}
+
+pub fn resnet50_v2() -> ModelGraph {
+    resnet_v2("resnet50v2", 50, [3, 4, 6, 3])
+}
+
+pub fn resnet101_v2() -> ModelGraph {
+    resnet_v2("resnet101v2", 101, [3, 4, 23, 3])
+}
+
+pub fn resnet152_v2() -> ModelGraph {
+    resnet_v2("resnet152v2", 152, [3, 8, 36, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+
+    #[test]
+    fn resnet50_params_match_keras() {
+        let s = analyze(&resnet50()).unwrap();
+        assert_eq!(s.trainable_params, 25_583_592);
+        assert_eq!(s.total_params(), 25_636_712);
+    }
+
+    #[test]
+    fn resnet101_params_match_keras_and_paper() {
+        let s = analyze(&resnet101()).unwrap();
+        assert_eq!(s.trainable_params, 44_601_832); // == paper Table I
+    }
+
+    #[test]
+    fn resnet152_params_match_keras_and_paper() {
+        let s = analyze(&resnet152()).unwrap();
+        assert_eq!(s.trainable_params, 60_268_520); // == paper Table I
+    }
+
+    #[test]
+    fn resnet_v2_params_match_keras_and_paper() {
+        assert_eq!(
+            analyze(&resnet50_v2()).unwrap().trainable_params,
+            25_568_360
+        );
+        assert_eq!(
+            analyze(&resnet101_v2()).unwrap().trainable_params,
+            44_577_896
+        );
+        assert_eq!(
+            analyze(&resnet152_v2()).unwrap().trainable_params,
+            60_236_904
+        );
+    }
+
+    #[test]
+    fn v1_downsamples_at_stack_start_v2_at_stack_end() {
+        let g1 = resnet50();
+        let s1 = g1.infer_shapes().unwrap();
+        assert_eq!(s1.last().unwrap().c, 1000);
+        // final feature map before GAP is 7x7x2048 in both variants
+        let g2 = resnet50_v2();
+        let s2 = g2.infer_shapes().unwrap();
+        let gap_in = |g: &crate::graph::ModelGraph, s: &[TensorShape]| {
+            let i = g
+                .nodes()
+                .iter()
+                .position(|n| matches!(n.layer, Layer::GlobalPool { .. }))
+                .unwrap();
+            s[g.nodes()[i].inputs[0].index()]
+        };
+        assert_eq!(gap_in(&g1, &s1), TensorShape::hwc(7, 7, 2048));
+        assert_eq!(gap_in(&g2, &s2), TensorShape::hwc(7, 7, 2048));
+    }
+}

@@ -1,0 +1,408 @@
+//! Variant architectures beyond the paper's Table I — the conclusion's
+//! future-work item "preparing more standard CNNs and variations of
+//! well-known CNNs ... to expand our training dataset".
+//!
+//! Implemented families: basic-block ResNets (ResNet-18/34), width-scaled
+//! Wide-ResNets, shallow VGGs (11/13), SqueezeNet 1.1 (fire modules),
+//! ShuffleNet v1-style units (grouped 1x1 convs + channel shuffle) and
+//! GoogLeNet (Inception v1).
+
+use super::common::{bn_relu, classifier_head, conv_bn_relu, padded_maxpool_3x3_s2};
+use crate::graph::{GraphBuilder, ModelGraph, NodeId};
+use crate::layer::{
+    ActKind, Conv2d, Dense, DepthwiseConv2d, Layer, Pool2d, PoolKind,
+};
+use crate::shape::{Padding, TensorShape};
+
+// ---------------------------------------------------------------------------
+// basic-block ResNets
+// ---------------------------------------------------------------------------
+
+/// Two-conv basic block (ResNet-18/34), post-activation layout.
+fn basic_block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    filters: u32,
+    stride: u32,
+    project: bool,
+) -> NodeId {
+    let shortcut = if project {
+        let s = b.layer(
+            Layer::Conv2d(Conv2d::new(filters, 1, stride, Padding::Same).no_bias()),
+            &[x],
+        );
+        b.layer(Layer::BatchNorm(Default::default()), &[s])
+    } else {
+        x
+    };
+    let y = conv_bn_relu(b, x, filters, 3, stride, Padding::Same);
+    let y = b.layer(
+        Layer::Conv2d(Conv2d::new(filters, 3, 1, Padding::Same).no_bias()),
+        &[y],
+    );
+    let y = b.layer(Layer::BatchNorm(Default::default()), &[y]);
+    let y = b.layer(Layer::Add, &[shortcut, y]);
+    b.layer(Layer::Activation(ActKind::Relu), &[y])
+}
+
+/// Basic-block ResNet with `width` scaling (width 1 = standard).
+pub fn resnet_basic(name: &str, depth: u32, blocks: [u32; 4], width: u32) -> ModelGraph {
+    let mut b = GraphBuilder::new(name, depth);
+    let x = b.input(TensorShape::square(224, 3));
+    let x = b.layer(
+        Layer::ZeroPad {
+            top: 3,
+            bottom: 3,
+            left: 3,
+            right: 3,
+        },
+        &[x],
+    );
+    let x = conv_bn_relu(&mut b, x, 64 * width, 7, 2, Padding::Valid);
+    let mut x = padded_maxpool_3x3_s2(&mut b, x);
+    for (stage, &n) in blocks.iter().enumerate() {
+        let filters = (64 << stage) * width;
+        for i in 0..n {
+            let stride = if stage > 0 && i == 0 { 2 } else { 1 };
+            let project = i == 0 && (stage > 0 || width > 1);
+            x = basic_block(&mut b, x, filters, stride, project);
+        }
+    }
+    let x = classifier_head(&mut b, x, 1000);
+    b.finish(x)
+}
+
+pub fn resnet18() -> ModelGraph {
+    resnet_basic("resnet18", 18, [2, 2, 2, 2], 1)
+}
+
+pub fn resnet34() -> ModelGraph {
+    resnet_basic("resnet34", 34, [3, 4, 6, 3], 1)
+}
+
+/// Wide ResNet-18 with doubled channels.
+pub fn wide_resnet18_2() -> ModelGraph {
+    resnet_basic("wide_resnet18_2", 18, [2, 2, 2, 2], 2)
+}
+
+// ---------------------------------------------------------------------------
+// shallow VGGs
+// ---------------------------------------------------------------------------
+
+fn vgg_variant(name: &str, depth: u32, convs: [u32; 5]) -> ModelGraph {
+    let mut b = GraphBuilder::new(name, depth);
+    let mut x = b.input(TensorShape::square(224, 3));
+    for (i, &n) in convs.iter().enumerate() {
+        let out_c = [64u32, 128, 256, 512, 512][i];
+        for _ in 0..n {
+            x = b.layer(
+                Layer::Conv2d(Conv2d::new(out_c, 3, 1, Padding::Same)),
+                &[x],
+            );
+            x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
+        }
+        x = b.layer(Layer::Pool2d(Pool2d::max(2, 2, Padding::Valid)), &[x]);
+    }
+    let mut x = b.layer(Layer::Flatten, &[x]);
+    for _ in 0..2 {
+        x = b.layer(Layer::Dense(Dense::new(4096)), &[x]);
+        x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
+    }
+    let x = b.layer(Layer::Dense(Dense::new(1000)), &[x]);
+    let x = b.layer(Layer::Activation(ActKind::Softmax), &[x]);
+    b.finish(x)
+}
+
+pub fn vgg11() -> ModelGraph {
+    vgg_variant("vgg11", 11, [1, 1, 2, 2, 2])
+}
+
+pub fn vgg13() -> ModelGraph {
+    vgg_variant("vgg13", 13, [2, 2, 2, 2, 2])
+}
+
+// ---------------------------------------------------------------------------
+// SqueezeNet 1.1
+// ---------------------------------------------------------------------------
+
+/// Fire module: 1x1 squeeze, then parallel 1x1 and 3x3 expands, concat.
+fn fire(b: &mut GraphBuilder, x: NodeId, squeeze: u32, expand: u32) -> NodeId {
+    let s = b.layer(
+        Layer::Conv2d(Conv2d::new(squeeze, 1, 1, Padding::Same)),
+        &[x],
+    );
+    let s = b.layer(Layer::Activation(ActKind::Relu), &[s]);
+    let e1 = b.layer(
+        Layer::Conv2d(Conv2d::new(expand, 1, 1, Padding::Same)),
+        &[s],
+    );
+    let e1 = b.layer(Layer::Activation(ActKind::Relu), &[e1]);
+    let e3 = b.layer(
+        Layer::Conv2d(Conv2d::new(expand, 3, 1, Padding::Same)),
+        &[s],
+    );
+    let e3 = b.layer(Layer::Activation(ActKind::Relu), &[e3]);
+    b.layer(Layer::Concat, &[e1, e3])
+}
+
+pub fn squeezenet() -> ModelGraph {
+    let mut b = GraphBuilder::new("squeezenet1.1", 18);
+    let x = b.input(TensorShape::square(227, 3));
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(64, 3, 2, Padding::Valid)),
+        &[x],
+    );
+    let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
+    let x = b.layer(Layer::Pool2d(Pool2d::max(3, 2, Padding::Valid)), &[x]);
+    let x = fire(&mut b, x, 16, 64);
+    let x = fire(&mut b, x, 16, 64);
+    let x = b.layer(Layer::Pool2d(Pool2d::max(3, 2, Padding::Valid)), &[x]);
+    let x = fire(&mut b, x, 32, 128);
+    let x = fire(&mut b, x, 32, 128);
+    let x = b.layer(Layer::Pool2d(Pool2d::max(3, 2, Padding::Valid)), &[x]);
+    let x = fire(&mut b, x, 48, 192);
+    let x = fire(&mut b, x, 48, 192);
+    let x = fire(&mut b, x, 64, 256);
+    let x = fire(&mut b, x, 64, 256);
+    let x = b.layer(Layer::Dropout { rate: 0.5 }, &[x]);
+    // classifier: 1x1 conv to 1000 classes + GAP
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(1000, 1, 1, Padding::Same)),
+        &[x],
+    );
+    let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
+    let x = b.layer(
+        Layer::GlobalPool {
+            kind: PoolKind::Avg,
+        },
+        &[x],
+    );
+    let x = b.layer(Layer::Activation(ActKind::Softmax), &[x]);
+    b.finish(x)
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleNet v1 (g = 4)
+// ---------------------------------------------------------------------------
+
+/// One ShuffleNet unit: grouped 1x1 -> shuffle -> depthwise 3x3 -> grouped
+/// 1x1, with a residual (stride 1) or avg-pool concat (stride 2).
+fn shuffle_unit(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_c: u32,
+    out_c: u32,
+    stride: u32,
+    groups: u32,
+) -> NodeId {
+    let mid = out_c / 4;
+    let branch_out = if stride == 2 { out_c - in_c } else { out_c };
+    let mut g1 = Conv2d::new(mid, 1, 1, Padding::Same).no_bias();
+    g1.groups = groups;
+    let y = b.layer(Layer::Conv2d(g1), &[x]);
+    let y = bn_relu(b, y);
+    let y = b.layer(Layer::ChannelShuffle { groups }, &[y]);
+    let y = b.layer(
+        Layer::DepthwiseConv2d(DepthwiseConv2d::new(3, stride, Padding::Same).no_bias()),
+        &[y],
+    );
+    let y = b.layer(Layer::BatchNorm(Default::default()), &[y]);
+    let mut g2 = Conv2d::new(branch_out, 1, 1, Padding::Same).no_bias();
+    g2.groups = groups;
+    let y = b.layer(Layer::Conv2d(g2), &[y]);
+    let y = b.layer(Layer::BatchNorm(Default::default()), &[y]);
+    if stride == 2 {
+        let pool = b.layer(Layer::Pool2d(Pool2d::avg(3, 2, Padding::Same)), &[x]);
+        let z = b.layer(Layer::Concat, &[pool, y]);
+        b.layer(Layer::Activation(ActKind::Relu), &[z])
+    } else {
+        let z = b.layer(Layer::Add, &[x, y]);
+        b.layer(Layer::Activation(ActKind::Relu), &[z])
+    }
+}
+
+pub fn shufflenet() -> ModelGraph {
+    const G: u32 = 4;
+    // stage output channels for g=4
+    let stages: [(u32, u32); 3] = [(272, 4), (544, 8), (1088, 4)];
+    let mut b = GraphBuilder::new("shufflenet_g4", 50);
+    let x = b.input(TensorShape::square(224, 3));
+    let x = conv_bn_relu(&mut b, x, 24, 3, 2, Padding::Same);
+    let mut x = padded_maxpool_3x3_s2(&mut b, x);
+    let mut in_c = 24u32;
+    for (out_c, repeats) in stages {
+        x = shuffle_unit(&mut b, x, in_c, out_c, 2, G);
+        in_c = out_c;
+        for _ in 1..repeats {
+            x = shuffle_unit(&mut b, x, in_c, out_c, 1, G);
+        }
+    }
+    let x = classifier_head(&mut b, x, 1000);
+    b.finish(x)
+}
+
+// ---------------------------------------------------------------------------
+// GoogLeNet (Inception v1)
+// ---------------------------------------------------------------------------
+
+/// Inception-v1 module with biased convs and ReLU (no batch norm).
+#[allow(clippy::too_many_arguments)]
+fn inception_v1_module(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    c1: u32,
+    c3r: u32,
+    c3: u32,
+    c5r: u32,
+    c5: u32,
+    pool_c: u32,
+) -> NodeId {
+    let conv_relu = |b: &mut GraphBuilder, x, out_c, k| {
+        let y = b.layer(
+            Layer::Conv2d(Conv2d::new(out_c, k, 1, Padding::Same)),
+            &[x],
+        );
+        b.layer(Layer::Activation(ActKind::Relu), &[y])
+    };
+    let b1 = conv_relu(b, x, c1, 1);
+    let b3 = conv_relu(b, x, c3r, 1);
+    let b3 = conv_relu(b, b3, c3, 3);
+    let b5 = conv_relu(b, x, c5r, 1);
+    let b5 = conv_relu(b, b5, c5, 5);
+    let bp = b.layer(Layer::Pool2d(Pool2d::max(3, 1, Padding::Same)), &[x]);
+    let bp = conv_relu(b, bp, pool_c, 1);
+    b.layer(Layer::Concat, &[b1, b3, b5, bp])
+}
+
+pub fn googlenet() -> ModelGraph {
+    let mut b = GraphBuilder::new("googlenet", 22);
+    let x = b.input(TensorShape::square(224, 3));
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(64, 7, 2, Padding::Same)),
+        &[x],
+    );
+    let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
+    let x = padded_maxpool_3x3_s2(&mut b, x);
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(64, 1, 1, Padding::Same)),
+        &[x],
+    );
+    let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(192, 3, 1, Padding::Same)),
+        &[x],
+    );
+    let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
+    let x = padded_maxpool_3x3_s2(&mut b, x);
+    // 3a, 3b
+    let x = inception_v1_module(&mut b, x, 64, 96, 128, 16, 32, 32);
+    let x = inception_v1_module(&mut b, x, 128, 128, 192, 32, 96, 64);
+    let x = padded_maxpool_3x3_s2(&mut b, x);
+    // 4a-4e
+    let x = inception_v1_module(&mut b, x, 192, 96, 208, 16, 48, 64);
+    let x = inception_v1_module(&mut b, x, 160, 112, 224, 24, 64, 64);
+    let x = inception_v1_module(&mut b, x, 128, 128, 256, 24, 64, 64);
+    let x = inception_v1_module(&mut b, x, 112, 144, 288, 32, 64, 64);
+    let x = inception_v1_module(&mut b, x, 256, 160, 320, 32, 128, 128);
+    let x = padded_maxpool_3x3_s2(&mut b, x);
+    // 5a, 5b
+    let x = inception_v1_module(&mut b, x, 256, 160, 320, 32, 128, 128);
+    let x = inception_v1_module(&mut b, x, 384, 192, 384, 48, 128, 128);
+    let x = b.layer(
+        Layer::GlobalPool {
+            kind: PoolKind::Avg,
+        },
+        &[x],
+    );
+    let x = b.layer(Layer::Dropout { rate: 0.4 }, &[x]);
+    let x = b.layer(Layer::Dense(Dense::new(1000)), &[x]);
+    let x = b.layer(Layer::Activation(ActKind::Softmax), &[x]);
+    b.finish(x)
+}
+
+/// All variant models (builder functions plus names).
+pub fn all_variants() -> Vec<(&'static str, fn() -> ModelGraph)> {
+    vec![
+        ("resnet18", resnet18 as fn() -> ModelGraph),
+        ("resnet34", resnet34),
+        ("wide_resnet18_2", wide_resnet18_2),
+        ("vgg11", vgg11),
+        ("vgg13", vgg13),
+        ("squeezenet1.1", squeezenet),
+        ("shufflenet_g4", shufflenet),
+        ("googlenet", googlenet),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+
+    #[test]
+    fn resnet18_34_params_match_torchvision() {
+        // torchvision: resnet18 = 11,689,512; resnet34 = 21,797,672
+        let s18 = analyze(&resnet18()).unwrap();
+        let s34 = analyze(&resnet34()).unwrap();
+        assert_eq!(s18.trainable_params, 11_689_512);
+        assert_eq!(s34.trainable_params, 21_797_672);
+    }
+
+    #[test]
+    fn vgg11_13_params_match_torchvision() {
+        // torchvision: vgg11 = 132,863,336; vgg13 = 133,047,848
+        assert_eq!(analyze(&vgg11()).unwrap().trainable_params, 132_863_336);
+        assert_eq!(analyze(&vgg13()).unwrap().trainable_params, 133_047_848);
+    }
+
+    #[test]
+    fn squeezenet_params_match_torchvision() {
+        // torchvision squeezenet1_1 = 1,235,496
+        assert_eq!(analyze(&squeezenet()).unwrap().trainable_params, 1_235_496);
+    }
+
+    #[test]
+    fn googlenet_params_plausible() {
+        // GoogLeNet main branch ~6M (torchvision googlenet without aux:
+        // 5,983,802 conv trunk + fc — our explicit-bias build lands close)
+        let s = analyze(&googlenet()).unwrap();
+        assert!(
+            (5_500_000..7_500_000).contains(&s.trainable_params),
+            "{}",
+            s.trainable_params
+        );
+    }
+
+    #[test]
+    fn shufflenet_builds_and_shuffle_preserves_shape() {
+        let g = shufflenet();
+        let shapes = g.infer_shapes().unwrap();
+        assert_eq!(shapes.last().unwrap().c, 1000);
+        // channel shuffle nodes exist and preserve their input shape
+        let mut found = 0;
+        for n in g.nodes() {
+            if matches!(n.layer, Layer::ChannelShuffle { .. }) {
+                let inp = shapes[n.inputs[0].index()];
+                assert_eq!(shapes[n.id.index()], inp);
+                found += 1;
+            }
+        }
+        assert_eq!(found, 16);
+    }
+
+    #[test]
+    fn wide_resnet_quadruples_conv_params() {
+        let p1 = analyze(&resnet18()).unwrap().trainable_params;
+        let p2 = analyze(&wide_resnet18_2()).unwrap().trainable_params;
+        assert!(p2 > 3 * p1 && p2 < 5 * p1, "p1={p1} p2={p2}");
+    }
+
+    #[test]
+    fn all_variants_build_and_lower() {
+        for (name, build) in all_variants() {
+            let g = build();
+            g.infer_shapes()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

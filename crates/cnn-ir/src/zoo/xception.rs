@@ -1,0 +1,133 @@
+//! Xception (Chollet, 2017) — depthwise-separable convolutions with linear
+//! residual connections, Keras layout.
+
+use super::common::separable_conv;
+use crate::graph::{GraphBuilder, ModelGraph, NodeId};
+use crate::layer::{ActKind, BatchNorm, Conv2d, Dense, Layer, Pool2d, PoolKind};
+use crate::shape::{Padding, TensorShape};
+
+fn bn(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    b.layer(Layer::BatchNorm(BatchNorm::default()), &[x])
+}
+
+fn relu(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    b.layer(Layer::Activation(ActKind::Relu), &[x])
+}
+
+/// Entry/exit-flow downsampling block:
+/// `[relu?] sep(c1) BN relu sep(c2) BN maxpool(3,2)` with a strided 1x1
+/// projection residual.
+fn down_block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    c1: u32,
+    c2: u32,
+    leading_relu: bool,
+) -> NodeId {
+    let residual = b.layer(
+        Layer::Conv2d(Conv2d::new(c2, 1, 2, Padding::Same).no_bias()),
+        &[x],
+    );
+    let residual = bn(b, residual);
+    let mut y = x;
+    if leading_relu {
+        y = relu(b, y);
+    }
+    y = separable_conv(b, y, c1, 3, 1, Padding::Same);
+    y = bn(b, y);
+    y = relu(b, y);
+    y = separable_conv(b, y, c2, 3, 1, Padding::Same);
+    y = bn(b, y);
+    y = b.layer(Layer::Pool2d(Pool2d::max(3, 2, Padding::Same)), &[y]);
+    b.layer(Layer::Add, &[residual, y])
+}
+
+/// Middle-flow block: three pre-relu separable convs plus identity residual.
+fn middle_block(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let mut y = x;
+    for _ in 0..3 {
+        y = relu(b, y);
+        y = separable_conv(b, y, 728, 3, 1, Padding::Same);
+        y = bn(b, y);
+    }
+    b.layer(Layer::Add, &[x, y])
+}
+
+pub fn xception() -> ModelGraph {
+    let mut b = GraphBuilder::new("Xception", 71);
+    let x = b.input(TensorShape::square(299, 3));
+    // Entry flow stem
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(32, 3, 2, Padding::Valid).no_bias()),
+        &[x],
+    );
+    let x = bn(&mut b, x);
+    let x = relu(&mut b, x);
+    let x = b.layer(
+        Layer::Conv2d(Conv2d::new(64, 3, 1, Padding::Valid).no_bias()),
+        &[x],
+    );
+    let x = bn(&mut b, x);
+    let x = relu(&mut b, x);
+    // Entry flow blocks
+    let x = down_block(&mut b, x, 128, 128, false);
+    let x = down_block(&mut b, x, 256, 256, true);
+    let x = down_block(&mut b, x, 728, 728, true);
+    // Middle flow
+    let mut x = x;
+    for _ in 0..8 {
+        x = middle_block(&mut b, x);
+    }
+    // Exit flow
+    let x = down_block(&mut b, x, 728, 1024, true);
+    let x = separable_conv(&mut b, x, 1536, 3, 1, Padding::Same);
+    let x = bn(&mut b, x);
+    let x = relu(&mut b, x);
+    let x = separable_conv(&mut b, x, 2048, 3, 1, Padding::Same);
+    let x = bn(&mut b, x);
+    let x = relu(&mut b, x);
+    let x = b.layer(
+        Layer::GlobalPool {
+            kind: PoolKind::Avg,
+        },
+        &[x],
+    );
+    let x = b.layer(Layer::Dense(Dense::new(1000)), &[x]);
+    let x = b.layer(Layer::Activation(ActKind::Softmax), &[x]);
+    b.finish(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+
+    #[test]
+    fn params_match_keras_and_paper() {
+        let s = analyze(&xception()).unwrap();
+        assert_eq!(s.trainable_params, 22_855_952); // == paper Table I
+        assert_eq!(s.total_params(), 22_910_480); // == Keras total
+    }
+
+    #[test]
+    fn middle_flow_keeps_19x19x728() {
+        let g = xception();
+        let shapes = g.infer_shapes().unwrap();
+        assert!(shapes
+            .iter()
+            .filter(|s| (s.h, s.c) == (19, 728))
+            .count()
+            > 20);
+    }
+
+    #[test]
+    fn twelve_residual_adds() {
+        let adds = xception()
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer, Layer::Add))
+            .count();
+        // 3 entry + 8 middle + 1 exit
+        assert_eq!(adds, 12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Design-space exploration (the paper's Section V application): rank `n`
+//! candidate GPGPUs for a CNN with predictions only, and compare the wall
+//! time of the estimation path against naive per-device profiling
+//! (Table IV's `T_est = t_dca + n * t_pm` vs `T_measur = t_p * n`).
+
+use crate::features::{profile_model, CnnProfile, ProfileError};
+use crate::model::PerformancePredictor;
+use cnn_ir::ModelGraph;
+use gpu_sim::{DeviceSpec, SimMode, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// One device's predicted standing for a CNN.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceRanking {
+    pub device: String,
+    pub predicted_ipc: f64,
+}
+
+/// Result of a prediction-driven DSE over `n` devices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DseOutcome {
+    pub model: String,
+    /// Devices sorted by predicted IPC, best first.
+    pub ranking: Vec<DeviceRanking>,
+    /// `t_dca`: dynamic code analysis seconds (paid once).
+    pub t_dca: f64,
+    /// `t_pm`: predictive-model inference seconds (paid per device).
+    pub t_pm: f64,
+    /// `T_est = t_dca + n * t_pm`.
+    pub t_est: f64,
+}
+
+/// Run the proposed approach: analyze once, predict per device.
+pub fn rank_devices(
+    predictor: &PerformancePredictor,
+    model: &ModelGraph,
+    devices: &[DeviceSpec],
+) -> Result<DseOutcome, ProfileError> {
+    let (profile, _plan, _counts, _summary) = profile_model(model)?;
+    rank_devices_profiled(predictor, &profile, devices)
+}
+
+/// Same, reusing an existing profile (no re-analysis).
+pub fn rank_devices_profiled(
+    predictor: &PerformancePredictor,
+    profile: &CnnProfile,
+    devices: &[DeviceSpec],
+) -> Result<DseOutcome, ProfileError> {
+    let t0 = std::time::Instant::now();
+    let mut ranking: Vec<DeviceRanking> = devices
+        .iter()
+        .map(|d| DeviceRanking {
+            device: d.name.clone(),
+            predicted_ipc: predictor.predict(profile, d),
+        })
+        .collect();
+    let predict_wall = t0.elapsed().as_secs_f64();
+    let t_pm = predict_wall / devices.len().max(1) as f64;
+    ranking.sort_by(|a, b| b.predicted_ipc.total_cmp(&a.predicted_ipc));
+    let t_est = profile.dca_seconds + devices.len() as f64 * t_pm;
+    Ok(DseOutcome {
+        model: profile.name.clone(),
+        ranking,
+        t_dca: profile.dca_seconds,
+        t_pm,
+        t_est,
+    })
+}
+
+/// Wall time of the naive approach for one device: full profiling (the
+/// detailed simulator standing in for hardware + nvprof, no launch
+/// memoization).
+pub fn naive_profile_time(model: &ModelGraph, dev: &DeviceSpec) -> Result<f64, ProfileError> {
+    let plan = ptx_codegen::lower(model, &dev.sm_target())?;
+    let t0 = std::time::Instant::now();
+    let sim = Simulator::new(dev.clone(), SimMode::DetailedNoMemo);
+    let _ = sim.simulate_plan(&plan).map_err(ProfileError::Exec)?;
+    Ok(t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PerformancePredictor;
+    use crate::pipeline::build_corpus;
+    use mlkit::RegressorKind;
+
+    #[test]
+    fn dse_ranks_all_devices_once() {
+        let models: Vec<ModelGraph> = ["alexnet", "mobilenet", "vgg16", "resnet50"]
+            .iter()
+            .map(|n| cnn_ir::zoo::build(n).unwrap())
+            .collect();
+        let corpus = build_corpus(&models, &gpu_sim::training_devices()).unwrap();
+        let p = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 3);
+
+        let devices = gpu_sim::all_devices();
+        let target = cnn_ir::zoo::build("MobileNetV2").unwrap();
+        let out = rank_devices(&p, &target, &devices).unwrap();
+        assert_eq!(out.ranking.len(), devices.len());
+        // sorted descending
+        for w in out.ranking.windows(2) {
+            assert!(w[0].predicted_ipc >= w[1].predicted_ipc);
+        }
+        // estimation bookkeeping
+        assert!(out.t_dca > 0.0);
+        assert!(out.t_est >= out.t_dca);
+    }
+
+    #[test]
+    fn estimation_beats_naive_profiling() {
+        let models: Vec<ModelGraph> = ["alexnet", "mobilenet"]
+            .iter()
+            .map(|n| cnn_ir::zoo::build(n).unwrap())
+            .collect();
+        let corpus = build_corpus(&models, &gpu_sim::training_devices()).unwrap();
+        let p = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 3);
+
+        let target = cnn_ir::zoo::build("vgg16").unwrap();
+        let dev = gpu_sim::specs::gtx_1080_ti();
+        let ours = rank_devices(&p, &target, std::slice::from_ref(&dev))
+            .unwrap()
+            .t_est;
+        let naive = naive_profile_time(&target, &dev).unwrap();
+        assert!(
+            naive > ours,
+            "naive {naive}s should exceed estimation {ours}s"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Feature extraction: assemble the paper's observation vector
+//! `d = (y, p, c_1..c_m, t)` — executed PTX instructions `p`, GPGPU
+//! architectural features `c`, trainable parameters `t` (Eq. 1).
+
+use cnn_ir::{GraphError, ModelGraph, ModelSummary};
+use gpu_sim::DeviceSpec;
+use ptx::kernel::LaunchPlan;
+use ptx_analysis::{ExecError, PlanCount};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything the static + dynamic analysis extracts from one CNN
+/// (GPU-independent; computed once per model).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CnnProfile {
+    pub name: String,
+    /// Total executed PTX instructions (thread-level), the paper's `p`.
+    pub ptx_instructions: u64,
+    /// Trainable parameters, the paper's `t`.
+    pub trainable_params: u64,
+    /// Extra static-analysis outputs (the paper's future-work features).
+    pub macs: u64,
+    pub flops: u64,
+    pub neurons: u64,
+    pub num_launches: usize,
+    /// Seconds spent in the dynamic code analysis (`t_dca` of Table IV).
+    pub dca_seconds: f64,
+}
+
+/// Analysis failure for one model.
+#[derive(Debug)]
+pub enum ProfileError {
+    Graph(GraphError),
+    Exec(ExecError),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Graph(e) => write!(f, "graph error: {e}"),
+            ProfileError::Exec(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<GraphError> for ProfileError {
+    fn from(e: GraphError) -> Self {
+        ProfileError::Graph(e)
+    }
+}
+
+impl From<ExecError> for ProfileError {
+    fn from(e: ExecError) -> Self {
+        ProfileError::Exec(e)
+    }
+}
+
+/// Run the full static + dynamic analysis for one model: Table I values
+/// from the static analyzer, the executed-instruction count from the
+/// slicing executor. Also returns the lowered plan and counts for reuse.
+pub fn profile_model(
+    model: &ModelGraph,
+) -> Result<(CnnProfile, LaunchPlan, PlanCount, ModelSummary), ProfileError> {
+    let summary = cnn_ir::analyze(model)?;
+    let t0 = std::time::Instant::now();
+    let plan = ptx_codegen::lower(model, "sm_61")?;
+    let counts = ptx_analysis::count_plan(&plan, true)?;
+    let dca_seconds = t0.elapsed().as_secs_f64();
+    let profile = CnnProfile {
+        name: model.name().to_string(),
+        ptx_instructions: counts.thread_instructions,
+        trainable_params: summary.trainable_params,
+        macs: summary.macs,
+        flops: summary.flops,
+        neurons: summary.neurons,
+        num_launches: plan.launches.len(),
+        dca_seconds,
+    };
+    Ok((profile, plan, counts, summary))
+}
+
+/// Names of the full feature vector, in order: CNN features then GPU
+/// features.
+pub fn feature_names() -> Vec<String> {
+    let mut names = vec![
+        "ptx_instructions".to_string(),
+        "trainable_params".to_string(),
+    ];
+    for (n, _) in gpu_sim::specs::gtx_1080_ti().features() {
+        names.push(n.to_string());
+    }
+    names
+}
+
+/// Assemble one feature row for (CNN, GPU).
+pub fn feature_row(profile: &CnnProfile, dev: &DeviceSpec) -> Vec<f64> {
+    let mut row = vec![
+        profile.ptx_instructions as f64,
+        profile.trainable_params as f64,
+    ];
+    row.extend(dev.features().iter().map(|(_, v)| *v));
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_vector_matches_names() {
+        let model = cnn_ir::zoo::build("alexnet").unwrap();
+        let (profile, _, _, _) = profile_model(&model).unwrap();
+        let dev = gpu_sim::specs::gtx_1080_ti();
+        let row = feature_row(&profile, &dev);
+        assert_eq!(row.len(), feature_names().len());
+        assert_eq!(row[0], profile.ptx_instructions as f64);
+        assert_eq!(row[1], 60_965_224.0);
+    }
+
+    #[test]
+    fn profile_is_gpu_independent() {
+        let model = cnn_ir::zoo::build("mobilenet").unwrap();
+        let (a, _, _, _) = profile_model(&model).unwrap();
+        let (b, _, _, _) = profile_model(&model).unwrap();
+        assert_eq!(a.ptx_instructions, b.ptx_instructions);
+    }
+
+    #[test]
+    fn instruction_count_tracks_model_size() {
+        let small = profile_model(&cnn_ir::zoo::build("mobilenet").unwrap())
+            .unwrap()
+            .0;
+        let big = profile_model(&cnn_ir::zoo::build("vgg16").unwrap())
+            .unwrap()
+            .0;
+        assert!(big.ptx_instructions > 3 * small.ptx_instructions);
+    }
+}

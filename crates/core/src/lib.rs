@@ -1,0 +1,47 @@
+//! # cnnperf-core — the paper's contribution
+//!
+//! Fast and accurate ML-based performance (IPC) estimation of CNNs for
+//! GPGPUs, assembled from the substrate crates:
+//!
+//! 1. **Feature extraction** ([`features`]): static analysis (trainable
+//!    parameters) + dynamic code analysis (exact executed-PTX-instruction
+//!    count) + GPGPU architectural features.
+//! 2. **Training-dataset creation** ([`pipeline`]): the 32-CNN zoo
+//!    profiled on the training GPUs by the simulator-backed `nvprof`
+//!    stand-in.
+//! 3. **Predictive model** ([`model`]): five candidate regressors, the
+//!    Decision Tree selected as in the paper; cross-platform prediction
+//!    from device features.
+//! 4. **Design-space exploration** ([`dse`]): rank `n` GPUs for a CNN in
+//!    `T_est = t_dca + n * t_pm` instead of `T_measur = t_p * n`.
+//!
+//! ```no_run
+//! use cnnperf_core::prelude::*;
+//!
+//! let corpus = build_paper_corpus().unwrap();
+//! let (train, test) = corpus.dataset.split(0.7, 42);
+//! let predictor = PerformancePredictor::train(&train, RegressorKind::DecisionTree, 42);
+//! let scores = predictor.evaluate(&test);
+//! println!("MAPE {:.2}%  R2 {:.2}", scores.mape, scores.r2);
+//! ```
+
+pub mod dse;
+pub mod features;
+pub mod model;
+pub mod pipeline;
+pub mod report;
+
+pub use dse::{naive_profile_time, rank_devices, rank_devices_profiled, DseOutcome};
+pub use features::{feature_names, feature_row, profile_model, CnnProfile, ProfileError};
+pub use model::{compare_regressors, PerformancePredictor, RegressorComparison};
+pub use pipeline::{build_corpus, build_paper_corpus, Corpus, SampleMeta};
+
+/// Convenient glob import for examples and benches.
+pub mod prelude {
+    pub use crate::dse::{naive_profile_time, rank_devices, rank_devices_profiled};
+    pub use crate::features::{feature_names, feature_row, profile_model, CnnProfile};
+    pub use crate::model::{compare_regressors, PerformancePredictor};
+    pub use crate::pipeline::{build_corpus, build_paper_corpus, Corpus};
+    pub use crate::report::{fixed, pct, thousands, Align, Table};
+    pub use mlkit::{RegressorKind, Scores};
+}

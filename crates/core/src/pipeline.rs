@@ -1,0 +1,153 @@
+//! Phase 1 of the paper (Fig. 3): training-dataset creation. Every zoo CNN
+//! is statically analyzed, lowered to PTX, instruction-counted by the
+//! dynamic code analysis, and "run" on every training GPU under the
+//! `nvprof`-like profiler to obtain the measured IPC response.
+
+use crate::features::{feature_names, feature_row, profile_model, CnnProfile, ProfileError};
+use cnn_ir::ModelGraph;
+use gpu_sim::{profile_run, DeviceSpec};
+use mlkit::Dataset;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Metadata for one dataset row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleMeta {
+    pub model: String,
+    pub device: String,
+    pub ipc: f64,
+    pub ipc_clean: f64,
+    pub latency_ms: f64,
+    pub profiling_wall_s: f64,
+}
+
+/// The assembled training corpus: the regression dataset plus per-row and
+/// per-model metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    pub dataset: Dataset,
+    pub samples: Vec<SampleMeta>,
+    pub profiles: Vec<CnnProfile>,
+}
+
+impl Corpus {
+    /// Label convention for rows: `model@device`.
+    pub fn label(model: &str, device: &str) -> String {
+        format!("{model}@{device}")
+    }
+
+    /// CNN profile by model name.
+    pub fn profile(&self, model: &str) -> Option<&CnnProfile> {
+        self.profiles.iter().find(|p| p.name == model)
+    }
+}
+
+/// Build the corpus for `models` x `devices`. Parallel over models (each
+/// model's lowering + counting is reused across its device rows).
+pub fn build_corpus(
+    models: &[ModelGraph],
+    devices: &[DeviceSpec],
+) -> Result<Corpus, ProfileError> {
+    let per_model: Result<Vec<_>, ProfileError> = models
+        .par_iter()
+        .map(|m| {
+            let (profile, plan, _counts, _summary) = profile_model(m)?;
+            let mut rows = Vec::with_capacity(devices.len());
+            for dev in devices {
+                let rec = profile_run(&plan, dev, 0).map_err(ProfileError::Exec)?;
+                rows.push((feature_row(&profile, dev), rec));
+            }
+            Ok((profile, rows))
+        })
+        .collect();
+    let per_model = per_model?;
+
+    let mut dataset = Dataset::new(feature_names());
+    let mut samples = Vec::new();
+    let mut profiles = Vec::new();
+    for (profile, rows) in per_model {
+        for (features, rec) in rows {
+            dataset.push(
+                Corpus::label(&rec.model_name, &rec.device_name),
+                features,
+                rec.ipc,
+            );
+            samples.push(SampleMeta {
+                model: rec.model_name.clone(),
+                device: rec.device_name.clone(),
+                ipc: rec.ipc,
+                ipc_clean: rec.ipc_clean,
+                latency_ms: rec.latency_ms,
+                profiling_wall_s: rec.profiling_wall_s,
+            });
+        }
+        profiles.push(profile);
+    }
+    Ok(Corpus {
+        dataset,
+        samples,
+        profiles,
+    })
+}
+
+/// Build the paper's corpus: the 32-model zoo on the two training GPUs
+/// (GTX 1080 Ti and V100S).
+pub fn build_paper_corpus() -> Result<Corpus, ProfileError> {
+    let models = cnn_ir::zoo::build_all();
+    let devices = gpu_sim::training_devices();
+    build_corpus(&models, &devices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> Corpus {
+        let models: Vec<ModelGraph> = ["alexnet", "mobilenet", "vgg16"]
+            .iter()
+            .map(|n| cnn_ir::zoo::build(n).unwrap())
+            .collect();
+        let devices = gpu_sim::training_devices();
+        build_corpus(&models, &devices).unwrap()
+    }
+
+    #[test]
+    fn corpus_has_model_x_device_rows() {
+        let c = small_corpus();
+        assert_eq!(c.dataset.len(), 6);
+        assert_eq!(c.samples.len(), 6);
+        assert_eq!(c.profiles.len(), 3);
+        assert!(c.dataset.labels.contains(&"alexnet@V100S".to_string()));
+    }
+
+    #[test]
+    fn responses_are_positive_ipc() {
+        let c = small_corpus();
+        for s in &c.samples {
+            assert!(s.ipc > 0.0 && s.ipc < 10.0, "{}: {}", s.model, s.ipc);
+        }
+    }
+
+    #[test]
+    fn same_model_differs_across_devices() {
+        let c = small_corpus();
+        let a = c
+            .samples
+            .iter()
+            .find(|s| s.model == "vgg16" && s.device == "GTX 1080 Ti")
+            .unwrap();
+        let b = c
+            .samples
+            .iter()
+            .find(|s| s.model == "vgg16" && s.device == "V100S")
+            .unwrap();
+        assert_ne!(a.ipc, b.ipc);
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = small_corpus();
+        let b = small_corpus();
+        assert_eq!(a.dataset.y, b.dataset.y);
+    }
+}

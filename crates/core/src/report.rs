@@ -1,0 +1,134 @@
+//! Plain-text table rendering for the benchmark harness (the regenerated
+//! Tables I-IV and Fig. 4 series print through this).
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// A simple monospace table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+        let aligns = vec![Align::Right; headers.len()];
+        Self {
+            title: title.into(),
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the alignment of one column (default: right).
+    pub fn align(mut self, col: usize, a: Align) -> Self {
+        self.aligns[col] = a;
+        self
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * ncol + 1;
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "=".repeat(total.min(100)))?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for ((c, w), a) in cells.iter().zip(&widths).zip(&self.aligns) {
+                match a {
+                    Align::Left => write!(f, " {c:<w$} |")?,
+                    Align::Right => write!(f, " {c:>w$} |")?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(total.min(100)))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a large count with thousands separators (Table I style).
+pub fn thousands(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Format a float with fixed decimals.
+pub fn fixed(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_separators() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(25_549_352), "25,549,352");
+        assert_eq!(thousands(1_046_113_195), "1,046,113,195");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("T", &["name", "value"]).align(0, Align::Left);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["bb".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("| a    |"), "{s}");
+        assert!(s.contains("|    22 |") || s.contains("| 22 |"), "{s}");
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_arity_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

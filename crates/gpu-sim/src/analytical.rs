@@ -1,0 +1,120 @@
+//! Fast analytical (roofline-style) launch timing — the cheap alternative
+//! to the event-driven simulator, kept for ablations and sanity checks.
+//! Cycles are the maximum of the issue, compute-pipe, memory-bandwidth and
+//! latency bounds.
+
+use crate::occupancy::occupancy;
+use crate::specs::DeviceSpec;
+use crate::timing::{l2_hit_rate, timing_for};
+use ptx::kernel::{Kernel, KernelLaunch};
+use ptx_analysis::{ExecError, LaunchCount};
+
+/// Analytical estimate of launch cycles. Uses the same exact counts as the
+/// detailed mode but closed-form timing.
+pub fn estimate_launch(
+    kernel: &Kernel,
+    launch: &KernelLaunch,
+    counts: &LaunchCount,
+    dev: &DeviceSpec,
+) -> Result<f64, ExecError> {
+    let timing = timing_for(dev);
+    let occ = occupancy(kernel, dev);
+    let active_sms = launch.blocks().min(dev.sm_count as u64).max(1) as f64;
+
+    // warp-level issues per category (approximate: thread-level mix scaled
+    // to the warp total)
+    let thread_total: u64 = counts.by_category.iter().sum();
+    let scale = if thread_total > 0 {
+        counts.warp_issues as f64 / thread_total as f64
+    } else {
+        0.0
+    };
+
+    let mut compute = 0.0f64;
+    for (i, &n) in counts.by_category.iter().enumerate() {
+        compute += n as f64 * scale * timing.cpi[i];
+    }
+    let compute_cycles = compute / active_sms;
+
+    let issue_cycles = counts.warp_issues as f64 * timing.issue_cpi / active_sms;
+
+    let l2_hit = l2_hit_rate(launch.bytes_read, dev.l2_cache_kb);
+    let dram_bytes =
+        launch.bytes_read as f64 * (1.0 - l2_hit) + launch.bytes_written as f64;
+    let mem_cycles = dram_bytes / dev.bytes_per_cycle();
+
+    // latency bound: average dependent-use latency divided by the warps
+    // available to hide it
+    let mut avg_lat = 0.0f64;
+    for (i, &n) in counts.by_category.iter().enumerate() {
+        avg_lat += n as f64 * timing.latency[i];
+    }
+    if thread_total > 0 {
+        avg_lat /= thread_total as f64;
+    }
+    let latency_cycles = counts.warp_issues as f64 * avg_lat
+        / active_sms
+        / occ.warps_per_sm.max(1) as f64;
+
+    let overhead =
+        crate::detailed::LAUNCH_OVERHEAD_US * 1e-6 * dev.boost_clock_mhz as f64 * 1e6;
+    Ok(compute_cycles
+        .max(issue_cycles)
+        .max(mem_cycles)
+        .max(latency_cycles)
+        + overhead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::gtx_1080_ti;
+    use ptx_analysis::count_launch;
+
+    #[test]
+    fn analytical_tracks_detailed_within_a_band() {
+        // The two models must agree on order of magnitude for a compute-
+        // heavy GEMM.
+        let k = ptx_codegen::Template::GemmTiled.build();
+        let l = ptx::kernel::KernelLaunch {
+            kernel: 0,
+            tag: "gemm".into(),
+            grid: ((512 * 512 / 256) as u32, 1, 1),
+            args: vec![0x1000, 0x2000, 0x3000, 512, 512, 512, 32, 0, 0],
+            bytes_read: 512 * 512 * 8,
+            bytes_written: 512 * 512 * 4,
+        };
+        let dev = gtx_1080_ti();
+        let counts = count_launch(&k, &l, true).unwrap();
+        let fast = estimate_launch(&k, &l, &counts, &dev).unwrap();
+        let slow = crate::detailed::simulate_launch(&k, &l, &dev)
+            .unwrap()
+            .cycles;
+        let ratio = slow / fast;
+        assert!(
+            (0.2..8.0).contains(&ratio),
+            "detailed {slow:.0} vs analytical {fast:.0} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn memory_bound_launch_is_bandwidth_limited() {
+        let k = ptx_codegen::Template::CopyF32.build();
+        let n: u64 = 1 << 26;
+        let l = ptx::kernel::KernelLaunch {
+            kernel: 0,
+            tag: "copy".into(),
+            grid: ((n / 4 / 256) as u32, 1, 1),
+            args: vec![0x1000, 0x2000, n],
+            bytes_read: n * 4,
+            bytes_written: n * 4,
+        };
+        let dev = gtx_1080_ti();
+        let counts = count_launch(&k, &l, true).unwrap();
+        let cycles = estimate_launch(&k, &l, &counts, &dev).unwrap();
+        // pure bandwidth bound: dram_bytes / bytes_per_cycle is the floor
+        let l2 = crate::timing::l2_hit_rate(n * 4, dev.l2_cache_kb);
+        let floor = (n as f64 * 4.0 * (1.0 - l2) + n as f64 * 4.0) / dev.bytes_per_cycle();
+        assert!(cycles >= floor * 0.99, "{cycles} < {floor}");
+    }
+}

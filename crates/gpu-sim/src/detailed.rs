@@ -1,0 +1,371 @@
+//! The detailed event-driven SM simulator — this crate's "real hardware".
+//!
+//! For each launch, one *wave* (a full complement of resident blocks on one
+//! SM) is simulated instruction by instruction: a binary heap orders warps
+//! by readiness; each issued instruction occupies its pipeline for its
+//! reciprocal-throughput cost and delays its warp by its dependent-use
+//! latency; global loads probe a deterministic L2 model and consume DRAM
+//! bandwidth tokens on miss; barriers rejoin all warps of a block. Waves
+//! multiply out to the full grid.
+//!
+//! The per-warp instruction stream is the representative-thread category
+//! trace from [`ptx_analysis::Machine::run_traced`] — exact for uniform
+//! launches, the dominant path under guard divergence.
+
+use crate::occupancy::occupancy;
+use crate::specs::DeviceSpec;
+use crate::timing::{l2_hit_rate, timing_for, Timing};
+use ptx::inst::Category;
+use ptx::kernel::{Kernel, KernelLaunch};
+use ptx_analysis::{ExecError, Machine};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Detailed-simulation result for one launch.
+#[derive(Debug, Clone)]
+pub struct LaunchSim {
+    /// Core cycles the launch occupies the GPU.
+    pub cycles: f64,
+    /// Warp instructions issued (whole launch).
+    pub warp_instructions: u64,
+    /// Thread-level instruction count (whole launch).
+    pub thread_instructions: u64,
+    /// DRAM traffic after the L2 (bytes).
+    pub dram_bytes: f64,
+    pub l2_hit: f64,
+    /// SMs with at least one resident block.
+    pub active_sms: u32,
+}
+
+fn cat_idx(c: Category) -> usize {
+    Category::ALL.iter().position(|x| *x == c).expect("cat")
+}
+
+/// Per-launch kernel overhead in microseconds (driver + dispatch).
+pub const LAUNCH_OVERHEAD_US: f64 = 2.5;
+
+/// Traces longer than this are truncated and scaled linearly — keeps worst
+/// case dense layers tractable without changing the steady-state rate.
+const TRACE_CAP: usize = 262_144;
+
+/// Simulate one launch on `dev` in detail.
+pub fn simulate_launch(
+    kernel: &Kernel,
+    launch: &KernelLaunch,
+    dev: &DeviceSpec,
+) -> Result<LaunchSim, ExecError> {
+    let timing = timing_for(dev);
+    let occ = occupancy(kernel, dev);
+    let machine = Machine::new(kernel, launch.blocks(), &launch.args);
+    let (outcome, mut trace) = machine.run_traced(0, 0)?;
+    let _ = outcome;
+
+    // exact counts for reporting (cheap: interval splitting)
+    let counts = ptx_analysis::count_launch(kernel, launch, true)?;
+
+    let trace_scale = if trace.len() > TRACE_CAP {
+        let s = trace.len() as f64 / TRACE_CAP as f64;
+        trace.truncate(TRACE_CAP);
+        s
+    } else {
+        1.0
+    };
+
+    let blocks = launch.blocks();
+    let warps_per_block = kernel.block_threads().div_ceil(32).max(1);
+    let capacity_blocks = (dev.sm_count * occ.blocks_per_sm) as u64;
+    let waves = blocks.div_ceil(capacity_blocks.max(1)).max(1);
+    let active_sms = blocks.min(dev.sm_count as u64) as u32;
+
+    // blocks resident on the busiest SM during one wave
+    let blocks_this_sm = blocks
+        .div_ceil(waves)
+        .div_ceil(active_sms.max(1) as u64)
+        .clamp(1, occ.blocks_per_sm as u64) as u32;
+
+    let l2_hit = l2_hit_rate(launch.bytes_read, dev.l2_cache_kb);
+    // DRAM bytes generated per global-load warp instruction on this SM
+    let trace_loads = trace
+        .iter()
+        .filter(|c| **c == Category::LoadGlobal)
+        .count() as f64
+        * trace_scale;
+    let total_load_issues =
+        trace_loads * warps_per_block as f64 * blocks as f64;
+    let bytes_per_load = if total_load_issues > 0.0 {
+        launch.bytes_read as f64 / total_load_issues
+    } else {
+        0.0
+    };
+    let store_issues = trace
+        .iter()
+        .filter(|c| **c == Category::StoreGlobal)
+        .count() as f64
+        * trace_scale
+        * warps_per_block as f64
+        * blocks as f64;
+    let bytes_per_store = if store_issues > 0.0 {
+        launch.bytes_written as f64 / store_issues
+    } else {
+        0.0
+    };
+    // per-SM DRAM bandwidth share in bytes per cycle
+    let dram_bpc_sm = dev.bytes_per_cycle() / active_sms.max(1) as f64;
+
+    let wave_cycles = simulate_wave(
+        &trace,
+        warps_per_block,
+        blocks_this_sm,
+        &timing,
+        l2_hit,
+        bytes_per_load * (1.0 - l2_hit),
+        bytes_per_store,
+        dram_bpc_sm,
+    );
+
+    let cycles = wave_cycles * trace_scale * waves as f64
+        + LAUNCH_OVERHEAD_US * 1e-6 * dev.boost_clock_mhz as f64 * 1e6;
+    let dram_bytes =
+        launch.bytes_read as f64 * (1.0 - l2_hit) + launch.bytes_written as f64;
+
+    Ok(LaunchSim {
+        cycles,
+        warp_instructions: counts.warp_issues,
+        thread_instructions: counts.thread_instructions,
+        dram_bytes,
+        l2_hit,
+        active_sms,
+    })
+}
+
+/// Event-driven simulation of one wave on one SM. Returns cycles.
+#[allow(clippy::too_many_arguments)]
+fn simulate_wave(
+    trace: &[Category],
+    warps_per_block: u32,
+    blocks: u32,
+    timing: &Timing,
+    l2_hit: f64,
+    dram_bytes_per_load: f64,
+    dram_bytes_per_store: f64,
+    dram_bpc: f64,
+) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let nwarps = (warps_per_block * blocks) as usize;
+    // warp state: (ready_time, trace cursor); heap keyed by ready time
+    let mut cursor = vec![0usize; nwarps];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..nwarps).map(|w| Reverse((0u64, w))).collect();
+    // pipeline next-free times (fixed-point cycles scaled by 1024 to keep
+    // fractional CPIs exact in integer arithmetic)
+    const FX: f64 = 1024.0;
+    let mut pipe_free = [0u64; ptx_analysis::NCAT];
+    let mut issue_free = 0u64;
+    let mut dram_free = 0u64;
+    // barrier bookkeeping: warps of one block rejoin at bar.sync
+    let mut bar_wait: Vec<Vec<u64>> = vec![Vec::new(); blocks as usize];
+    let mut finish = 0u64;
+    // deterministic hash state for L2 hit decisions
+    let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    let dram_cpl = (dram_bytes_per_load / dram_bpc * FX) as u64;
+    let dram_cps = (dram_bytes_per_store / dram_bpc * FX) as u64;
+
+    while let Some(Reverse((ready, w))) = heap.pop() {
+        let i = cursor[w];
+        if i >= trace.len() {
+            finish = finish.max(ready);
+            continue;
+        }
+        let cat = trace[i];
+        let ci = cat_idx(cat);
+
+        if cat == Category::Sync {
+            // barrier: the warp parks; when all block warps arrive, release
+            let block = w / warps_per_block as usize;
+            bar_wait[block].push(ready);
+            cursor[w] += 1;
+            if bar_wait[block].len() == warps_per_block as usize {
+                let t = *bar_wait[block].iter().max().expect("nonempty") + FX as u64;
+                bar_wait[block].clear();
+                // release all warps of this block at t
+                let lo = block * warps_per_block as usize;
+                for wb in lo..lo + warps_per_block as usize {
+                    if cursor[wb] > 0 && cursor[wb] <= trace.len() {
+                        heap.push(Reverse((t, wb)));
+                    }
+                }
+            }
+            continue;
+        }
+
+        let t_issue = ready.max(issue_free).max(pipe_free[ci]);
+        issue_free = t_issue + (timing.issue_cpi * FX) as u64;
+        pipe_free[ci] = t_issue + (timing.cpi[ci] * FX) as u64;
+
+        let mut lat = timing.latency[ci];
+        if cat == Category::LoadGlobal {
+            // deterministic pseudo-random L2 outcome at rate `l2_hit`
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let hit = ((rng_state >> 33) as f64 / (1u64 << 31) as f64) < l2_hit;
+            if !hit {
+                lat = timing.dram_latency;
+                let t_mem = t_issue.max(dram_free);
+                dram_free = t_mem + dram_cpl;
+            }
+        } else if cat == Category::StoreGlobal && dram_cps > 0 {
+            let t_mem = t_issue.max(dram_free);
+            dram_free = t_mem + dram_cps;
+        }
+
+        let done = t_issue + (lat * FX) as u64;
+        cursor[w] += 1;
+        if cursor[w] < trace.len() {
+            heap.push(Reverse((done, w)));
+        } else {
+            finish = finish.max(done);
+        }
+    }
+    finish = finish.max(issue_free).max(dram_free);
+    finish as f64 / FX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{gtx_1080_ti, quadro_p1000, v100s};
+    use ptx::builder::KernelBuilder;
+    use ptx::inst::Operand;
+    use ptx::types::Type;
+
+    fn guard_kernel(body: u32) -> Kernel {
+        let mut kb = KernelBuilder::new("k", 256);
+        let p_n = kb.param("n", Type::U32);
+        let n = kb.ld_param(&p_n, Type::U32);
+        let (_gid, exit) = kb.guard_gid(n);
+        for _ in 0..body {
+            let f = kb.f();
+            kb.mov(Type::F32, f, Operand::ImmF(1.0));
+        }
+        kb.place_label(exit);
+        kb.ret();
+        kb.finish()
+    }
+
+    fn launch(kernel: &Kernel, threads: u64, args: Vec<u64>, br: u64, bw: u64) -> KernelLaunch {
+        KernelLaunch {
+            kernel: 0,
+            tag: "t".into(),
+            grid: (
+                threads.div_ceil(kernel.block_threads() as u64) as u32,
+                1,
+                1,
+            ),
+            args,
+            bytes_read: br,
+            bytes_written: bw,
+        }
+    }
+
+    #[test]
+    fn more_work_takes_more_cycles() {
+        // body heavy enough that waves dominate the fixed launch overhead
+        let dev = gtx_1080_ti();
+        let k = guard_kernel(64);
+        let small = simulate_launch(&k, &launch(&k, 1 << 18, vec![1 << 18], 0, 0), &dev)
+            .unwrap();
+        let large = simulate_launch(&k, &launch(&k, 1 << 24, vec![1 << 24], 0, 0), &dev)
+            .unwrap();
+        assert!(
+            large.cycles > small.cycles * 10.0,
+            "small {} vs large {}",
+            small.cycles,
+            large.cycles
+        );
+    }
+
+    #[test]
+    fn faster_device_finishes_sooner() {
+        let k = ptx_codegen::Template::GemmTiled.build();
+        // 512x512x512 gemm
+        let l = KernelLaunch {
+            kernel: 0,
+            tag: "gemm".into(),
+            grid: ((512 * 512 / 256) as u32, 1, 1),
+            args: vec![0x1000, 0x2000, 0x3000, 512, 512, 512, 32, 0, 0],
+            bytes_read: 512 * 512 * 8,
+            bytes_written: 512 * 512 * 4,
+        };
+        let big = simulate_launch(&k, &l, &v100s()).unwrap();
+        let small = simulate_launch(&k, &l, &quadro_p1000()).unwrap();
+        assert!(
+            small.cycles > 2.0 * big.cycles,
+            "P1000 {} vs V100S {}",
+            small.cycles,
+            big.cycles
+        );
+    }
+
+    #[test]
+    fn memory_bound_kernel_scales_with_bandwidth() {
+        // pure copy kernel with huge traffic
+        let k = ptx_codegen::Template::CopyF32.build();
+        let n: u64 = 1 << 26; // 64M elements = 256 MB in + 256 MB out
+        let l = launch(&k, n / 4, vec![0x1000, 0x2000, n], n * 4, n * 4);
+        let fast = simulate_launch(&k, &l, &v100s()).unwrap();
+        let slow = simulate_launch(&k, &l, &gtx_1080_ti()).unwrap();
+        // V100S has 2.3x the bandwidth; allow a broad band
+        let ratio = slow.cycles / fast.cycles;
+        assert!(ratio > 1.3, "expected bandwidth-driven gap, got {ratio}");
+    }
+
+    #[test]
+    fn barrier_kernel_completes() {
+        let k = ptx_codegen::Template::SoftmaxMax.build();
+        let l = KernelLaunch {
+            kernel: 0,
+            tag: "softmax".into(),
+            grid: (1, 1, 1),
+            args: vec![0x1000, 0, 0x2000, 0x3000, 1000],
+            bytes_read: 4000,
+            bytes_written: 4,
+        };
+        let s = simulate_launch(&k, &l, &gtx_1080_ti()).unwrap();
+        assert!(s.cycles.is_finite() && s.cycles > 0.0);
+    }
+
+    #[test]
+    fn ipc_in_plausible_range() {
+        let k = ptx_codegen::Template::GemmTiled.build();
+        let l = KernelLaunch {
+            kernel: 0,
+            tag: "gemm".into(),
+            grid: ((1024 * 1024 / 256) as u32, 1, 1),
+            args: vec![0x1000, 0x2000, 0x3000, 1024, 1024, 1024, 64, 0, 0],
+            bytes_read: 1024 * 1024 * 16,
+            bytes_written: 1024 * 1024 * 4,
+        };
+        let dev = gtx_1080_ti();
+        let s = simulate_launch(&k, &l, &dev).unwrap();
+        let ipc_per_sm = s.warp_instructions as f64 / s.cycles / dev.sm_count as f64;
+        assert!(
+            (0.05..4.0).contains(&ipc_per_sm),
+            "per-SM IPC {ipc_per_sm} out of range"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let dev = gtx_1080_ti();
+        let k = guard_kernel(16);
+        let l = launch(&k, 1 << 18, vec![200_000], 1 << 22, 1 << 20);
+        let a = simulate_launch(&k, &l, &dev).unwrap();
+        let b = simulate_launch(&k, &l, &dev).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.warp_instructions, b.warp_instructions);
+    }
+}

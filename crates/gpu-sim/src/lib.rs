@@ -1,0 +1,38 @@
+//! # gpu-sim — a GPGPU performance simulator
+//!
+//! The "hardware" substitute of this reproduction: since the paper measures
+//! ground-truth IPC by running CNNs on real GPUs under `nvprof`, and no GPU
+//! exists in this environment, this crate provides a cycle-approximate
+//! GPGPU model to play that role.
+//!
+//! - [`specs`] — architectural database (GTX 1080 Ti, V100S, Quadro P1000
+//!   and five more devices)
+//! - [`occupancy`] — blocks/warps-per-SM calculator
+//! - [`timing`] — per-pipeline throughput/latency tables and the L2 model
+//! - [`detailed`] — event-driven per-warp SM simulation (ground truth)
+//! - [`analytical`] — closed-form roofline estimate (ablation)
+//! - [`machine`] — whole-plan simulation and the IPC metric
+//! - [`profiler`] — `nvprof`-like facade with deterministic measurement
+//!   jitter
+//!
+//! ```no_run
+//! let model = cnn_ir::zoo::build("mobilenet").unwrap();
+//! let plan = ptx_codegen::lower(&model, "sm_61").unwrap();
+//! let rec = gpu_sim::profile(&plan, &gpu_sim::specs::gtx_1080_ti()).unwrap();
+//! println!("IPC = {:.3}", rec.ipc);
+//! ```
+
+pub mod analytical;
+pub mod detailed;
+pub mod machine;
+pub mod occupancy;
+pub mod power;
+pub mod profiler;
+pub mod specs;
+pub mod timing;
+
+pub use machine::{SimMode, SimReport, Simulator};
+pub use occupancy::{occupancy, Limiter, Occupancy};
+pub use power::{estimate as estimate_power, PowerReport};
+pub use profiler::{profile, profile_run, profile_stats, ProfileRecord, ProfileStats};
+pub use specs::{all_devices, device_by_name, training_devices, DeviceSpec};

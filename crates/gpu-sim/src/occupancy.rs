@@ -1,0 +1,125 @@
+//! SM occupancy calculation: how many blocks/warps of a kernel fit on one
+//! streaming multiprocessor, limited by warp slots, registers, shared
+//! memory and the block cap — the same arithmetic as NVIDIA's occupancy
+//! calculator (simplified allocation granularity).
+
+use crate::specs::DeviceSpec;
+use ptx::kernel::Kernel;
+
+/// Occupancy of one kernel on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    pub blocks_per_sm: u32,
+    pub warps_per_sm: u32,
+    /// Fraction of the device's warp slots in use.
+    pub occupancy: f64,
+    /// Which resource bounds the result.
+    pub limiter: Limiter,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    WarpSlots,
+    Registers,
+    SharedMemory,
+    BlockCap,
+}
+
+/// Compute occupancy for `kernel` on `dev`.
+pub fn occupancy(kernel: &Kernel, dev: &DeviceSpec) -> Occupancy {
+    let threads = kernel.block_threads().max(1);
+    let warps_per_block = threads.div_ceil(32);
+    let regs_per_thread = kernel.regs_per_thread();
+    let shared_per_block = kernel.shared_bytes.max(1);
+
+    let by_warps = dev.max_warps_per_sm / warps_per_block.max(1);
+    let by_regs = dev.registers_per_sm / (regs_per_thread * threads).max(1);
+    let by_shared = (dev.shared_mem_per_sm_kb * 1024) / shared_per_block;
+    let by_cap = dev.max_blocks_per_sm;
+
+    let (blocks, limiter) = [
+        (by_warps, Limiter::WarpSlots),
+        (by_regs, Limiter::Registers),
+        (by_shared, Limiter::SharedMemory),
+        (by_cap, Limiter::BlockCap),
+    ]
+    .into_iter()
+    .min_by_key(|(b, _)| *b)
+    .expect("non-empty");
+
+    let blocks = blocks.max(1); // a kernel that fits at all runs one block
+    let warps = (blocks * warps_per_block).min(dev.max_warps_per_sm);
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        occupancy: warps as f64 / dev.max_warps_per_sm as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::gtx_1080_ti;
+    use ptx::builder::KernelBuilder;
+    use ptx::types::Type;
+
+    fn kernel_with(block: u32, shared: u32, regs: u32) -> Kernel {
+        let mut kb = KernelBuilder::new("k", block);
+        if shared > 0 {
+            kb.shared(shared);
+        }
+        // burn registers to raise the estimate
+        for _ in 0..regs {
+            let r = kb.r();
+            kb.mov(Type::U32, r, ptx::inst::Operand::ImmI(1));
+        }
+        kb.ret();
+        kb.finish()
+    }
+
+    #[test]
+    fn warp_slot_limit() {
+        // 256-thread blocks, minimal resources: 64 warps / 8 warps-per-block
+        let k = kernel_with(256, 0, 4);
+        let o = occupancy(&k, &gtx_1080_ti());
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.warps_per_sm, 64);
+        assert!((o.occupancy - 1.0).abs() < 1e-9);
+        assert_eq!(o.limiter, Limiter::WarpSlots);
+    }
+
+    #[test]
+    fn register_limit_kicks_in() {
+        // 128 registers x 256 threads = 32768 regs per block: 2 blocks/SM
+        let k = kernel_with(256, 0, 128);
+        let o = occupancy(&k, &gtx_1080_ti());
+        assert_eq!(o.limiter, Limiter::Registers);
+        assert_eq!(o.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn shared_memory_limit() {
+        // 48 KB shared per block on a 96 KB SM: 2 blocks
+        let k = kernel_with(64, 48 * 1024, 4);
+        let o = occupancy(&k, &gtx_1080_ti());
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+        assert_eq!(o.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn small_blocks_hit_block_cap() {
+        let k = kernel_with(32, 0, 4);
+        let o = occupancy(&k, &gtx_1080_ti());
+        assert_eq!(o.limiter, Limiter::BlockCap);
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.warps_per_sm, 32);
+    }
+
+    #[test]
+    fn gemm_template_has_decent_occupancy() {
+        let k = ptx_codegen::Template::GemmTiled.build();
+        let o = occupancy(&k, &gtx_1080_ti());
+        assert!(o.occupancy >= 0.25, "{:?}", o);
+    }
+}

@@ -1,0 +1,180 @@
+//! An `nvprof`-like profiling facade over the simulator.
+//!
+//! [`profile`] "runs" a CNN on a device the way the paper's naive approach
+//! does — full detailed simulation of every launch — and reports the IPC
+//! metric with a small deterministic run-to-run jitter emulating real
+//! profiler variance. The jitter is seeded by (model, device, run) so
+//! experiments are reproducible.
+
+use crate::machine::{SimMode, SimReport, Simulator};
+use crate::specs::DeviceSpec;
+use ptx::kernel::LaunchPlan;
+use ptx_analysis::ExecError;
+use serde::{Deserialize, Serialize};
+
+/// Relative standard deviation of the measurement jitter.
+const JITTER_REL: f64 = 0.015;
+
+/// One profiling measurement, as `nvprof --metrics ipc` would report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileRecord {
+    pub model_name: String,
+    pub device_name: String,
+    /// Measured IPC (jittered ground truth).
+    pub ipc: f64,
+    /// Noise-free IPC from the simulator.
+    pub ipc_clean: f64,
+    pub cycles: f64,
+    pub latency_ms: f64,
+    pub thread_instructions: u64,
+    pub warp_instructions: u64,
+    /// Wall-clock seconds the profiling itself took (the `t_p` of the
+    /// paper's Table IV).
+    pub profiling_wall_s: f64,
+}
+
+/// FNV-1a over the seed material: deterministic per (model, device, run).
+fn hash_seed(model: &str, device: &str, run: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in model
+        .bytes()
+        .chain(device.bytes())
+        .chain(run.to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Standard-normal sample from two xorshift draws (Box-Muller).
+fn gaussian(seed: u64) -> f64 {
+    let mut s = seed | 1;
+    let mut next = || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let u1 = next().max(1e-12);
+    let u2 = next();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Profile one lowered model on one device (run index 0).
+pub fn profile(plan: &LaunchPlan, dev: &DeviceSpec) -> Result<ProfileRecord, ExecError> {
+    profile_run(plan, dev, 0)
+}
+
+/// Profile with an explicit run index (distinct jitter per run).
+pub fn profile_run(
+    plan: &LaunchPlan,
+    dev: &DeviceSpec,
+    run: u32,
+) -> Result<ProfileRecord, ExecError> {
+    let t0 = std::time::Instant::now();
+    let report: SimReport =
+        Simulator::new(dev.clone(), SimMode::Detailed).simulate_plan(plan)?;
+    let wall = t0.elapsed().as_secs_f64();
+
+    let seed = hash_seed(&plan.model_name, &dev.name, run);
+    let noise = 1.0 + JITTER_REL * gaussian(seed);
+    Ok(ProfileRecord {
+        model_name: report.model_name.clone(),
+        device_name: report.device_name.clone(),
+        ipc: report.ipc * noise,
+        ipc_clean: report.ipc,
+        cycles: report.cycles,
+        latency_ms: report.latency_ms,
+        thread_instructions: report.thread_instructions,
+        warp_instructions: report.warp_instructions,
+        profiling_wall_s: wall,
+    })
+}
+
+/// Aggregate over repeated profiling runs (real profiling protocols take
+/// the mean of several `nvprof` replicates; so does this).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileStats {
+    pub model_name: String,
+    pub device_name: String,
+    pub runs: u32,
+    pub ipc_mean: f64,
+    pub ipc_std: f64,
+    pub records: Vec<ProfileRecord>,
+}
+
+/// Profile `runs` replicates and aggregate. The simulation runs once; only
+/// the measurement jitter differs per replicate (as on quiet hardware).
+pub fn profile_stats(
+    plan: &LaunchPlan,
+    dev: &DeviceSpec,
+    runs: u32,
+) -> Result<ProfileStats, ExecError> {
+    assert!(runs >= 1);
+    let mut records = Vec::with_capacity(runs as usize);
+    for r in 0..runs {
+        records.push(profile_run(plan, dev, r)?);
+    }
+    let n = runs as f64;
+    let mean = records.iter().map(|r| r.ipc).sum::<f64>() / n;
+    let var = records
+        .iter()
+        .map(|r| (r.ipc - mean) * (r.ipc - mean))
+        .sum::<f64>()
+        / n;
+    Ok(ProfileStats {
+        model_name: plan.model_name.clone(),
+        device_name: dev.name.clone(),
+        runs,
+        ipc_mean: mean,
+        ipc_std: var.sqrt(),
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::gtx_1080_ti;
+
+    fn plan() -> LaunchPlan {
+        let model = cnn_ir::zoo::build("alexnet").unwrap();
+        ptx_codegen::lower(&model, "sm_61").unwrap()
+    }
+
+    #[test]
+    fn jitter_is_small_and_deterministic() {
+        let p = plan();
+        let dev = gtx_1080_ti();
+        let a = profile_run(&p, &dev, 0).unwrap();
+        let b = profile_run(&p, &dev, 0).unwrap();
+        assert_eq!(a.ipc, b.ipc, "same run index must reproduce exactly");
+        let c = profile_run(&p, &dev, 1).unwrap();
+        assert_ne!(a.ipc, c.ipc, "different runs must differ");
+        let rel = (a.ipc - a.ipc_clean).abs() / a.ipc_clean;
+        assert!(rel < 0.10, "jitter {rel} too large");
+    }
+
+    #[test]
+    fn wall_time_is_recorded() {
+        let p = plan();
+        let r = profile(&p, &gtx_1080_ti()).unwrap();
+        assert!(r.profiling_wall_s > 0.0);
+    }
+
+    #[test]
+    fn replicate_stats_center_on_clean_ipc() {
+        let p = plan();
+        let s = profile_stats(&p, &gtx_1080_ti(), 16).unwrap();
+        assert_eq!(s.records.len(), 16);
+        let clean = s.records[0].ipc_clean;
+        // mean of 16 jittered replicates within ~2% of the clean value
+        assert!(
+            ((s.ipc_mean - clean) / clean).abs() < 0.02,
+            "mean {} vs clean {clean}",
+            s.ipc_mean
+        );
+        assert!(s.ipc_std > 0.0 && s.ipc_std / clean < 0.05);
+    }
+}

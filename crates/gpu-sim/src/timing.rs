@@ -1,0 +1,124 @@
+//! Per-category issue throughputs (CPI) and dependent-use latencies of the
+//! modeled SM pipelines, derived from the device specification. Numbers
+//! follow published microbenchmark studies of Pascal/Volta/Turing pipelines
+//! (Jia et al., "Dissecting the NVIDIA GPU architectures").
+
+use crate::specs::DeviceSpec;
+use ptx::inst::Category;
+use ptx_analysis::NCAT;
+
+/// Timing tables for one device.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Reciprocal throughput: cycles the issuing pipe stays busy per
+    /// warp-instruction, per category.
+    pub cpi: [f64; NCAT],
+    /// Dependent-use latency in cycles, per category. Global loads carry
+    /// the L2-hit latency; misses add DRAM latency at simulation time.
+    pub latency: [f64; NCAT],
+    /// L2 hit latency (cycles).
+    pub l2_latency: f64,
+    /// DRAM latency (cycles).
+    pub dram_latency: f64,
+    /// Issue-port reciprocal throughput (instructions per cycle per SM).
+    pub issue_cpi: f64,
+}
+
+fn idx(c: Category) -> usize {
+    Category::ALL.iter().position(|x| *x == c).expect("category")
+}
+
+/// Build the timing tables for `dev`.
+pub fn timing_for(dev: &DeviceSpec) -> Timing {
+    let alu_cpi = 32.0 / dev.cores_per_sm as f64;
+    let sfu_cpi = 32.0 / dev.sfu_per_sm as f64;
+    let lsu_cpi = 32.0 / dev.lsu_per_sm as f64;
+    let volta_plus = dev.compute_capability.0 >= 7;
+    let alu_lat = if volta_plus { 4.0 } else { 6.0 };
+
+    let mut cpi = [alu_cpi; NCAT];
+    let mut latency = [alu_lat; NCAT];
+
+    cpi[idx(Category::IntAlu)] = alu_cpi;
+    cpi[idx(Category::FloatAlu)] = alu_cpi;
+    cpi[idx(Category::FloatFma)] = alu_cpi;
+    cpi[idx(Category::SpecialFunc)] = sfu_cpi;
+    cpi[idx(Category::LoadGlobal)] = lsu_cpi;
+    cpi[idx(Category::StoreGlobal)] = lsu_cpi;
+    cpi[idx(Category::LoadShared)] = lsu_cpi;
+    cpi[idx(Category::StoreShared)] = lsu_cpi;
+    cpi[idx(Category::LoadParam)] = 0.25;
+    cpi[idx(Category::Control)] = 0.25;
+    cpi[idx(Category::Sync)] = 1.0;
+    cpi[idx(Category::Move)] = alu_cpi;
+    cpi[idx(Category::Convert)] = alu_cpi;
+    cpi[idx(Category::Compare)] = alu_cpi;
+
+    latency[idx(Category::SpecialFunc)] = if volta_plus { 12.0 } else { 16.0 };
+    latency[idx(Category::LoadShared)] = if volta_plus { 19.0 } else { 24.0 };
+    latency[idx(Category::StoreShared)] = 2.0;
+    latency[idx(Category::StoreGlobal)] = 2.0;
+    latency[idx(Category::LoadParam)] = 8.0;
+    latency[idx(Category::Control)] = 2.0;
+    latency[idx(Category::Sync)] = 2.0;
+    // LoadGlobal latency is resolved per access (L2 hit vs DRAM)
+    let l2_latency = if volta_plus { 190.0 } else { 220.0 };
+    latency[idx(Category::LoadGlobal)] = l2_latency;
+
+    Timing {
+        cpi,
+        latency,
+        l2_latency,
+        dram_latency: dev.dram_latency_cycles as f64,
+        issue_cpi: 1.0 / dev.warp_schedulers_per_sm as f64,
+    }
+}
+
+/// Deterministic L2 hit-rate estimate for a launch touching `bytes_read`
+/// bytes of input on a device with `l2_kb` of cache: full reuse while the
+/// working set fits, square-root decay beyond.
+pub fn l2_hit_rate(bytes_read: u64, l2_kb: u32) -> f64 {
+    let l2 = l2_kb as f64 * 1024.0;
+    let b = bytes_read.max(1) as f64;
+    if b <= l2 {
+        0.90
+    } else {
+        (0.90 * (l2 / b).sqrt()).clamp(0.15, 0.90)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{gtx_1080_ti, v100s};
+
+    #[test]
+    fn pascal_fma_cpi() {
+        let t = timing_for(&gtx_1080_ti());
+        assert!((t.cpi[idx(Category::FloatFma)] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volta_fma_cpi_and_latency() {
+        let t = timing_for(&v100s());
+        assert!((t.cpi[idx(Category::FloatFma)] - 0.5).abs() < 1e-9);
+        assert!((t.latency[idx(Category::FloatFma)] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_hit_rate_behaviour() {
+        // fits in cache
+        assert!((l2_hit_rate(1 << 20, 2816) - 0.90).abs() < 1e-9);
+        // far exceeds cache
+        let h = l2_hit_rate(1 << 30, 2816);
+        assert!(h < 0.5 && h >= 0.15, "{h}");
+        // monotone in cache size (inside the unclamped region)
+        assert!(l2_hit_rate(1 << 24, 6144) > l2_hit_rate(1 << 24, 1024));
+    }
+
+    #[test]
+    fn issue_cpi_from_schedulers() {
+        let t = timing_for(&gtx_1080_ti());
+        assert!((t.issue_cpi - 0.25).abs() < 1e-9);
+    }
+}

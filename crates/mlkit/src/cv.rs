@@ -1,0 +1,144 @@
+//! Model-selection utilities: k-fold cross-validation and repeated
+//! train/test evaluation (used to quantify the variance hidden behind the
+//! paper's single 70/30 split).
+
+use crate::dataset::Dataset;
+use crate::model::{evaluate, RegressorKind, Scores};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Mean and standard deviation of a metric over repetitions.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MeanStd {
+    pub mean: f64,
+    pub std: f64,
+}
+
+fn mean_std(vals: &[f64]) -> MeanStd {
+    let finite: Vec<f64> = vals.iter().copied().filter(|v| v.is_finite()).collect();
+    let n = finite.len().max(1) as f64;
+    let mean = finite.iter().sum::<f64>() / n;
+    let var = finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    MeanStd {
+        mean,
+        std: var.sqrt(),
+    }
+}
+
+/// Aggregated scores over repeated splits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepeatedScores {
+    pub kind: RegressorKind,
+    pub mape: MeanStd,
+    pub r2: MeanStd,
+    pub adjusted_r2: MeanStd,
+    pub runs: usize,
+}
+
+/// Repeat the paper's 70/30 protocol across `seeds`, returning per-seed
+/// scores and the aggregate.
+pub fn repeated_split_eval(
+    data: &Dataset,
+    kind: RegressorKind,
+    train_frac: f64,
+    seeds: &[u64],
+) -> (Vec<Scores>, RepeatedScores) {
+    let per: Vec<Scores> = seeds
+        .iter()
+        .map(|&s| {
+            let (tr, te) = data.split(train_frac, s);
+            let m = kind.fit(&tr, s);
+            evaluate(&m, &te)
+        })
+        .collect();
+    let agg = RepeatedScores {
+        kind,
+        mape: mean_std(&per.iter().map(|s| s.mape).collect::<Vec<_>>()),
+        r2: mean_std(&per.iter().map(|s| s.r2).collect::<Vec<_>>()),
+        adjusted_r2: mean_std(&per.iter().map(|s| s.adjusted_r2).collect::<Vec<_>>()),
+        runs: per.len(),
+    };
+    (per, agg)
+}
+
+/// K-fold cross-validation: returns the per-fold scores.
+pub fn kfold_eval(
+    data: &Dataset,
+    kind: RegressorKind,
+    k: usize,
+    seed: u64,
+) -> Vec<Scores> {
+    assert!(k >= 2, "need at least two folds");
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let fold_size = data.len().div_ceil(k);
+    let mut out = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * fold_size;
+        let hi = ((f + 1) * fold_size).min(data.len());
+        if lo >= hi {
+            break;
+        }
+        let test_idx: Vec<usize> = idx[lo..hi].to_vec();
+        let train_idx: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+        let train = data.select(&train_idx);
+        let test = data.select(&test_idx);
+        let m = kind.fit(&train, seed.wrapping_add(f as u64));
+        out.push(evaluate(&m, &test));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into()]);
+        for i in 0..100 {
+            let a = i as f64;
+            d.push(format!("r{i}"), vec![a], 2.0 * a + 1.0);
+        }
+        d
+    }
+
+    #[test]
+    fn repeated_eval_aggregates() {
+        let d = data();
+        let (per, agg) = repeated_split_eval(
+            &d,
+            RegressorKind::LinearRegression,
+            0.7,
+            &[1, 2, 3, 4, 5],
+        );
+        assert_eq!(per.len(), 5);
+        assert_eq!(agg.runs, 5);
+        assert!(agg.mape.mean < 1.0, "linear fit should be near perfect");
+    }
+
+    #[test]
+    fn kfold_covers_all_rows() {
+        let d = data();
+        let scores = kfold_eval(&d, RegressorKind::DecisionTree, 5, 3);
+        assert_eq!(scores.len(), 5);
+        for s in scores {
+            assert!(s.mape.is_finite());
+        }
+    }
+
+    #[test]
+    fn mean_std_ignores_nan() {
+        let ms = mean_std(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(ms.mean, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two folds")]
+    fn kfold_requires_k2() {
+        let d = data();
+        let _ = kfold_eval(&d, RegressorKind::DecisionTree, 1, 0);
+    }
+}

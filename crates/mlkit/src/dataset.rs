@@ -1,0 +1,304 @@
+//! Tabular datasets for regression: named feature columns, a target vector,
+//! seeded train/test splitting (the paper's 70/30 protocol) and
+//! standardization.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A dense tabular dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    pub feature_names: Vec<String>,
+    /// Row-major feature matrix (`rows x features`).
+    pub x: Vec<Vec<f64>>,
+    pub y: Vec<f64>,
+    /// Optional row labels (e.g. "resnet50@V100S") for reporting.
+    pub labels: Vec<String>,
+}
+
+impl Dataset {
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Self {
+            feature_names,
+            x: Vec::new(),
+            y: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Append one observation.
+    pub fn push(&mut self, label: impl Into<String>, features: Vec<f64>, target: f64) {
+        assert_eq!(
+            features.len(),
+            self.feature_names.len(),
+            "feature arity mismatch"
+        );
+        self.x.push(features);
+        self.y.push(target);
+        self.labels.push(label.into());
+    }
+
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    pub fn num_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Subset by row indices.
+    pub fn select(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            x: idx.iter().map(|&i| self.x[i].clone()).collect(),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+            labels: idx.iter().map(|&i| self.labels[i].clone()).collect(),
+        }
+    }
+
+    /// Seeded shuffled split: `train_frac` of rows go to the first returned
+    /// set. No row appears in both (the paper: "no data points exist in
+    /// both data sets").
+    pub fn split(&self, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac));
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_train = (self.len() as f64 * train_frac).round() as usize;
+        let (tr, te) = idx.split_at(n_train.min(self.len()));
+        (self.select(tr), self.select(te))
+    }
+
+    /// Remove rows whose label satisfies `pred`, returning (kept, removed).
+    pub fn partition_by_label(&self, pred: impl Fn(&str) -> bool) -> (Dataset, Dataset) {
+        let mut keep = Vec::new();
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            if pred(&self.labels[i]) {
+                out.push(i);
+            } else {
+                keep.push(i);
+            }
+        }
+        (self.select(&keep), self.select(&out))
+    }
+
+    /// Column index by feature name.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.feature_names.iter().position(|n| n == name)
+    }
+}
+
+/// Per-feature standardization parameters (fit on training data only).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Standardizer {
+    pub mean: Vec<f64>,
+    pub std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit on a dataset.
+    pub fn fit(data: &Dataset) -> Self {
+        let nf = data.num_features();
+        let n = data.len().max(1) as f64;
+        let mut mean = vec![0.0; nf];
+        for row in &data.x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; nf];
+        for row in &data.x {
+            for ((s, v), m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave centered values at 0
+            }
+        }
+        Self { mean, std }
+    }
+
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        Dataset {
+            feature_names: data.feature_names.clone(),
+            x: data.x.iter().map(|r| self.transform_row(r)).collect(),
+            y: data.y.clone(),
+            labels: data.labels.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..n {
+            d.push(format!("row{i}"), vec![i as f64, 2.0 * i as f64], i as f64);
+        }
+        d
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let d = toy(100);
+        let (tr, te) = d.split(0.7, 42);
+        assert_eq!(tr.len(), 70);
+        assert_eq!(te.len(), 30);
+        let mut all: Vec<&String> = tr.labels.iter().chain(te.labels.iter()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 100, "rows leaked between splits");
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let d = toy(50);
+        let (a, _) = d.split(0.7, 7);
+        let (b, _) = d.split(0.7, 7);
+        assert_eq!(a.labels, b.labels);
+        let (c, _) = d.split(0.7, 8);
+        assert_ne!(a.labels, c.labels);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let d = toy(100);
+        let s = Standardizer::fit(&d);
+        let t = s.transform(&d);
+        for f in 0..2 {
+            let mean: f64 = t.x.iter().map(|r| r[f]).sum::<f64>() / t.len() as f64;
+            let var: f64 =
+                t.x.iter().map(|r| r[f] * r[f]).sum::<f64>() / t.len() as f64;
+            assert!(mean.abs() < 1e-9, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let mut d = Dataset::new(vec!["c".into()]);
+        for i in 0..10 {
+            d.push(format!("r{i}"), vec![5.0], i as f64);
+        }
+        let s = Standardizer::fit(&d);
+        let t = s.transform(&d);
+        assert!(t.x.iter().all(|r| r[0] == 0.0));
+    }
+
+    #[test]
+    fn partition_by_label() {
+        let d = toy(10);
+        let (keep, out) = d.partition_by_label(|l| l.ends_with('3'));
+        assert_eq!(out.len(), 1);
+        assert_eq!(keep.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature arity")]
+    fn arity_checked() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        d.push("r", vec![1.0, 2.0], 0.0);
+    }
+}
+
+impl Dataset {
+    /// Serialize to CSV: `label, <features...>, target`.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("label,");
+        s.push_str(&self.feature_names.join(","));
+        s.push_str(",target\n");
+        for i in 0..self.len() {
+            s.push_str(&self.labels[i]);
+            for v in &self.x[i] {
+                s.push(',');
+                s.push_str(&format!("{v}"));
+            }
+            s.push_str(&format!(",{}\n", self.y[i]));
+        }
+        s
+    }
+
+    /// Parse the CSV produced by [`Self::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Dataset, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty csv")?;
+        let cols: Vec<&str> = header.split(',').collect();
+        if cols.len() < 3 || cols[0] != "label" || *cols.last().expect("cols") != "target"
+        {
+            return Err("expected header 'label,<features...>,target'".into());
+        }
+        let feature_names: Vec<String> =
+            cols[1..cols.len() - 1].iter().map(|s| s.to_string()).collect();
+        let mut d = Dataset::new(feature_names);
+        for (ln, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split(',').collect();
+            if parts.len() != cols.len() {
+                return Err(format!("row {} has {} columns, expected {}", ln + 2, parts.len(), cols.len()));
+            }
+            let features: Result<Vec<f64>, _> = parts[1..parts.len() - 1]
+                .iter()
+                .map(|v| v.parse::<f64>())
+                .collect();
+            let features = features.map_err(|e| format!("row {}: {e}", ln + 2))?;
+            let target: f64 = parts[parts.len() - 1]
+                .parse()
+                .map_err(|e| format!("row {}: {e}", ln + 2))?;
+            d.push(parts[0].to_string(), features, target);
+        }
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        d.push("x@y", vec![1.5, -2.0], 0.75);
+        d.push("z@w", vec![1e9, 0.0], 0.5);
+        let back = Dataset::from_csv(&d.to_csv()).unwrap();
+        assert_eq!(back.feature_names, d.feature_names);
+        assert_eq!(back.labels, d.labels);
+        assert_eq!(back.x, d.x);
+        assert_eq!(back.y, d.y);
+    }
+
+    #[test]
+    fn csv_rejects_bad_header() {
+        assert!(Dataset::from_csv("a,b,c\n1,2,3\n").is_err());
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let text = "label,a,target\nx,1,2\ny,3\n";
+        assert!(Dataset::from_csv(text).is_err());
+    }
+}

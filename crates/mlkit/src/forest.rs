@@ -1,0 +1,170 @@
+//! Random-forest regression: bagged CART trees with per-split feature
+//! subsampling, trained in parallel with rayon (deterministic per-tree
+//! seeds, order-independent aggregation).
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTreeRegressor, TreeParams};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestParams {
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub min_samples_leaf: usize,
+    /// Features per split; `None` = all features (the scikit-learn
+    /// `RandomForestRegressor` default — bagging alone provides the
+    /// randomness).
+    pub max_features: Option<usize>,
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    /// scikit-learn defaults: 100 trees, unlimited depth, all features.
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            max_depth: 32,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForestRegressor {
+    trees: Vec<DecisionTreeRegressor>,
+    pub params: ForestParams,
+    n_features: usize,
+}
+
+impl RandomForestRegressor {
+    pub fn fit(data: &Dataset, params: ForestParams) -> Self {
+        assert!(!data.is_empty());
+        let p = data.num_features();
+        let mf = params.max_features.unwrap_or(p);
+        let trees: Vec<DecisionTreeRegressor> = (0..params.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng =
+                    StdRng::seed_from_u64(params.seed.wrapping_add(t as u64 * 7919));
+                // bootstrap sample
+                let idx: Vec<usize> =
+                    (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect();
+                let sample = data.select(&idx);
+                DecisionTreeRegressor::fit(
+                    &sample,
+                    TreeParams {
+                        max_depth: params.max_depth,
+                        min_samples_split: 2,
+                        min_samples_leaf: params.min_samples_leaf,
+                        max_features: Some(mf),
+                        seed: params.seed.wrapping_add(t as u64 * 104_729),
+                    },
+                )
+            })
+            .collect();
+        Self {
+            trees,
+            params,
+            n_features: p,
+        }
+    }
+
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let s: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
+        s / self.trees.len() as f64
+    }
+
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        data.x.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Mean of per-tree normalized importances.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_features];
+        for t in &self.trees {
+            for (a, v) in acc.iter_mut().zip(t.feature_importances()) {
+                *a += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        acc
+    }
+
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_step() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..80 {
+            let a = i as f64;
+            let noise = ((i * 37) % 11) as f64 * 0.05;
+            let y = if a < 40.0 { 1.0 + noise } else { 10.0 + noise };
+            d.push(format!("r{i}"), vec![a, (i % 5) as f64], y);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_reasonably() {
+        let d = noisy_step();
+        let f = RandomForestRegressor::fit(&d, ForestParams::default());
+        let preds = f.predict(&d);
+        let r2 = crate::metrics::r2(&d.y, &preds);
+        assert!(r2 > 0.9, "{r2}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = noisy_step();
+        let a = RandomForestRegressor::fit(&d, ForestParams::default());
+        let b = RandomForestRegressor::fit(&d, ForestParams::default());
+        assert_eq!(a.predict(&d), b.predict(&d));
+        let c = RandomForestRegressor::fit(
+            &d,
+            ForestParams {
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a.predict(&d), c.predict(&d));
+    }
+
+    #[test]
+    fn importances_normalized() {
+        let d = noisy_step();
+        let f = RandomForestRegressor::fit(&d, ForestParams::default());
+        let imp = f.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[1], "informative feature should dominate: {imp:?}");
+    }
+
+    #[test]
+    fn respects_tree_count() {
+        let d = noisy_step();
+        let f = RandomForestRegressor::fit(
+            &d,
+            ForestParams {
+                n_trees: 7,
+                ..Default::default()
+            },
+        );
+        assert_eq!(f.n_trees(), 7);
+    }
+}

@@ -1,0 +1,145 @@
+//! K-nearest-neighbors regression over standardized features, with uniform
+//! or inverse-distance weighting.
+
+use crate::dataset::{Dataset, Standardizer};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KnnWeights {
+    Uniform,
+    Distance,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnParams {
+    pub k: usize,
+    pub weights: KnnWeights,
+}
+
+impl Default for KnnParams {
+    /// scikit-learn `KNeighborsRegressor` defaults: k = 5, uniform weights.
+    fn default() -> Self {
+        Self {
+            k: 5,
+            weights: KnnWeights::Uniform,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    scaler: Standardizer,
+    pub params: KnnParams,
+}
+
+impl KnnRegressor {
+    pub fn fit(data: &Dataset, params: KnnParams) -> Self {
+        assert!(!data.is_empty());
+        let scaler = Standardizer::fit(data);
+        Self {
+            x: data.x.iter().map(|r| scaler.transform_row(r)).collect(),
+            y: data.y.clone(),
+            scaler,
+            params,
+        }
+    }
+
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let q = self.scaler.transform_row(row);
+        let mut dist: Vec<(f64, f64)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(r, &y)| {
+                let d2: f64 = r.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2.sqrt(), y)
+            })
+            .collect();
+        let k = self.params.k.min(dist.len()).max(1);
+        dist.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let neigh = &dist[..k];
+        match self.params.weights {
+            KnnWeights::Uniform => {
+                neigh.iter().map(|(_, y)| y).sum::<f64>() / k as f64
+            }
+            KnnWeights::Distance => {
+                // exact hit short-circuits (infinite weight)
+                if let Some((_, y)) = neigh.iter().find(|(d, _)| *d < 1e-12) {
+                    return *y;
+                }
+                let wsum: f64 = neigh.iter().map(|(d, _)| 1.0 / d).sum();
+                neigh.iter().map(|(d, y)| y / d).sum::<f64>() / wsum
+            }
+        }
+    }
+
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        data.x.iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into()]);
+        for i in 0..20 {
+            d.push(format!("r{i}"), vec![i as f64], (i * i) as f64);
+        }
+        d
+    }
+
+    #[test]
+    fn exact_training_point_recovered_with_distance_weights() {
+        let d = grid();
+        let m = KnnRegressor::fit(
+            &d,
+            KnnParams {
+                k: 3,
+                weights: KnnWeights::Distance,
+            },
+        );
+        assert_eq!(m.predict_row(&[5.0]), 25.0);
+    }
+
+    #[test]
+    fn uniform_weights_average_neighbors() {
+        let d = grid();
+        let m = KnnRegressor::fit(
+            &d,
+            KnnParams {
+                k: 2,
+                weights: KnnWeights::Uniform,
+            },
+        );
+        // query between 4 and 5: mean of 16 and 25
+        let y = m.predict_row(&[4.5]);
+        assert!((y - 20.5).abs() < 1e-9, "{y}");
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        d.push("r0", vec![0.0], 1.0);
+        d.push("r1", vec![1.0], 3.0);
+        let m = KnnRegressor::fit(
+            &d,
+            KnnParams {
+                k: 50,
+                weights: KnnWeights::Uniform,
+            },
+        );
+        assert!((m.predict_row(&[0.5]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolates_smoothly() {
+        let d = grid();
+        let m = KnnRegressor::fit(&d, KnnParams::default());
+        let y = m.predict_row(&[7.4]);
+        assert!(y > 49.0 && y < 64.0, "{y}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # mlkit — from-scratch regression algorithms and metrics
+//!
+//! The machine-learning substrate of the reproduction: the five regression
+//! algorithms the paper compares in Table II — [`linreg`] (Linear
+//! Regression), [`knn`] (K-Nearest Neighbors), [`forest`] (Random Forest),
+//! [`tree`] (Decision Tree, the paper's final model) and [`gbt`]
+//! (XGBoost-style gradient boosting) — plus the paper's evaluation metrics
+//! (MAPE, R², adjusted R², [`metrics`]), impurity-based feature importances
+//! (Table III), seeded dataset splitting ([`dataset`]) and repeated-split /
+//! k-fold evaluation ([`cv`]).
+//!
+//! Everything is deterministic given explicit seeds, serde-serializable,
+//! and random-forest training parallelizes with rayon.
+
+pub mod cv;
+pub mod dataset;
+pub mod forest;
+pub mod gbt;
+pub mod knn;
+pub mod linreg;
+pub mod metrics;
+pub mod model;
+pub mod select;
+pub mod tree;
+
+pub use cv::{kfold_eval, repeated_split_eval, MeanStd, RepeatedScores};
+pub use dataset::{Dataset, Standardizer};
+pub use forest::{ForestParams, RandomForestRegressor};
+pub use gbt::{GbtParams, GradientBoosting};
+pub use knn::{KnnParams, KnnRegressor, KnnWeights};
+pub use linreg::LinearRegression;
+pub use model::{evaluate, Model, RegressorKind, Scores};
+pub use select::{correlation_ranking, forward_select, permutation_importance, project, SelectionStep};
+pub use tree::{DecisionTreeRegressor, TreeParams};

@@ -1,0 +1,160 @@
+//! Ordinary least squares with an intercept, solved by Gaussian elimination
+//! over the normal equations with a small ridge term for numerical
+//! stability. Features are standardized internally.
+
+use crate::dataset::{Dataset, Standardizer};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearRegression {
+    pub coefficients: Vec<f64>,
+    pub intercept: f64,
+    scaler: Standardizer,
+}
+
+/// Solve `A x = b` in place via Gaussian elimination with partial pivoting.
+/// Returns `None` for (numerically) singular systems.
+pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // pivot
+        let (piv, mx) = (col..n)
+            .map(|r| (r, a[r][col].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))?;
+        if mx < 1e-12 {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        // eliminate
+        for r in col + 1..n {
+            let f = a[r][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for c in r + 1..n {
+            acc -= a[r][c] * x[c];
+        }
+        x[r] = acc / a[r][r];
+    }
+    Some(x)
+}
+
+impl LinearRegression {
+    /// Fit by OLS (ridge fallback `1e-8` on the diagonal).
+    pub fn fit(data: &Dataset) -> Self {
+        let scaler = Standardizer::fit(data);
+        let xs: Vec<Vec<f64>> =
+            data.x.iter().map(|r| scaler.transform_row(r)).collect();
+        let n = data.len();
+        let p = data.num_features();
+        // design matrix with intercept column appended
+        let d = p + 1;
+        let mut xtx = vec![vec![0.0; d]; d];
+        let mut xty = vec![0.0; d];
+        for (row, &y) in xs.iter().zip(&data.y) {
+            for i in 0..d {
+                let xi = if i < p { row[i] } else { 1.0 };
+                xty[i] += xi * y;
+                for j in 0..d {
+                    let xj = if j < p { row[j] } else { 1.0 };
+                    xtx[i][j] += xi * xj;
+                }
+            }
+        }
+        let ridge = 1e-8 * n.max(1) as f64;
+        for (i, r) in xtx.iter_mut().enumerate().take(p) {
+            r[i] += ridge;
+        }
+        let w = solve(xtx, xty).unwrap_or_else(|| vec![0.0; d]);
+        Self {
+            coefficients: w[..p].to_vec(),
+            intercept: w[p],
+            scaler,
+        }
+    }
+
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let xs = self.scaler.transform_row(row);
+        self.intercept
+            + xs.iter()
+                .zip(&self.coefficients)
+                .map(|(x, c)| x * c)
+                .sum::<f64>()
+    }
+
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        data.x.iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize) -> Dataset {
+        // y = 3a - 2b + 5
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..n {
+            let a = i as f64;
+            let b = (i * 7 % 13) as f64;
+            d.push(format!("r{i}"), vec![a, b], 3.0 * a - 2.0 * b + 5.0);
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_linear_relationship() {
+        let d = linear_data(50);
+        let m = LinearRegression::fit(&d);
+        let preds = m.predict(&d);
+        let err = crate::metrics::rmse(&d.y, &preds);
+        assert!(err < 1e-6, "rmse {err}");
+    }
+
+    #[test]
+    fn extrapolates_linearly() {
+        let d = linear_data(50);
+        let m = LinearRegression::fit(&d);
+        let y = m.predict_row(&[100.0, 0.0]);
+        assert!((y - 305.0).abs() < 1e-4, "{y}");
+    }
+
+    #[test]
+    fn solver_rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solver_solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn nonlinear_target_fits_poorly() {
+        // step function: linear regression cannot capture it
+        let mut d = Dataset::new(vec!["a".into()]);
+        for i in 0..40 {
+            let a = i as f64;
+            let y = if a < 20.0 { 1.0 } else { 10.0 };
+            d.push(format!("r{i}"), vec![a], y);
+        }
+        let m = LinearRegression::fit(&d);
+        let preds = m.predict(&d);
+        let r2 = crate::metrics::r2(&d.y, &preds);
+        assert!(r2 < 0.95, "step function fit too well: {r2}");
+    }
+}

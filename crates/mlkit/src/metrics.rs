@@ -1,0 +1,132 @@
+//! Evaluation metrics used by the paper: MAPE, `R^2` and adjusted `R^2`,
+//! plus RMSE/MAE for completeness.
+
+/// Mean Absolute Percentage Error, in percent (the paper reports e.g.
+/// "5.73%"). Rows with `|y| < eps` are skipped to avoid division blow-ups.
+pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    let eps = 1e-12;
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (t, p) in y_true.iter().zip(y_pred) {
+        if t.abs() > eps {
+            acc += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    100.0 * acc / n as f64
+}
+
+/// Coefficient of determination. Can be negative for models worse than the
+/// mean predictor (as the paper's Table II shows for linear regression).
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    let n = y_true.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    let mean: f64 = y_true.iter().sum::<f64>() / n as f64;
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot < 1e-30 {
+        return if ss_res < 1e-30 { 1.0 } else { f64::NEG_INFINITY };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Adjusted `R^2` for `p` predictors over `n` observations.
+pub fn adjusted_r2(r2: f64, n: usize, p: usize) -> f64 {
+    if n <= p + 1 {
+        return f64::NAN;
+    }
+    1.0 - (1.0 - r2) * (n as f64 - 1.0) / (n as f64 - p as f64 - 1.0)
+}
+
+/// Root-mean-square error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    let n = y_true.len().max(1) as f64;
+    (y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / n)
+        .sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    let n = y_true.len().max(1) as f64;
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mape(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn mape_hand_computed() {
+        let t = [100.0, 200.0];
+        let p = [110.0, 180.0];
+        // (10% + 10%) / 2 = 10%
+        assert!((mape(&t, &p) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let p = [2.5; 4];
+        assert!(r2(&t, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_can_go_negative() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [3.0, 2.0, 1.0];
+        assert!(r2(&t, &p) < 0.0);
+    }
+
+    #[test]
+    fn adjusted_r2_penalizes_features() {
+        let a = adjusted_r2(0.45, 20, 3);
+        assert!(a < 0.45);
+        // the paper: R2 0.45 -> adj 0.19 implies about 7 predictors at n=20
+        let b = adjusted_r2(0.45, 20, 7);
+        assert!((b - 0.129).abs() < 0.05, "{b}");
+    }
+
+    #[test]
+    fn adjusted_r2_degenerate_is_nan() {
+        assert!(adjusted_r2(0.9, 5, 5).is_nan());
+    }
+
+    #[test]
+    fn mape_skips_zero_targets() {
+        let t = [0.0, 100.0];
+        let p = [5.0, 110.0];
+        assert!((mape(&t, &p) - 10.0).abs() < 1e-9);
+    }
+}

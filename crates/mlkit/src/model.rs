@@ -1,0 +1,226 @@
+//! A unified interface over the five regression algorithms the paper
+//! evaluates (Table II), with serde-serializable trained models.
+
+use crate::dataset::Dataset;
+use crate::forest::{ForestParams, RandomForestRegressor};
+use crate::gbt::{GbtParams, GradientBoosting};
+use crate::knn::{KnnParams, KnnRegressor};
+use crate::linreg::LinearRegression;
+use crate::metrics;
+use crate::tree::{DecisionTreeRegressor, TreeParams};
+use serde::{Deserialize, Serialize};
+
+/// The five candidate algorithms of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegressorKind {
+    LinearRegression,
+    KNearestNeighbors,
+    RandomForest,
+    DecisionTree,
+    XgBoost,
+}
+
+impl RegressorKind {
+    pub const ALL: [RegressorKind; 5] = [
+        RegressorKind::LinearRegression,
+        RegressorKind::KNearestNeighbors,
+        RegressorKind::RandomForest,
+        RegressorKind::DecisionTree,
+        RegressorKind::XgBoost,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegressorKind::LinearRegression => "Linear Regression",
+            RegressorKind::KNearestNeighbors => "K-Nearest Neighbors",
+            RegressorKind::RandomForest => "Random Forest Tree",
+            RegressorKind::DecisionTree => "Decision Tree",
+            RegressorKind::XgBoost => "XG Boost",
+        }
+    }
+
+    /// Train with the library defaults (tuned for the paper's small
+    /// tabular datasets). `seed` feeds the stochastic models.
+    pub fn fit(&self, data: &Dataset, seed: u64) -> Model {
+        match self {
+            RegressorKind::LinearRegression => {
+                Model::Linear(LinearRegression::fit(data))
+            }
+            RegressorKind::KNearestNeighbors => {
+                Model::Knn(KnnRegressor::fit(data, KnnParams::default()))
+            }
+            RegressorKind::RandomForest => Model::Forest(RandomForestRegressor::fit(
+                data,
+                ForestParams {
+                    seed,
+                    ..Default::default()
+                },
+            )),
+            RegressorKind::DecisionTree => Model::Tree(DecisionTreeRegressor::fit(
+                data,
+                TreeParams {
+                    // selected by repeated-split validation on the paper
+                    // corpus (the paper likewise tunes its final tree)
+                    max_depth: 6,
+                    min_samples_leaf: 2,
+                    seed,
+                    ..Default::default()
+                },
+            )),
+            RegressorKind::XgBoost => {
+                Model::Gbt(GradientBoosting::fit(data, GbtParams::default()))
+            }
+        }
+    }
+}
+
+/// A trained model of any kind.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Model {
+    Linear(LinearRegression),
+    Knn(KnnRegressor),
+    Tree(DecisionTreeRegressor),
+    Forest(RandomForestRegressor),
+    Gbt(GradientBoosting),
+}
+
+impl Model {
+    pub fn kind(&self) -> RegressorKind {
+        match self {
+            Model::Linear(_) => RegressorKind::LinearRegression,
+            Model::Knn(_) => RegressorKind::KNearestNeighbors,
+            Model::Tree(_) => RegressorKind::DecisionTree,
+            Model::Forest(_) => RegressorKind::RandomForest,
+            Model::Gbt(_) => RegressorKind::XgBoost,
+        }
+    }
+
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        match self {
+            Model::Linear(m) => m.predict_row(row),
+            Model::Knn(m) => m.predict_row(row),
+            Model::Tree(m) => m.predict_row(row),
+            Model::Forest(m) => m.predict_row(row),
+            Model::Gbt(m) => m.predict_row(row),
+        }
+    }
+
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        data.x.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Impurity-based feature importances where the model supports them.
+    pub fn feature_importances(&self) -> Option<Vec<f64>> {
+        match self {
+            Model::Tree(m) => Some(m.feature_importances()),
+            Model::Forest(m) => Some(m.feature_importances()),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluation scores of one model on one hold-out set (a Table II row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scores {
+    pub mape: f64,
+    pub r2: f64,
+    pub adjusted_r2: f64,
+    pub rmse: f64,
+}
+
+/// Score `model` on `test`.
+pub fn evaluate(model: &Model, test: &Dataset) -> Scores {
+    let preds = model.predict(test);
+    let r2 = metrics::r2(&test.y, &preds);
+    Scores {
+        mape: metrics::mape(&test.y, &preds),
+        r2,
+        adjusted_r2: metrics::adjusted_r2(r2, test.len(), test.num_features()),
+        rmse: metrics::rmse(&test.y, &preds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..120 {
+            let a = i as f64;
+            let b = ((i * 13) % 17) as f64;
+            // piecewise non-linear target
+            let y = if a < 60.0 { a * 0.1 + b } else { 30.0 - b * 0.5 };
+            d.push(format!("r{i}"), vec![a, b], y);
+        }
+        d
+    }
+
+    #[test]
+    fn all_five_kinds_train_and_predict() {
+        let d = data();
+        let (tr, te) = d.split(0.7, 1);
+        for kind in RegressorKind::ALL {
+            let m = kind.fit(&tr, 42);
+            assert_eq!(m.kind(), kind);
+            let s = evaluate(&m, &te);
+            assert!(s.mape.is_finite(), "{}: MAPE not finite", kind.name());
+            assert!(s.rmse.is_finite());
+        }
+    }
+
+    #[test]
+    fn trees_beat_linear_on_piecewise_target() {
+        let d = data();
+        let (tr, te) = d.split(0.7, 3);
+        let lin = evaluate(&RegressorKind::LinearRegression.fit(&tr, 0), &te);
+        let tree = evaluate(&RegressorKind::DecisionTree.fit(&tr, 0), &te);
+        assert!(
+            tree.rmse < lin.rmse,
+            "tree {} !< linear {}",
+            tree.rmse,
+            lin.rmse
+        );
+    }
+
+    #[test]
+    fn importances_only_for_tree_models() {
+        let d = data();
+        assert!(RegressorKind::DecisionTree
+            .fit(&d, 0)
+            .feature_importances()
+            .is_some());
+        assert!(RegressorKind::RandomForest
+            .fit(&d, 0)
+            .feature_importances()
+            .is_some());
+        assert!(RegressorKind::LinearRegression
+            .fit(&d, 0)
+            .feature_importances()
+            .is_none());
+    }
+
+    #[test]
+    fn models_serialize_roundtrip() {
+        let d = data();
+        for kind in RegressorKind::ALL {
+            let m = kind.fit(&d, 7);
+            let json = serde_json::to_string(&m).unwrap();
+            let back: Model = serde_json::from_str(&json).unwrap();
+            let row = &d.x[5];
+            assert_eq!(
+                m.predict_row(row),
+                back.predict_row(row),
+                "{} did not roundtrip",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(RegressorKind::XgBoost.name(), "XG Boost");
+        assert_eq!(RegressorKind::RandomForest.name(), "Random Forest Tree");
+    }
+}

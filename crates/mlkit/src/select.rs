@@ -1,0 +1,231 @@
+//! Feature selection: correlation ranking and greedy forward selection.
+//! The paper's related work (Metz et al., DDECS'22) shows a reduced feature
+//! space can match full-feature accuracy at lower cost; this module makes
+//! that experiment runnable here.
+
+use crate::dataset::Dataset;
+use crate::metrics;
+use crate::model::RegressorKind;
+use serde::{Deserialize, Serialize};
+
+/// Absolute Pearson correlation of each feature with the target, sorted
+/// descending.
+pub fn correlation_ranking(data: &Dataset) -> Vec<(String, f64)> {
+    let n = data.len() as f64;
+    let my: f64 = data.y.iter().sum::<f64>() / n;
+    let sy: f64 = data.y.iter().map(|y| (y - my) * (y - my)).sum::<f64>().sqrt();
+    let mut out = Vec::with_capacity(data.num_features());
+    for f in 0..data.num_features() {
+        let col: Vec<f64> = data.x.iter().map(|r| r[f]).collect();
+        let mx: f64 = col.iter().sum::<f64>() / n;
+        let sx: f64 = col.iter().map(|x| (x - mx) * (x - mx)).sum::<f64>().sqrt();
+        let cov: f64 = col
+            .iter()
+            .zip(&data.y)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum();
+        let r = if sx > 1e-12 && sy > 1e-12 {
+            (cov / (sx * sy)).abs()
+        } else {
+            0.0
+        };
+        out.push((data.feature_names[f].clone(), r));
+    }
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
+    out
+}
+
+/// Project a dataset onto a subset of features (by name).
+pub fn project(data: &Dataset, features: &[&str]) -> Dataset {
+    let idx: Vec<usize> = features
+        .iter()
+        .map(|f| {
+            data.feature_index(f)
+                .unwrap_or_else(|| panic!("unknown feature '{f}'"))
+        })
+        .collect();
+    let mut out = Dataset::new(features.iter().map(|s| s.to_string()).collect());
+    for i in 0..data.len() {
+        let row: Vec<f64> = idx.iter().map(|&j| data.x[i][j]).collect();
+        out.push(data.labels[i].clone(), row, data.y[i]);
+    }
+    out
+}
+
+/// Result of one greedy forward-selection step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectionStep {
+    pub added: String,
+    pub features: Vec<String>,
+    pub mape: f64,
+}
+
+/// Greedy forward selection: repeatedly add the feature that most improves
+/// hold-out MAPE for `kind`, until `max_features` or no improvement.
+pub fn forward_select(
+    data: &Dataset,
+    kind: RegressorKind,
+    max_features: usize,
+    seed: u64,
+) -> Vec<SelectionStep> {
+    let mut chosen: Vec<String> = Vec::new();
+    let mut steps = Vec::new();
+    let mut best_so_far = f64::INFINITY;
+    while chosen.len() < max_features.min(data.num_features()) {
+        let mut best: Option<(String, f64)> = None;
+        for cand in &data.feature_names {
+            if chosen.contains(cand) {
+                continue;
+            }
+            let mut trial: Vec<&str> = chosen.iter().map(|s| s.as_str()).collect();
+            trial.push(cand);
+            let sub = project(data, &trial);
+            let (train, test) = sub.split(0.7, seed);
+            let model = kind.fit(&train, seed);
+            let mape = metrics::mape(&test.y, &model.predict(&test));
+            if best.as_ref().map(|(_, m)| mape < *m).unwrap_or(true) {
+                best = Some((cand.clone(), mape));
+            }
+        }
+        let Some((name, mape)) = best else { break };
+        if mape >= best_so_far {
+            break; // no improvement
+        }
+        best_so_far = mape;
+        chosen.push(name.clone());
+        steps.push(SelectionStep {
+            added: name,
+            features: chosen.clone(),
+            mape,
+        });
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y depends on f0 strongly, f1 weakly, f2 not at all.
+    fn data() -> Dataset {
+        let mut d = Dataset::new(vec!["f0".into(), "f1".into(), "noise".into()]);
+        for i in 0..120 {
+            let a = i as f64;
+            let b = ((i * 7) % 13) as f64;
+            let c = ((i * 31) % 17) as f64;
+            d.push(format!("r{i}"), vec![a, b, c], 3.0 * a + 0.2 * b);
+        }
+        d
+    }
+
+    #[test]
+    fn correlation_ranks_informative_features_first() {
+        let r = correlation_ranking(&data());
+        assert_eq!(r[0].0, "f0");
+        assert!(r[0].1 > 0.99);
+        let noise = r.iter().find(|(n, _)| n == "noise").expect("present");
+        assert!(noise.1 < 0.3, "noise correlation {}", noise.1);
+    }
+
+    #[test]
+    fn project_keeps_rows_and_order() {
+        let d = data();
+        let p = project(&d, &["noise", "f0"]);
+        assert_eq!(p.num_features(), 2);
+        assert_eq!(p.len(), d.len());
+        assert_eq!(p.x[5][1], d.x[5][0]);
+        assert_eq!(p.y, d.y);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature")]
+    fn project_rejects_unknown() {
+        let _ = project(&data(), &["zzz"]);
+    }
+
+    #[test]
+    fn forward_selection_finds_the_signal() {
+        let steps = forward_select(&data(), RegressorKind::DecisionTree, 3, 42);
+        assert!(!steps.is_empty());
+        assert_eq!(steps[0].added, "f0", "{steps:?}");
+        // MAPE must be non-increasing across steps
+        for w in steps.windows(2) {
+            assert!(w[1].mape <= w[0].mape);
+        }
+    }
+
+    #[test]
+    fn constant_feature_has_zero_correlation() {
+        let mut d = Dataset::new(vec!["const".into()]);
+        for i in 0..10 {
+            d.push(format!("r{i}"), vec![1.0], i as f64);
+        }
+        assert_eq!(correlation_ranking(&d)[0].1, 0.0);
+    }
+}
+
+/// Model-agnostic permutation importance: the increase in RMSE when one
+/// feature's column is shuffled (Breiman 2001). Complements the
+/// impurity-based importances of the tree models; works for *any* model.
+pub fn permutation_importance(
+    model: &crate::model::Model,
+    data: &Dataset,
+    seed: u64,
+) -> Vec<(String, f64)> {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let baseline = metrics::rmse(&data.y, &model.predict(data));
+    let mut out = Vec::with_capacity(data.num_features());
+    for f in 0..data.num_features() {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(f as u64));
+        let mut perm: Vec<usize> = (0..data.len()).collect();
+        perm.shuffle(&mut rng);
+        let shuffled_preds: Vec<f64> = (0..data.len())
+            .map(|i| {
+                let mut row = data.x[i].clone();
+                row[f] = data.x[perm[i]][f];
+                model.predict_row(&row)
+            })
+            .collect();
+        let degraded = metrics::rmse(&data.y, &shuffled_preds);
+        out.push((data.feature_names[f].clone(), degraded - baseline));
+    }
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
+    out
+}
+
+#[cfg(test)]
+mod permutation_tests {
+    use super::*;
+    use crate::model::RegressorKind;
+
+    #[test]
+    fn permutation_importance_finds_the_signal_feature() {
+        let mut d = Dataset::new(vec!["signal".into(), "noise".into()]);
+        for i in 0..150 {
+            let a = i as f64;
+            let b = ((i * 17) % 23) as f64;
+            d.push(format!("r{i}"), vec![a, b], if a < 75.0 { 1.0 } else { 9.0 });
+        }
+        let m = RegressorKind::DecisionTree.fit(&d, 0);
+        let imp = permutation_importance(&m, &d, 42);
+        assert_eq!(imp[0].0, "signal", "{imp:?}");
+        assert!(imp[0].1 > 1.0, "shuffling the signal must hurt: {imp:?}");
+        let noise = imp.iter().find(|(n, _)| n == "noise").expect("present");
+        assert!(noise.1.abs() < 0.5, "noise should not matter: {imp:?}");
+    }
+
+    #[test]
+    fn works_for_models_without_native_importances() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        for i in 0..50 {
+            d.push(format!("r{i}"), vec![i as f64], 2.0 * i as f64);
+        }
+        let m = RegressorKind::LinearRegression.fit(&d, 0);
+        let imp = permutation_importance(&m, &d, 1);
+        assert_eq!(imp.len(), 1);
+        assert!(imp[0].1 > 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Control-flow graph over a kernel body, derived from the data
+//! dependencies and branch structure (paper Section IV-A: "based on these
+//! data dependencies, a control flow is generated").
+
+use ptx::inst::{BodyElem, LabelId, Op};
+use ptx::kernel::Kernel;
+use std::collections::HashMap;
+
+/// Basic blocks and edges of one kernel. Instruction indices refer to the
+/// label-free instruction sequence (labels removed, order preserved).
+#[derive(Debug)]
+pub struct Cfg {
+    /// Instruction indices of each block, in order.
+    pub blocks: Vec<Vec<usize>>,
+    /// Successor block ids.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor block ids.
+    pub preds: Vec<Vec<usize>>,
+    /// Block containing each instruction.
+    pub block_of: Vec<usize>,
+    /// Instruction index each label resolves to.
+    pub label_target: HashMap<LabelId, usize>,
+}
+
+impl Cfg {
+    pub fn build(kernel: &Kernel) -> Self {
+        // map labels to the index of the next instruction
+        let mut label_target: HashMap<LabelId, usize> = HashMap::new();
+        let mut idx = 0usize;
+        for e in &kernel.body {
+            match e {
+                BodyElem::Label(l) => {
+                    label_target.insert(*l, idx);
+                }
+                BodyElem::Inst(_) => idx += 1,
+            }
+        }
+        let n = idx;
+        let instrs: Vec<_> = kernel.instructions().collect();
+
+        // block leaders: entry, branch targets, instruction after a
+        // terminator or conditional branch
+        let mut leader = vec![false; n + 1];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, inst) in instrs.iter().enumerate() {
+            match &inst.op {
+                Op::Bra { target, .. } => {
+                    if let Some(&t) = label_target.get(target) {
+                        if t < n {
+                            leader[t] = true;
+                        }
+                    }
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Op::Ret => {
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // form blocks
+        let mut blocks: Vec<Vec<usize>> = Vec::new();
+        let mut block_of = vec![0usize; n];
+        for i in 0..n {
+            if leader[i] {
+                blocks.push(Vec::new());
+            }
+            let b = blocks.len() - 1;
+            blocks.last_mut().expect("entry leader").push(i);
+            block_of[i] = b;
+        }
+
+        // edges
+        let nb = blocks.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        let add_edge = |succs: &mut Vec<Vec<usize>>, preds: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+            if !succs[a].contains(&b) {
+                succs[a].push(b);
+                preds[b].push(a);
+            }
+        };
+        for (b, blk) in blocks.iter().enumerate() {
+            let last = *blk.last().expect("non-empty block");
+            match &instrs[last].op {
+                Op::Bra { target, .. } => {
+                    if let Some(&t) = label_target.get(target) {
+                        if t < n {
+                            add_edge(&mut succs, &mut preds, b, block_of[t]);
+                        }
+                    }
+                    // conditional (guarded) branches fall through too
+                    if instrs[last].guard.is_some() && last + 1 < n {
+                        add_edge(&mut succs, &mut preds, b, block_of[last + 1]);
+                    }
+                }
+                Op::Ret => {}
+                _ => {
+                    if last + 1 < n {
+                        add_edge(&mut succs, &mut preds, b, block_of[last + 1]);
+                    }
+                }
+            }
+        }
+
+        Cfg {
+            blocks,
+            succs,
+            preds,
+            block_of,
+            label_target,
+        }
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptx::builder::KernelBuilder;
+    use ptx::inst::Operand;
+    use ptx::types::{CmpOp, Type};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut kb = KernelBuilder::new("k", 32);
+        let r = kb.r();
+        kb.mov(Type::U32, r, Operand::ImmI(1));
+        kb.mov(Type::U32, r, Operand::ImmI(2));
+        kb.ret();
+        let cfg = Cfg::build(&kb.finish());
+        assert_eq!(cfg.num_blocks(), 1);
+        assert!(cfg.succs[0].is_empty());
+    }
+
+    #[test]
+    fn guard_pattern_has_diamond_shape() {
+        // guard_gid produces: header (setp + @p bra exit) -> body -> exit
+        let mut kb = KernelBuilder::new("k", 256);
+        let (_gid, exit) = kb.guard_gid(Operand::ImmI(100));
+        let f = kb.f();
+        kb.mov(Type::F32, f, Operand::ImmF(0.0));
+        kb.place_label(exit);
+        kb.ret();
+        let cfg = Cfg::build(&kb.finish());
+        assert_eq!(cfg.num_blocks(), 3);
+        // header has two successors: body and exit
+        assert_eq!(cfg.succs[0].len(), 2);
+        // exit block has two predecessors
+        assert_eq!(cfg.preds[2].len(), 2);
+    }
+
+    #[test]
+    fn loop_has_back_edge() {
+        let mut kb = KernelBuilder::new("k", 32);
+        let p_n = kb.param("n", Type::U32);
+        let n = kb.ld_param(&p_n, Type::U32);
+        kb.counted_loop(n, |kb, _i| {
+            let f = kb.f();
+            kb.mov(Type::F32, f, Operand::ImmF(1.0));
+        });
+        kb.ret();
+        let cfg = Cfg::build(&kb.finish());
+        // some block must have a successor with a smaller id (back edge)
+        let back = cfg
+            .succs
+            .iter()
+            .enumerate()
+            .any(|(b, ss)| ss.iter().any(|&s| s <= b));
+        assert!(back, "no back edge found: {:?}", cfg.succs);
+    }
+
+    #[test]
+    fn every_instruction_is_in_exactly_one_block() {
+        let mut kb = KernelBuilder::new("k", 256);
+        let p_n = kb.param("n", Type::U32);
+        let n = kb.ld_param(&p_n, Type::U32);
+        let (_gid, exit) = kb.guard_gid(n);
+        kb.counted_loop(n, |kb, _| {
+            let f = kb.f();
+            kb.mov(Type::F32, f, Operand::ImmF(1.0));
+        });
+        kb.place_label(exit);
+        kb.ret();
+        let k = kb.finish();
+        let cfg = Cfg::build(&k);
+        let total: usize = cfg.blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, k.num_instructions());
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            for &i in blk {
+                assert_eq!(cfg.block_of[i], b);
+            }
+        }
+    }
+
+    #[test]
+    fn setp_feeding_guard_is_resolvable() {
+        let mut kb = KernelBuilder::new("k", 256);
+        let p = kb.p();
+        kb.setp(CmpOp::Lt, Type::U32, p, Operand::ImmI(1), Operand::ImmI(2));
+        let l = kb.label();
+        kb.bra_if(p, false, l);
+        kb.place_label(l);
+        kb.ret();
+        let cfg = Cfg::build(&kb.finish());
+        assert_eq!(cfg.num_blocks(), 2);
+    }
+}

@@ -1,0 +1,458 @@
+//! Exact executed-instruction counting for kernel launches.
+//!
+//! The counting layer runs the [`crate::exec::Machine`] on *representative
+//! threads* only. The grid is recursively split into rectangles
+//! `(block range) x (tid range)` at the breakpoints reported by affine
+//! branch predicates; within a final rectangle every thread takes the same
+//! control-flow path, so one representative's count multiplies by the
+//! rectangle's area. Typical CNN kernels need fewer than ten representative
+//! executions per launch regardless of grid size.
+
+use crate::exec::{Break, ExecError, Machine, ThreadOutcome, NCAT};
+use crate::slice::branch_slice;
+use ptx::kernel::{Kernel, KernelLaunch, LaunchPlan};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Warp width of every modeled GPU.
+pub const WARP: u32 = 32;
+
+/// Exact instruction statistics for one kernel launch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaunchCount {
+    pub threads: u64,
+    /// Per-thread executed instructions summed over all threads (the
+    /// paper's "total number of PTX instructions" predictor).
+    pub thread_instructions: u64,
+    /// Warp-level issue count: per warp the maximum thread path within it
+    /// (divergent warps execute the union of their threads' paths, which
+    /// for guard-style divergence equals the longer path).
+    pub warp_issues: u64,
+    /// Thread-level instruction mix by [`ptx::inst::Category`] index.
+    pub by_category: [u64; NCAT],
+    /// Number of uniform rectangles the grid decomposed into.
+    pub pieces: u32,
+    /// Representative-thread executions performed.
+    pub reps_executed: u32,
+}
+
+/// Counting statistics for a whole launch plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanCount {
+    pub per_launch: Vec<LaunchCount>,
+    pub thread_instructions: u64,
+    pub warp_issues: u64,
+    pub by_category: [u64; NCAT],
+}
+
+/// One uniform rectangle of the launch grid.
+#[derive(Debug, Clone)]
+struct Rect {
+    b0: u64,
+    b1: u64, // block range [b0, b1)
+    t0: u32,
+    t1: u32, // tid range [t0, t1)
+}
+
+impl Rect {
+    fn area(&self) -> u64 {
+        (self.b1 - self.b0) * (self.t1 - self.t0) as u64
+    }
+}
+
+/// Count one launch exactly. `use_slice` enables slice-mode execution (the
+/// paper's `G_v*` optimization; results are identical, evaluation is
+/// cheaper).
+pub fn count_launch(
+    kernel: &Kernel,
+    launch: &KernelLaunch,
+    use_slice: bool,
+) -> Result<LaunchCount, ExecError> {
+    let nblocks = launch.blocks();
+    let ntid = kernel.block_threads();
+    let mut machine = Machine::new(kernel, nblocks, &launch.args);
+    if use_slice {
+        machine = machine.with_slice(branch_slice(kernel));
+    }
+
+    let mut work = vec![Rect {
+        b0: 0,
+        b1: nblocks,
+        t0: 0,
+        t1: ntid,
+    }];
+    let mut finals: Vec<(Rect, ThreadOutcome)> = Vec::new();
+    let mut reps = 0u32;
+    // safety valve: pathological kernels could split forever
+    const MAX_PIECES: usize = 4096;
+
+    while let Some(r) = work.pop() {
+        if finals.len() + work.len() > MAX_PIECES {
+            return Err(ExecError::StepLimit {
+                limit: MAX_PIECES as u64,
+            });
+        }
+        let outcome = machine.run(r.b0, r.t0)?;
+        reps += 1;
+        // find one applicable split
+        let mut split: Option<(bool, u64)> = None; // (is_block_dim, at)
+        'outer: for br in &outcome.breaks {
+            match *br {
+                Break::Tid(t) => {
+                    if t > r.t0 as i128 && t < r.t1 as i128 {
+                        split = Some((false, t as u64));
+                        break 'outer;
+                    }
+                }
+                Break::Block(c) => {
+                    if c > r.b0 as i128 && c < r.b1 as i128 {
+                        split = Some((true, c as u64));
+                        break 'outer;
+                    }
+                }
+                Break::Tau(tau) => {
+                    if tau <= 0 {
+                        continue;
+                    }
+                    let tau = tau as u64;
+                    let blk = tau / ntid as u64;
+                    let tid = (tau % ntid as u64) as u32;
+                    // isolate the straddling block, then split its tids
+                    if blk > r.b0 && blk < r.b1 {
+                        split = Some((true, blk));
+                        break 'outer;
+                    }
+                    if tid > 0 && blk + 1 > r.b0 && blk + 1 < r.b1 {
+                        split = Some((true, blk + 1));
+                        break 'outer;
+                    }
+                    if r.b1 - r.b0 == 1
+                        && r.b0 == blk
+                        && tid > r.t0
+                        && tid < r.t1
+                    {
+                        split = Some((false, tid as u64));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        match split {
+            Some((true, at)) => {
+                work.push(Rect { b1: at, ..r.clone() });
+                work.push(Rect { b0: at, ..r });
+            }
+            Some((false, at)) => {
+                work.push(Rect {
+                    t1: at as u32,
+                    ..r.clone()
+                });
+                work.push(Rect { t0: at as u32, ..r });
+            }
+            None => finals.push((r, outcome)),
+        }
+    }
+
+    // accumulate thread-level totals
+    let mut thread_instructions = 0u64;
+    let mut by_category = [0u64; NCAT];
+    for (r, o) in &finals {
+        let area = r.area();
+        thread_instructions += area * o.count;
+        for (acc, v) in by_category.iter_mut().zip(&o.by_cat) {
+            *acc += area * v;
+        }
+    }
+
+    let warp_issues = warp_issue_total(&finals, nblocks, ntid);
+
+    Ok(LaunchCount {
+        threads: nblocks * ntid as u64,
+        thread_instructions,
+        warp_issues,
+        by_category,
+        pieces: finals.len() as u32,
+        reps_executed: reps,
+    })
+}
+
+/// Warp-level issue total: per warp, the maximum per-thread path length
+/// among the rectangles covering it, summed over all warps of all blocks.
+fn warp_issue_total(finals: &[(Rect, ThreadOutcome)], nblocks: u64, ntid: u32) -> u64 {
+    // global boundary grid
+    let mut bbs: Vec<u64> = vec![0, nblocks];
+    let mut tbs: Vec<u32> = vec![0, ntid];
+    for (r, _) in finals {
+        bbs.push(r.b0);
+        bbs.push(r.b1);
+        tbs.push(r.t0);
+        tbs.push(r.t1);
+    }
+    // warp boundaries in the tid dimension
+    let mut w = 0;
+    while w <= ntid {
+        tbs.push(w);
+        w += WARP;
+    }
+    bbs.sort_unstable();
+    bbs.dedup();
+    tbs.sort_unstable();
+    tbs.dedup();
+
+    let count_at = |b: u64, t: u32| -> u64 {
+        finals
+            .iter()
+            .find(|(r, _)| b >= r.b0 && b < r.b1 && t >= r.t0 && t < r.t1)
+            .map(|(_, o)| o.count)
+            .unwrap_or(0)
+    };
+
+    let mut total = 0u64;
+    for bi in bbs.windows(2) {
+        let (b0, b1) = (bi[0], bi[1]);
+        if b0 >= b1 {
+            continue;
+        }
+        // per-warp max within this block stripe
+        let mut stripe = 0u64;
+        let mut w0 = 0u32;
+        while w0 < ntid {
+            let w1 = (w0 + WARP).min(ntid);
+            let mut mx = 0u64;
+            for ti in tbs.windows(2) {
+                let (t0, t1) = (ti[0], ti[1]);
+                if t0 >= w0 && t0 < w1 && t1 > t0 {
+                    mx = mx.max(count_at(b0, t0));
+                }
+            }
+            stripe += mx;
+            w0 = w1;
+        }
+        total += stripe * (b1 - b0);
+    }
+    total
+}
+
+/// Reference counter: executes *every* thread. Exponentially slower; used
+/// by tests and the ablation bench to validate [`count_launch`].
+pub fn count_launch_bruteforce(
+    kernel: &Kernel,
+    launch: &KernelLaunch,
+) -> Result<LaunchCount, ExecError> {
+    let nblocks = launch.blocks();
+    let ntid = kernel.block_threads();
+    let machine = Machine::new(kernel, nblocks, &launch.args);
+    let mut thread_instructions = 0u64;
+    let mut by_category = [0u64; NCAT];
+    let mut warp_issues = 0u64;
+    for b in 0..nblocks {
+        let mut warp_max = 0u64;
+        for t in 0..ntid {
+            let o = machine.run(b, t)?;
+            thread_instructions += o.count;
+            for (acc, v) in by_category.iter_mut().zip(&o.by_cat) {
+                *acc += v;
+            }
+            warp_max = warp_max.max(o.count);
+            if (t + 1) % WARP == 0 || t + 1 == ntid {
+                warp_issues += warp_max;
+                warp_max = 0;
+            }
+        }
+    }
+    Ok(LaunchCount {
+        threads: nblocks * ntid as u64,
+        thread_instructions,
+        warp_issues,
+        by_category,
+        pieces: 0,
+        reps_executed: (nblocks * ntid as u64) as u32,
+    })
+}
+
+/// Count a whole launch plan, in parallel over distinct `(kernel, args)`
+/// signatures (repeated layers hit the memo table).
+pub fn count_plan(plan: &LaunchPlan, use_slice: bool) -> Result<PlanCount, ExecError> {
+    // memoize by (kernel index, grid, args)
+    type Key = (usize, u32, Vec<u64>);
+    let mut keys: Vec<Key> = Vec::new();
+    let mut key_of: Vec<usize> = Vec::with_capacity(plan.launches.len());
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    for l in &plan.launches {
+        let key = (l.kernel, l.grid.0, l.args.clone());
+        let id = *index.entry(key.clone()).or_insert_with(|| {
+            keys.push(key);
+            keys.len() - 1
+        });
+        key_of.push(id);
+    }
+
+    let uniques: Result<Vec<LaunchCount>, ExecError> = keys
+        .par_iter()
+        .map(|(kidx, grid, args)| {
+            let launch = KernelLaunch {
+                kernel: *kidx,
+                tag: String::new(),
+                grid: (*grid, 1, 1),
+                args: args.clone(),
+                bytes_read: 0,
+                bytes_written: 0,
+            };
+            count_launch(&plan.module.kernels[*kidx], &launch, use_slice)
+        })
+        .collect();
+    let uniques = uniques?;
+
+    let per_launch: Vec<LaunchCount> =
+        key_of.iter().map(|&id| uniques[id].clone()).collect();
+    let mut thread_instructions = 0u64;
+    let mut warp_issues = 0u64;
+    let mut by_category = [0u64; NCAT];
+    for lc in &per_launch {
+        thread_instructions += lc.thread_instructions;
+        warp_issues += lc.warp_issues;
+        for (acc, v) in by_category.iter_mut().zip(&lc.by_category) {
+            *acc += v;
+        }
+    }
+    Ok(PlanCount {
+        per_launch,
+        thread_instructions,
+        warp_issues,
+        by_category,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptx::builder::KernelBuilder;
+    use ptx::inst::Operand;
+    use ptx::types::Type;
+
+    fn guard_kernel(block: u32) -> Kernel {
+        let mut kb = KernelBuilder::new("k", block);
+        let p_n = kb.param("n", Type::U32);
+        let n = kb.ld_param(&p_n, Type::U32);
+        let (_gid, exit) = kb.guard_gid(n);
+        for _ in 0..5 {
+            let f = kb.f();
+            kb.mov(Type::F32, f, Operand::ImmF(1.0));
+        }
+        kb.place_label(exit);
+        kb.ret();
+        kb.finish()
+    }
+
+    fn launch_of(kernel: &Kernel, threads: u64, args: Vec<u64>) -> KernelLaunch {
+        KernelLaunch {
+            kernel: 0,
+            tag: "t".into(),
+            grid: (threads.div_ceil(kernel.block_threads() as u64) as u32, 1, 1),
+            args,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_on_guard_kernel() {
+        let k = guard_kernel(64);
+        for n in [1u64, 63, 64, 100, 255, 256, 300] {
+            let l = launch_of(&k, 320, vec![n]);
+            let fast = count_launch(&k, &l, false).unwrap();
+            let brute = count_launch_bruteforce(&k, &l).unwrap();
+            assert_eq!(
+                fast.thread_instructions, brute.thread_instructions,
+                "thread counts differ at n={n}"
+            );
+            assert_eq!(
+                fast.warp_issues, brute.warp_issues,
+                "warp issues differ at n={n}"
+            );
+            assert_eq!(fast.by_category, brute.by_category, "mix differs at n={n}");
+        }
+    }
+
+    #[test]
+    fn slice_mode_gives_identical_counts() {
+        let k = guard_kernel(64);
+        let l = launch_of(&k, 640, vec![423]);
+        let full = count_launch(&k, &l, false).unwrap();
+        let sliced = count_launch(&k, &l, true).unwrap();
+        assert_eq!(full.thread_instructions, sliced.thread_instructions);
+        assert_eq!(full.warp_issues, sliced.warp_issues);
+    }
+
+    #[test]
+    fn piece_count_is_small_and_constant_in_grid_size() {
+        let k = guard_kernel(256);
+        let small = count_launch(&k, &launch_of(&k, 10_000, vec![9_000]), false).unwrap();
+        let large =
+            count_launch(&k, &launch_of(&k, 10_000_000, vec![9_000_000]), false).unwrap();
+        assert!(small.pieces <= 6, "{}", small.pieces);
+        assert_eq!(small.pieces, large.pieces);
+        assert!(large.reps_executed < 20);
+    }
+
+    #[test]
+    fn exact_boundary_no_divergence() {
+        // n exactly fills the grid: single piece
+        let k = guard_kernel(64);
+        let l = launch_of(&k, 256, vec![256]);
+        let c = count_launch(&k, &l, false).unwrap();
+        assert_eq!(c.pieces, 1);
+    }
+
+    #[test]
+    fn loop_kernel_matches_bruteforce() {
+        let mut kb = KernelBuilder::new("k", 32);
+        let p_n = kb.param("n", Type::U32);
+        let p_trip = kb.param("trip", Type::U32);
+        let n = kb.ld_param(&p_n, Type::U32);
+        let trip = kb.ld_param(&p_trip, Type::U32);
+        let (_gid, exit) = kb.guard_gid(n);
+        kb.counted_loop(trip, |kb, _| {
+            let f = kb.f();
+            kb.mov(Type::F32, f, Operand::ImmF(1.0));
+        });
+        kb.place_label(exit);
+        kb.ret();
+        let k = kb.finish();
+        let l = launch_of(&k, 96, vec![70, 9]);
+        let fast = count_launch(&k, &l, false).unwrap();
+        let brute = count_launch_bruteforce(&k, &l).unwrap();
+        assert_eq!(fast.thread_instructions, brute.thread_instructions);
+        assert_eq!(fast.warp_issues, brute.warp_issues);
+    }
+
+    #[test]
+    fn plan_totals_are_sums() {
+        let model = cnn_ir::zoo::build("alexnet").unwrap();
+        let plan = ptx_codegen::lower(&model, "sm_61").unwrap();
+        let pc = count_plan(&plan, true).unwrap();
+        assert_eq!(pc.per_launch.len(), plan.launches.len());
+        let sum: u64 = pc.per_launch.iter().map(|l| l.thread_instructions).sum();
+        assert_eq!(sum, pc.thread_instructions);
+        assert!(pc.thread_instructions > 1_000_000_000, "{}", pc.thread_instructions);
+        // warp-level is less than thread-level by roughly the warp width
+        assert!(pc.warp_issues * 2 < pc.thread_instructions);
+    }
+
+    #[test]
+    fn memoization_reuses_repeated_launches() {
+        let model = cnn_ir::zoo::build("vgg16").unwrap();
+        let plan = ptx_codegen::lower(&model, "sm_61").unwrap();
+        let pc = count_plan(&plan, true).unwrap();
+        // vgg has repeated same-shape convs; identical launches must have
+        // identical counts
+        let mut seen: HashMap<(usize, Vec<u64>), u64> = HashMap::new();
+        for (l, c) in plan.launches.iter().zip(&pc.per_launch) {
+            let key = (l.kernel, l.args.clone());
+            if let Some(prev) = seen.insert(key, c.thread_instructions) {
+                assert_eq!(prev, c.thread_instructions);
+            }
+        }
+    }
+}

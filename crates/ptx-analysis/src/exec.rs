@@ -1,0 +1,905 @@
+//! The dynamic-code-analysis executor (paper Section IV-A).
+//!
+//! Executes one representative thread of a kernel launch, tracking every
+//! integer value as an *affine form* `ct*ctaid.x + td*tid.x + b`. Branch
+//! predicates over affine values are resolved exactly for the
+//! representative *and* reported as breakpoints — thread indices where the
+//! predicate flips — which lets the counting layer split the launch grid
+//! into equivalence classes instead of executing every thread.
+//!
+//! Loads from global/shared memory produce opaque values. The kernels our
+//! code generator emits never branch on loaded data (borders and max-pool
+//! selections are `selp`-if-converted), which is what makes this analysis
+//! exact; a data-dependent branch surfaces as [`ExecError::DataDependentBranch`].
+//!
+//! In *slice mode* the executor only evaluates the backward slice `G_v*` of
+//! the branch predicates (computed via [`crate::depgraph`]) and merely
+//! counts everything else — the paper's core trick for outrunning
+//! simulators.
+
+use ptx::inst::{AddrBase, BodyElem, Category, Instruction, Op, Operand};
+use ptx::kernel::Kernel;
+use ptx::types::{BinOp, CmpOp, Reg, Space, SpecialReg, Type, UnOp};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Number of instruction categories tracked.
+pub const NCAT: usize = Category::ALL.len();
+
+pub(crate) fn cat_index(c: Category) -> usize {
+    Category::ALL.iter().position(|x| *x == c).expect("category")
+}
+
+/// An abstract value: affine in `(ctaid.x, tid.x)`, a concrete float, or
+/// opaque.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// `ct*ctaid.x + td*tid.x + b` over exact integers.
+    Lin { ct: i128, td: i128, b: i128 },
+    F32(f32),
+    Unknown,
+}
+
+impl Val {
+    pub fn cnst(v: i128) -> Val {
+        Val::Lin { ct: 0, td: 0, b: v }
+    }
+
+    fn as_const(&self) -> Option<i128> {
+        match *self {
+            Val::Lin { ct: 0, td: 0, b } => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Evaluate at a concrete (ctaid, tid).
+    fn eval(&self, ctaid: i128, tid: i128) -> Option<i128> {
+        match *self {
+            Val::Lin { ct, td, b } => Some(ct * ctaid + td * tid + b),
+            _ => None,
+        }
+    }
+}
+
+/// A grid split point discovered from an affine branch predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Break {
+    /// Split the linear thread index `tau = ctaid*ntid + tid` at this value.
+    Tau(i128),
+    /// Split the tid dimension (same in every block).
+    Tid(i128),
+    /// Split the block dimension.
+    Block(i128),
+}
+
+/// Execution failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A branch depended on a non-affine (e.g. loaded) value.
+    DataDependentBranch { pc: usize },
+    /// A branch predicate was affine but not expressible as a tau/tid/block
+    /// split (mixed slopes).
+    MixedSlopePredicate { pc: usize },
+    /// Instruction budget exhausted (runaway loop).
+    StepLimit { limit: u64 },
+    /// `ld.param` referenced an unknown parameter name.
+    UnknownParam { name: String },
+    /// Branch to an undefined label.
+    BadLabel { pc: usize },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::DataDependentBranch { pc } => {
+                write!(f, "data-dependent branch at instruction {pc}")
+            }
+            ExecError::MixedSlopePredicate { pc } => {
+                write!(f, "mixed-slope affine predicate at instruction {pc}")
+            }
+            ExecError::StepLimit { limit } => {
+                write!(f, "step limit {limit} exhausted")
+            }
+            ExecError::UnknownParam { name } => write!(f, "unknown param {name}"),
+            ExecError::BadLabel { pc } => write!(f, "bad label at {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of executing one representative thread.
+#[derive(Debug, Clone)]
+pub struct ThreadOutcome {
+    /// Instructions on the thread's control-flow path (predicated-off
+    /// instructions issue and are therefore counted).
+    pub count: u64,
+    pub by_cat: [u64; NCAT],
+    /// Grid splits this thread's branch predicates imply.
+    pub breaks: Vec<Break>,
+}
+
+/// Predicate-register state.
+#[derive(Debug, Clone, Copy)]
+struct PredInfo {
+    truth: Option<bool>,
+    /// The affine difference `d` with `cmp(d, 0)` defining the predicate,
+    /// kept for breakpoint derivation.
+    lin: Option<(CmpOp, Val)>,
+}
+
+/// A prepared kernel ready for repeated thread execution.
+pub struct Machine {
+    instrs: Vec<Instruction>,
+    label_at: HashMap<u32, usize>,
+    param_index: HashMap<String, usize>,
+    pub ntid: u32,
+    pub nctaid: u64,
+    args: Vec<u64>,
+    max_steps: u64,
+    /// Instruction indices whose values must be evaluated (the slice); when
+    /// `None`, evaluate everything.
+    slice: Option<HashSet<usize>>,
+}
+
+impl Machine {
+    /// Prepare `kernel` for a launch of `nctaid` blocks with the given
+    /// parameter values.
+    pub fn new(kernel: &Kernel, nctaid: u64, args: &[u64]) -> Self {
+        let mut instrs = Vec::with_capacity(kernel.num_instructions());
+        let mut label_at = HashMap::new();
+        for e in &kernel.body {
+            match e {
+                BodyElem::Label(l) => {
+                    label_at.insert(*l, instrs.len());
+                }
+                BodyElem::Inst(i) => instrs.push(i.clone()),
+            }
+        }
+        let param_index = kernel
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i))
+            .collect();
+        Self {
+            instrs,
+            label_at,
+            param_index,
+            ntid: kernel.block_threads(),
+            nctaid,
+            args: args.to_vec(),
+            max_steps: 200_000_000,
+            slice: None,
+        }
+    }
+
+    /// Restrict value evaluation to the backward slice of branch predicates
+    /// (the paper's `G_v*`). Counting is unaffected; only the interpreter
+    /// work shrinks.
+    pub fn with_slice(mut self, slice: HashSet<usize>) -> Self {
+        self.slice = Some(slice);
+        self
+    }
+
+    pub fn set_max_steps(&mut self, n: u64) {
+        self.max_steps = n;
+    }
+
+    fn operand(&self, regs: &HashMap<Reg, Val>, o: &Operand) -> Val {
+        match o {
+            Operand::Reg(r) => regs.get(r).copied().unwrap_or(Val::Unknown),
+            Operand::ImmI(v) => Val::cnst(*v as i128),
+            Operand::ImmF(v) => Val::F32(*v),
+            Operand::Special(s) => match s {
+                SpecialReg::TidX => Val::Lin { ct: 0, td: 1, b: 0 },
+                SpecialReg::CtaIdX => Val::Lin { ct: 1, td: 0, b: 0 },
+                SpecialReg::NTidX => Val::cnst(self.ntid as i128),
+                SpecialReg::NCtaIdX => Val::cnst(self.nctaid as i128),
+                SpecialReg::TidY | SpecialReg::CtaIdY => Val::cnst(0),
+                SpecialReg::NTidY | SpecialReg::NCtaIdY => Val::cnst(1),
+            },
+        }
+    }
+
+    /// Execute `(ctaid, tid)` and also record the instruction-category
+    /// trace along the path (used by the detailed GPU simulator to model
+    /// per-warp pipelines).
+    pub fn run_traced(
+        &self,
+        ctaid: u64,
+        tid: u32,
+    ) -> Result<(ThreadOutcome, Vec<Category>), ExecError> {
+        let mut trace = Vec::new();
+        let outcome = self.run_inner(ctaid, tid, Some(&mut trace))?;
+        Ok((outcome, trace))
+    }
+
+    /// Execute the representative thread `(ctaid, tid)`.
+    pub fn run(&self, ctaid: u64, tid: u32) -> Result<ThreadOutcome, ExecError> {
+        self.run_inner(ctaid, tid, None)
+    }
+
+    fn run_inner(
+        &self,
+        ctaid: u64,
+        tid: u32,
+        mut trace: Option<&mut Vec<Category>>,
+    ) -> Result<ThreadOutcome, ExecError> {
+        let mut regs: HashMap<Reg, Val> = HashMap::new();
+        let mut preds: HashMap<Reg, PredInfo> = HashMap::new();
+        let mut pc = 0usize;
+        let mut count = 0u64;
+        let mut by_cat = [0u64; NCAT];
+        let mut breaks: Vec<Break> = Vec::new();
+        let cta = ctaid as i128;
+        let t = tid as i128;
+
+        while pc < self.instrs.len() {
+            if count >= self.max_steps {
+                return Err(ExecError::StepLimit {
+                    limit: self.max_steps,
+                });
+            }
+            let inst = &self.instrs[pc];
+            count += 1;
+            by_cat[cat_index(inst.category())] += 1;
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.push(inst.category());
+            }
+
+            // guard evaluation (for value semantics; issue is counted above)
+            let guard_truth: Option<bool> = match inst.guard {
+                None => Some(true),
+                Some((p, neg)) => preds
+                    .get(&p)
+                    .and_then(|pi| pi.truth)
+                    .map(|v| v != neg),
+            };
+
+            // branches drive control flow and must be resolvable
+            if let Op::Bra { target, .. } = &inst.op {
+                let taken = match inst.guard {
+                    None => true,
+                    Some((p, neg)) => {
+                        let pi = preds.get(&p).copied().unwrap_or(PredInfo {
+                            truth: None,
+                            lin: None,
+                        });
+                        // harvest breakpoints from the predicate
+                        if let Some((cmp, d)) = pi.lin {
+                            self.harvest_breaks(cmp, d, pc, &mut breaks)?;
+                        }
+                        match pi.truth {
+                            Some(v) => v != neg,
+                            None => {
+                                return Err(ExecError::DataDependentBranch { pc })
+                            }
+                        }
+                    }
+                };
+                if taken {
+                    pc = *self
+                        .label_at
+                        .get(target)
+                        .ok_or(ExecError::BadLabel { pc })?;
+                } else {
+                    pc += 1;
+                }
+                continue;
+            }
+            if matches!(inst.op, Op::Ret) {
+                break;
+            }
+
+            // slice mode: skip value evaluation of off-slice instructions
+            let evaluate = self
+                .slice
+                .as_ref()
+                .map(|s| s.contains(&pc))
+                .unwrap_or(true);
+            if evaluate {
+                self.eval_inst(inst, guard_truth, cta, t, &mut regs, &mut preds)?;
+            } else if let Some(d) = inst.dst() {
+                // keep soundness: off-slice destinations become opaque
+                if d.class == ptx::types::RegClass::P {
+                    preds.insert(
+                        d,
+                        PredInfo {
+                            truth: None,
+                            lin: None,
+                        },
+                    );
+                } else {
+                    regs.insert(d, Val::Unknown);
+                }
+            }
+            pc += 1;
+        }
+
+        breaks.sort_unstable_by_key(|b| match b {
+            Break::Tau(v) | Break::Tid(v) | Break::Block(v) => *v,
+        });
+        breaks.dedup();
+        Ok(ThreadOutcome {
+            count,
+            by_cat,
+            breaks,
+        })
+    }
+
+    /// Derive grid splits from an affine predicate `cmp(d, 0)`.
+    fn harvest_breaks(
+        &self,
+        _cmp: CmpOp,
+        d: Val,
+        pc: usize,
+        out: &mut Vec<Break>,
+    ) -> Result<(), ExecError> {
+        let Val::Lin { ct, td, b } = d else {
+            return Ok(()); // non-affine predicates carry no split info
+        };
+        if ct == 0 && td == 0 {
+            return Ok(()); // constant predicate
+        }
+        let ntid = self.ntid as i128;
+        if ct == td * ntid && td != 0 {
+            // affine in tau = ctaid*ntid + tid with slope td
+            for r in roots(td, b) {
+                out.push(Break::Tau(r));
+            }
+            Ok(())
+        } else if ct == 0 {
+            for r in roots(td, b) {
+                out.push(Break::Tid(r));
+            }
+            Ok(())
+        } else if td == 0 {
+            for r in roots(ct, b) {
+                out.push(Break::Block(r));
+            }
+            Ok(())
+        } else {
+            Err(ExecError::MixedSlopePredicate { pc })
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_inst(
+        &self,
+        inst: &Instruction,
+        guard_truth: Option<bool>,
+        cta: i128,
+        tid: i128,
+        regs: &mut HashMap<Reg, Val>,
+        preds: &mut HashMap<Reg, PredInfo>,
+    ) -> Result<(), ExecError> {
+        // predicated-off instructions leave their destination untouched;
+        // unknown guards poison it
+        if guard_truth == Some(false) {
+            return Ok(());
+        }
+        let poison = guard_truth.is_none();
+        let set = |regs: &mut HashMap<Reg, Val>, dst: Reg, v: Val| {
+            regs.insert(dst, if poison { Val::Unknown } else { v });
+        };
+
+        match &inst.op {
+            Op::Mov { dst, src, .. } => {
+                if dst.class == ptx::types::RegClass::P {
+                    // mov into predicate (rare): copy predicate state
+                    if let Operand::Reg(r) = src {
+                        if let Some(pi) = preds.get(r).copied() {
+                            preds.insert(*dst, pi);
+                        }
+                    }
+                } else {
+                    let v = self.operand(regs, src);
+                    set(regs, *dst, v);
+                }
+            }
+            Op::Ld {
+                space, dst, addr, ..
+            } => {
+                let v = match space {
+                    Space::Param => {
+                        let AddrBase::Param(name) = &addr.base else {
+                            return Err(ExecError::UnknownParam {
+                                name: "<reg>".into(),
+                            });
+                        };
+                        let idx = self.param_index.get(name).copied().ok_or_else(
+                            || ExecError::UnknownParam { name: name.clone() },
+                        )?;
+                        match self.args.get(idx) {
+                            Some(v) => Val::cnst(*v as i128),
+                            None => {
+                                return Err(ExecError::UnknownParam {
+                                    name: name.clone(),
+                                })
+                            }
+                        }
+                    }
+                    _ => Val::Unknown,
+                };
+                set(regs, *dst, v);
+            }
+            Op::St { .. } => {}
+            Op::Bin { op, t, dst, a, b } => {
+                let va = self.operand(regs, a);
+                let vb = self.operand(regs, b);
+                let v = bin_val(*op, *t, va, vb, self.ntid as i128, self.nctaid as i128);
+                set(regs, *dst, v);
+            }
+            Op::Un { op, dst, a, .. } => {
+                let va = self.operand(regs, a);
+                set(regs, *dst, un_val(*op, va));
+            }
+            Op::Mad { t, dst, a, b, c } => {
+                let va = self.operand(regs, a);
+                let vb = self.operand(regs, b);
+                let vc = self.operand(regs, c);
+                let prod = bin_val(
+                    BinOp::Mul,
+                    *t,
+                    va,
+                    vb,
+                    self.ntid as i128,
+                    self.nctaid as i128,
+                );
+                let v = bin_val(
+                    BinOp::Add,
+                    *t,
+                    prod,
+                    vc,
+                    self.ntid as i128,
+                    self.nctaid as i128,
+                );
+                set(regs, *dst, v);
+            }
+            Op::Cvt { to, from, dst, src } => {
+                let v = self.operand(regs, src);
+                set(regs, *dst, cvt_val(*to, *from, v));
+            }
+            Op::Setp { cmp, t, dst, a, b } => {
+                let va = self.operand(regs, a);
+                let vb = self.operand(regs, b);
+                let pi = setp_val(*cmp, *t, va, vb, cta, tid);
+                preds.insert(*dst, pi);
+            }
+            Op::Selp { dst, a, b, p, .. } => {
+                let truth = preds.get(p).and_then(|pi| pi.truth);
+                let v = match truth {
+                    Some(true) => self.operand(regs, a),
+                    Some(false) => self.operand(regs, b),
+                    None => Val::Unknown,
+                };
+                set(regs, *dst, v);
+            }
+            Op::Bra { .. } | Op::Bar | Op::Ret => {}
+        }
+        Ok(())
+    }
+}
+
+/// Split points of `sign(s*i + b)` over integer `i`: the smallest `i` values
+/// around the real root, so interval splitting at these points yields
+/// constant truth on each side.
+fn roots(s: i128, b: i128) -> Vec<i128> {
+    debug_assert!(s != 0);
+    // real root at -b/s; floor and the next integer bracket every flip
+    let q = -b / s;
+    // adjust for negative division toward -inf
+    let fl = if (-b) % s != 0 && ((-b < 0) != (s < 0)) {
+        q - 1
+    } else {
+        q
+    };
+    vec![fl, fl + 1]
+}
+
+/// u32 wrap helper for concrete comparisons.
+fn wrap_for(t: Type, v: i128) -> i128 {
+    match t {
+        Type::U32 | Type::B32 => (v as u64 & 0xFFFF_FFFF) as i128,
+        Type::U64 => (v as u128 & 0xFFFF_FFFF_FFFF_FFFF) as i128,
+        _ => v,
+    }
+}
+
+fn setp_val(cmp: CmpOp, t: Type, a: Val, b: Val, cta: i128, tid: i128) -> PredInfo {
+    match (a, b) {
+        (Val::F32(x), Val::F32(y)) => PredInfo {
+            truth: Some(cmp.eval_f(x, y)),
+            lin: None,
+        },
+        (Val::Lin { .. }, Val::Lin { .. }) => {
+            let (Val::Lin { ct: c1, td: t1, b: b1 }, Val::Lin { ct: c2, td: t2, b: b2 }) =
+                (a, b)
+            else {
+                unreachable!()
+            };
+            let d = Val::Lin {
+                ct: c1 - c2,
+                td: t1 - t2,
+                b: b1 - b2,
+            };
+            let (Some(va), Some(vb)) = (a.eval(cta, tid), b.eval(cta, tid)) else {
+                unreachable!()
+            };
+            // concrete truth with type-aware wrap; affine guards are
+            // non-negative by construction so wrap only matters for the
+            // constant-vs-constant case (borders), which carries no slope.
+            let truth = if d.as_const().is_some() {
+                cmp.eval_i(wrap_for(t, va), wrap_for(t, vb))
+            } else {
+                cmp.eval_i(va, vb)
+            };
+            PredInfo {
+                truth: Some(truth),
+                lin: Some((cmp, d)),
+            }
+        }
+        _ => PredInfo {
+            truth: None,
+            lin: None,
+        },
+    }
+}
+
+fn lin_add(a: Val, b: Val) -> Val {
+    match (a, b) {
+        (Val::Lin { ct: c1, td: t1, b: b1 }, Val::Lin { ct: c2, td: t2, b: b2 }) => {
+            Val::Lin {
+                ct: c1 + c2,
+                td: t1 + t2,
+                b: b1 + b2,
+            }
+        }
+        _ => Val::Unknown,
+    }
+}
+
+fn lin_scale(a: Val, k: i128) -> Val {
+    match a {
+        Val::Lin { ct, td, b } => Val::Lin {
+            ct: ct * k,
+            td: td * k,
+            b: b * k,
+        },
+        _ => Val::Unknown,
+    }
+}
+
+/// Value range of an affine form given `ctaid < nctaid`, `tid < ntid`.
+fn lin_range(v: Val, ntid: i128, nctaid: i128) -> Option<(i128, i128)> {
+    let Val::Lin { ct, td, b } = v else {
+        return None;
+    };
+    let (cl, ch) = if ct >= 0 {
+        (0, ct * (nctaid - 1))
+    } else {
+        (ct * (nctaid - 1), 0)
+    };
+    let (tl, th) = if td >= 0 {
+        (0, td * (ntid - 1))
+    } else {
+        (td * (ntid - 1), 0)
+    };
+    Some((cl + tl + b, ch + th + b))
+}
+
+fn bin_val(op: BinOp, t: Type, a: Val, b: Val, ntid: i128, nctaid: i128) -> Val {
+    use BinOp::*;
+    // float arithmetic
+    if t.is_float() {
+        return match (op, a, b) {
+            (Add, Val::F32(x), Val::F32(y)) => Val::F32(x + y),
+            (Sub, Val::F32(x), Val::F32(y)) => Val::F32(x - y),
+            (Mul, Val::F32(x), Val::F32(y)) => Val::F32(x * y),
+            (Div, Val::F32(x), Val::F32(y)) => Val::F32(x / y),
+            (Min, Val::F32(x), Val::F32(y)) => Val::F32(x.min(y)),
+            (Max, Val::F32(x), Val::F32(y)) => Val::F32(x.max(y)),
+            _ => Val::Unknown,
+        };
+    }
+    match op {
+        Add => lin_add(a, b),
+        Sub => lin_add(a, lin_scale(b, -1)),
+        Mul | MulWide => match (a.as_const(), b.as_const()) {
+            (Some(ka), _) => lin_scale(b, ka),
+            (_, Some(kb)) => lin_scale(a, kb),
+            _ => Val::Unknown,
+        },
+        Div => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) if y != 0 => Val::cnst(x.div_euclid(y)),
+            _ => Val::Unknown,
+        },
+        Rem => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) if y != 0 => Val::cnst(x.rem_euclid(y)),
+            _ => Val::Unknown,
+        },
+        Min => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) => Val::cnst(x.min(y)),
+            _ => Val::Unknown,
+        },
+        Max => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) => Val::cnst(x.max(y)),
+            _ => Val::Unknown,
+        },
+        Shl => match b.as_const() {
+            Some(k) if (0..63).contains(&k) => lin_scale(a, 1i128 << k),
+            _ => Val::Unknown,
+        },
+        Shr => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(k)) if (0..63).contains(&k) => Val::cnst(x >> k),
+            _ => Val::Unknown,
+        },
+        And => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) => Val::cnst(x & y),
+            _ => Val::Unknown,
+        },
+        Or => {
+            match (a.as_const(), b.as_const()) {
+                (Some(x), Some(y)) => Val::cnst(x | y),
+                _ => {
+                    // disjoint-range OR folds to ADD (the Fig. 2 gid idiom):
+                    // one side a multiple of 2^k, the other within [0, 2^k)
+                    let ra = lin_range(a, ntid, nctaid);
+                    let rb = lin_range(b, ntid, nctaid);
+                    match (ra, rb) {
+                        (Some((al, ah)), Some((bl, bh))) if al >= 0 && bl >= 0 => {
+                            if disjoint_or(a, (al, ah), b, (bl, bh)) {
+                                lin_add(a, b)
+                            } else {
+                                Val::Unknown
+                            }
+                        }
+                        _ => Val::Unknown,
+                    }
+                }
+            }
+        }
+        Xor => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) => Val::cnst(x ^ y),
+            _ => Val::Unknown,
+        },
+    }
+}
+
+/// Is `a | b == a + b` provable? True when one side's every value is a
+/// multiple of `2^k` and the other side stays below `2^k`.
+fn disjoint_or(a: Val, ra: (i128, i128), b: Val, rb: (i128, i128)) -> bool {
+    fn alignment(v: Val) -> i128 {
+        // gcd-of-coefficients power-of-two alignment
+        if let Val::Lin { ct, td, b } = v {
+            let g = gcd(gcd(ct.unsigned_abs(), td.unsigned_abs()), b.unsigned_abs());
+            let g = g as i128;
+            if g == 0 {
+                i128::MAX
+            } else {
+                g & g.wrapping_neg() // largest power-of-two divisor
+            }
+        } else {
+            1
+        }
+    }
+    let (_, ah) = ra;
+    let (_, bh) = rb;
+    alignment(a) > bh || alignment(b) > ah
+}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn un_val(op: UnOp, a: Val) -> Val {
+    match (op, a) {
+        (UnOp::Neg, v @ Val::Lin { .. }) => lin_scale(v, -1),
+        (UnOp::Neg, Val::F32(x)) => Val::F32(-x),
+        (UnOp::Abs, Val::F32(x)) => Val::F32(x.abs()),
+        (UnOp::Sqrt, Val::F32(x)) => Val::F32(x.sqrt()),
+        (UnOp::Rcp, Val::F32(x)) => Val::F32(1.0 / x),
+        (UnOp::Ex2, Val::F32(x)) => Val::F32(x.exp2()),
+        (UnOp::Lg2, Val::F32(x)) => Val::F32(x.log2()),
+        (UnOp::Not, v) => match v.as_const() {
+            Some(x) => Val::cnst(!x),
+            None => Val::Unknown,
+        },
+        _ => Val::Unknown,
+    }
+}
+
+fn cvt_val(to: Type, from: Type, v: Val) -> Val {
+    match (to, from) {
+        // widening/narrowing integer conversions preserve affine forms
+        (Type::U64, Type::U32) | (Type::U32, Type::U64) | (Type::S32, Type::U32) => v,
+        // bit reinterpretation
+        (Type::F32, Type::B32) => match v.as_const() {
+            Some(x) => Val::F32(f32::from_bits(x as u32)),
+            None => Val::Unknown,
+        },
+        (Type::F32, Type::U32) | (Type::F32, Type::S32) => match v.as_const() {
+            Some(x) => Val::F32(x as f32),
+            None => Val::Unknown,
+        },
+        (Type::U32, Type::F32) | (Type::S32, Type::F32) => match v {
+            Val::F32(x) => Val::cnst(x as i128),
+            _ => Val::Unknown,
+        },
+        _ => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptx::builder::KernelBuilder;
+    use ptx::inst::Operand;
+
+    /// Fig. 2-style kernel: guard `gid < n`, then a body instruction.
+    fn guard_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("k", 256);
+        let p_n = kb.param("n", Type::U32);
+        let n = kb.ld_param(&p_n, Type::U32);
+        let (_gid, exit) = kb.guard_gid(n);
+        let f = kb.f();
+        kb.mov(Type::F32, f, Operand::ImmF(1.0));
+        kb.place_label(exit);
+        kb.ret();
+        kb.finish()
+    }
+
+    #[test]
+    fn guard_thread_below_bound_runs_body() {
+        let k = guard_kernel();
+        let m = Machine::new(&k, 4, &[700]);
+        let lo = m.run(0, 0).unwrap();
+        let hi = m.run(3, 255).unwrap(); // gid 1023 >= 700: skips body
+        assert_eq!(lo.count, hi.count + 1, "body is a single mov");
+    }
+
+    #[test]
+    fn guard_reports_tau_breakpoint() {
+        let k = guard_kernel();
+        let m = Machine::new(&k, 4, &[700]);
+        let o = m.run(0, 0).unwrap();
+        assert!(
+            o.breaks.iter().any(|b| matches!(b, Break::Tau(v) if (699..=701).contains(v))),
+            "expected a tau break near 700, got {:?}",
+            o.breaks
+        );
+    }
+
+    #[test]
+    fn counted_loop_executes_n_times() {
+        let mut kb = KernelBuilder::new("k", 32);
+        let p_n = kb.param("n", Type::U32);
+        let n = kb.ld_param(&p_n, Type::U32);
+        kb.counted_loop(n, |kb, _| {
+            let f = kb.f();
+            kb.mov(Type::F32, f, Operand::ImmF(1.0));
+        });
+        kb.ret();
+        let k = kb.finish();
+        let count_for = |trip: u64| {
+            Machine::new(&k, 1, &[trip]).run(0, 0).unwrap().count
+        };
+        // body is 4 instructions per iteration (mov, add, setp, bra)
+        assert_eq!(count_for(10) - count_for(9), 4);
+        assert_eq!(count_for(100) - count_for(99), 4);
+        // zero-trip loop works (pre-check)
+        assert!(count_for(0) < count_for(1));
+    }
+
+    #[test]
+    fn strided_loop_breaks_on_tid() {
+        // for (i = tid; i < n; i += 32): threads with tid < n%32 do one more
+        let mut kb = KernelBuilder::new("k", 32);
+        let p_n = kb.param("n", Type::U32);
+        let n = kb.ld_param(&p_n, Type::U32);
+        let tid = kb.special(SpecialReg::TidX);
+        let i = kb.r();
+        kb.mov(Type::U32, i, tid);
+        let p0 = kb.p();
+        kb.setp(CmpOp::Ge, Type::U32, p0, i, n);
+        let done = kb.label();
+        kb.bra_if(p0, false, done);
+        let head = kb.label();
+        kb.place_label(head);
+        kb.bin(BinOp::Add, Type::U32, i, i, Operand::ImmI(32));
+        let p = kb.p();
+        kb.setp(CmpOp::Lt, Type::U32, p, i, n);
+        kb.bra_if(p, false, head);
+        kb.place_label(done);
+        kb.ret();
+        let k = kb.finish();
+        let m = Machine::new(&k, 1, &[70]); // 70 = 2*32 + 6
+        let t0 = m.run(0, 0).unwrap(); // 3 iterations
+        let t6 = m.run(0, 6).unwrap(); // 2 iterations
+        assert!(t0.count > t6.count);
+        assert!(
+            t0.breaks.iter().any(|b| matches!(b, Break::Tid(_))),
+            "expected tid breaks, got {:?}",
+            t0.breaks
+        );
+    }
+
+    #[test]
+    fn data_dependent_branch_is_an_error() {
+        let mut kb = KernelBuilder::new("k", 32);
+        let p_x = kb.param("x", Type::U64);
+        let x = kb.ld_param(&p_x, Type::U64);
+        let f = kb.f();
+        kb.ld(Space::Global, Type::F32, f, ptx::inst::Address::reg(x));
+        let p = kb.p();
+        kb.setp(CmpOp::Lt, Type::F32, p, f, Operand::ImmF(0.0));
+        let l = kb.label();
+        kb.bra_if(p, false, l);
+        kb.place_label(l);
+        kb.ret();
+        let k = kb.finish();
+        let m = Machine::new(&k, 1, &[0x1000]);
+        assert!(matches!(
+            m.run(0, 0),
+            Err(ExecError::DataDependentBranch { .. })
+        ));
+    }
+
+    #[test]
+    fn fig2_or_idiom_resolves_gid() {
+        // gid = (ctaid << 8) | tid with ntid=256 must behave as addition
+        let k = guard_kernel();
+        let m = Machine::new(&k, 8, &[2048]);
+        // thread (4, 17): gid = 1041 < 2048 -> body runs
+        let a = m.run(4, 17).unwrap();
+        // thread (7, 255): gid = 2047 < 2048 -> body runs
+        let b = m.run(7, 255).unwrap();
+        assert_eq!(a.count, b.count);
+    }
+
+    #[test]
+    fn selp_with_unknown_pred_is_opaque_but_counted() {
+        let mut kb = KernelBuilder::new("k", 32);
+        let p_x = kb.param("x", Type::U64);
+        let x = kb.ld_param(&p_x, Type::U64);
+        let f = kb.f();
+        kb.ld(Space::Global, Type::F32, f, ptx::inst::Address::reg(x));
+        let p = kb.p();
+        kb.setp(CmpOp::Lt, Type::F32, p, f, Operand::ImmF(0.0));
+        let g = kb.f();
+        kb.selp(Type::F32, g, f, Operand::ImmF(0.0), p);
+        kb.ret();
+        let k = kb.finish();
+        let m = Machine::new(&k, 1, &[0x1000]);
+        let o = m.run(0, 0).unwrap();
+        assert_eq!(o.count, 5);
+    }
+
+    #[test]
+    fn step_limit_catches_runaway() {
+        // while(true) loop
+        let mut kb = KernelBuilder::new("k", 32);
+        let head = kb.label();
+        kb.place_label(head);
+        let r = kb.r();
+        kb.mov(Type::U32, r, Operand::ImmI(1));
+        kb.bra_uni(head);
+        let k = kb.finish();
+        let mut m = Machine::new(&k, 1, &[]);
+        m.set_max_steps(1000);
+        assert!(matches!(m.run(0, 0), Err(ExecError::StepLimit { .. })));
+    }
+
+    #[test]
+    fn category_accounting_sums_to_count() {
+        let k = guard_kernel();
+        let m = Machine::new(&k, 4, &[700]);
+        let o = m.run(0, 0).unwrap();
+        assert_eq!(o.by_cat.iter().sum::<u64>(), o.count);
+    }
+}

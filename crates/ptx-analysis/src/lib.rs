@@ -1,0 +1,31 @@
+//! # ptx-analysis — the paper's dynamic code analysis module
+//!
+//! Implements Section IV-A of the paper: parse PTX into a data-dependency
+//! graph `G = {V, E}` ([`depgraph`]), derive control flow ([`cfg`]), slice
+//! the instructions needed to resolve branches (`G_v*`, [`slice`]), and
+//! execute only those to obtain the **exact number of executed PTX
+//! instructions** for any launch without hardware or a cycle-level
+//! simulator ([`exec`], [`count`]).
+//!
+//! ```
+//! let model = cnn_ir::zoo::build("alexnet").unwrap();
+//! let plan = ptx_codegen::lower(&model, "sm_61").unwrap();
+//! let counts = ptx_analysis::count_plan(&plan, true).unwrap();
+//! assert!(counts.thread_instructions > 0);
+//! ```
+
+pub mod cfg;
+pub mod count;
+pub mod depgraph;
+pub mod exec;
+pub mod slice;
+pub mod stats;
+
+pub use cfg::Cfg;
+pub use count::{
+    count_launch, count_launch_bruteforce, count_plan, LaunchCount, PlanCount, WARP,
+};
+pub use depgraph::DepGraph;
+pub use exec::{Break, ExecError, Machine, ThreadOutcome, Val, NCAT};
+pub use slice::{branch_slice, slice_fraction};
+pub use stats::{kernel_stats, KernelStats};

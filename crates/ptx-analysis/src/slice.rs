@@ -1,0 +1,123 @@
+//! Program slicing (paper Section IV-A): compute the subgraph
+//! `G_v* = (V', E')` of instructions that must be *evaluated* to resolve
+//! every branch — the rest of the kernel only needs to be counted.
+
+use crate::depgraph::DepGraph;
+use ptx::kernel::Kernel;
+use std::collections::HashSet;
+
+/// Instruction indices (label-free numbering) forming the backward slice of
+/// all branch predicates, loop state included.
+pub fn branch_slice(kernel: &Kernel) -> HashSet<usize> {
+    let g = DepGraph::build(kernel);
+    let seeds: Vec<usize> = g
+        .instrs
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.is_terminator())
+        .map(|(idx, _)| idx)
+        .collect();
+    let mut slice = g.backward_closure(&seeds);
+    // guards of sliced instructions must be evaluable too: close over the
+    // predicates guarding slice members
+    loop {
+        let mut extra: Vec<usize> = Vec::new();
+        for &i in &slice {
+            if let Some((p, _)) = g.instrs[i].guard {
+                // find defs of p: any instruction writing p
+                for (j, inst) in g.instrs.iter().enumerate() {
+                    if inst.dst() == Some(p) && !slice.contains(&j) {
+                        extra.push(j);
+                    }
+                }
+            }
+        }
+        if extra.is_empty() {
+            break;
+        }
+        for e in extra {
+            slice.extend(g.backward_closure(&[e]));
+        }
+    }
+    slice
+}
+
+/// Fraction of the kernel body inside the slice (diagnostic; the paper's
+/// speed argument rests on this being well below 1).
+pub fn slice_fraction(kernel: &Kernel) -> f64 {
+    let n = kernel.num_instructions();
+    if n == 0 {
+        return 0.0;
+    }
+    branch_slice(kernel).len() as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_slice_is_a_small_fraction() {
+        let k = ptx_codegen::Template::GemmTiled.build();
+        let f = slice_fraction(&k);
+        assert!(f < 0.5, "gemm slice fraction {f} too large");
+        assert!(f > 0.0);
+    }
+
+    #[test]
+    fn slice_contains_loop_counters() {
+        let k = ptx_codegen::Template::Gemv.build();
+        let slice = branch_slice(&k);
+        let g = DepGraph::build(&k);
+        // every setp must be in the slice of some branch... at least the
+        // loop setp; check: all branch guards' defining setps are present
+        for (i, inst) in g.instrs.iter().enumerate() {
+            if inst.is_terminator() {
+                if let Some((p, _)) = inst.guard {
+                    let defs: Vec<usize> = g
+                        .instrs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, x)| x.dst() == Some(p))
+                        .map(|(j, _)| j)
+                        .collect();
+                    for d in defs {
+                        assert!(slice.contains(&d), "branch {i} pred def {d} missing");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_payload_outside_slice() {
+        let k = ptx_codegen::Template::ActSwish.build();
+        let slice = branch_slice(&k);
+        let g = DepGraph::build(&k);
+        let float_payload = g
+            .instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| {
+                matches!(
+                    i.category(),
+                    ptx::inst::Category::FloatAlu | ptx::inst::Category::SpecialFunc
+                )
+            })
+            .count();
+        let sliced_payload = g
+            .instrs
+            .iter()
+            .enumerate()
+            .filter(|(idx, i)| {
+                slice.contains(idx)
+                    && matches!(
+                        i.category(),
+                        ptx::inst::Category::FloatAlu | ptx::inst::Category::SpecialFunc
+                    )
+            })
+            .count();
+        assert!(float_payload > 0);
+        assert_eq!(sliced_payload, 0, "float payload leaked into the slice");
+    }
+}

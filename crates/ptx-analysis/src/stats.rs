@@ -1,0 +1,114 @@
+//! Static per-kernel statistics: instruction histograms, CFG shape and
+//! slice metrics — the diagnostics surface of the dynamic code analysis
+//! (used by the `ptx_inspect` example and the ablation benches).
+
+use crate::cfg::Cfg;
+use crate::depgraph::DepGraph;
+use crate::slice::branch_slice;
+use ptx::inst::Category;
+use ptx::kernel::Kernel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Static structure metrics for one kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelStats {
+    pub name: String,
+    pub instructions: usize,
+    pub basic_blocks: usize,
+    pub dependency_edges: usize,
+    pub slice_size: usize,
+    pub slice_fraction: f64,
+    pub branches: usize,
+    pub loops: usize,
+    /// Instruction count per category name.
+    pub histogram: BTreeMap<String, usize>,
+}
+
+/// Compute the full statistics bundle for one kernel.
+pub fn kernel_stats(kernel: &Kernel) -> KernelStats {
+    let g = DepGraph::build(kernel);
+    let cfg = Cfg::build(kernel);
+    let slice = branch_slice(kernel);
+    let n = kernel.num_instructions();
+
+    let mut histogram: BTreeMap<String, usize> = BTreeMap::new();
+    for inst in kernel.instructions() {
+        *histogram
+            .entry(format!("{:?}", inst.category()))
+            .or_insert(0) += 1;
+    }
+
+    let branches = kernel
+        .instructions()
+        .filter(|i| matches!(i.op, ptx::inst::Op::Bra { .. }))
+        .count();
+    // back edges in the CFG indicate loops
+    let loops = cfg
+        .succs
+        .iter()
+        .enumerate()
+        .map(|(b, ss)| ss.iter().filter(|&&s| s <= b).count())
+        .sum();
+
+    KernelStats {
+        name: kernel.name.clone(),
+        instructions: n,
+        basic_blocks: cfg.num_blocks(),
+        dependency_edges: g.num_edges(),
+        slice_size: slice.len(),
+        slice_fraction: if n == 0 { 0.0 } else { slice.len() as f64 / n as f64 },
+        branches,
+        loops,
+        histogram,
+    }
+}
+
+/// Histogram share of a category (0 when absent).
+impl KernelStats {
+    pub fn share(&self, cat: Category) -> f64 {
+        let key = format!("{cat:?}");
+        let count = self.histogram.get(&key).copied().unwrap_or(0);
+        if self.instructions == 0 {
+            0.0
+        } else {
+            count as f64 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_stats_are_consistent() {
+        let k = ptx_codegen::Template::GemmTiled.build();
+        let s = kernel_stats(&k);
+        assert_eq!(s.instructions, k.num_instructions());
+        assert!(s.basic_blocks >= 3);
+        assert!(s.loops >= 1, "tiled gemm has a k-loop");
+        assert!(s.branches >= 2);
+        assert!(s.slice_fraction > 0.0 && s.slice_fraction < 0.5);
+        let total: usize = s.histogram.values().sum();
+        assert_eq!(total, s.instructions);
+        // the unrolled inner product makes FMA a visible share
+        assert!(s.share(Category::FloatFma) > 0.1);
+    }
+
+    #[test]
+    fn straightline_kernel_has_no_loops() {
+        let k = ptx_codegen::Template::EwAdd.build();
+        let s = kernel_stats(&k);
+        assert_eq!(s.loops, 0);
+        assert!(s.share(Category::LoadGlobal) > 0.0);
+    }
+
+    #[test]
+    fn histogram_keys_are_category_names() {
+        let k = ptx_codegen::Template::ActRelu.build();
+        let s = kernel_stats(&k);
+        assert!(s.histogram.contains_key("Control"));
+        assert_eq!(s.share(Category::Sync), 0.0);
+    }
+}

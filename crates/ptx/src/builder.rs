@@ -1,0 +1,455 @@
+//! Ergonomic construction of PTX kernels, used by the CNN code generator.
+//!
+//! The builder hands out fresh virtual registers per class, tracks labels,
+//! and offers one emit method per opcode family. Loops and guards are
+//! expressed with explicit labels, exactly as the NVPTX backend lays them
+//! out (compare the paper's Fig. 2).
+
+use crate::inst::{Address, BodyElem, Instruction, LabelId, Op, Operand};
+use crate::kernel::{Kernel, KernelParam};
+use crate::types::{BinOp, CmpOp, Reg, RegClass, Space, SpecialReg, Type, UnOp};
+
+/// Builder for one kernel.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<KernelParam>,
+    reqntid: (u32, u32, u32),
+    shared_bytes: u32,
+    body: Vec<BodyElem>,
+    next_reg: [u32; 4],
+    next_label: LabelId,
+    /// Active guard applied to emitted instructions.
+    guard: Option<(Reg, bool)>,
+}
+
+impl KernelBuilder {
+    pub fn new(name: impl Into<String>, block_threads: u32) -> Self {
+        Self {
+            name: name.into(),
+            params: Vec::new(),
+            reqntid: (block_threads, 1, 1),
+            shared_bytes: 0,
+            body: Vec::new(),
+            next_reg: [0; 4],
+            next_label: 0,
+            guard: None,
+        }
+    }
+
+    /// Declare a kernel parameter; returns its name for address formation.
+    pub fn param(&mut self, name: &str, t: Type) -> String {
+        let full = format!("{}_param_{}", self.name, self.params.len());
+        let _ = name; // semantic name kept in the tag; PTX uses positional names
+        self.params.push(KernelParam {
+            name: full.clone(),
+            t,
+        });
+        full
+    }
+
+    /// Reserve static shared memory; returns the byte offset of the region.
+    pub fn shared(&mut self, bytes: u32) -> u32 {
+        let off = self.shared_bytes;
+        self.shared_bytes += bytes;
+        off
+    }
+
+    fn fresh(&mut self, class: RegClass) -> Reg {
+        let slot = match class {
+            RegClass::R => 0,
+            RegClass::Rd => 1,
+            RegClass::F => 2,
+            RegClass::P => 3,
+        };
+        let idx = self.next_reg[slot];
+        self.next_reg[slot] += 1;
+        Reg::new(class, idx)
+    }
+
+    pub fn r(&mut self) -> Reg {
+        self.fresh(RegClass::R)
+    }
+
+    pub fn rd(&mut self) -> Reg {
+        self.fresh(RegClass::Rd)
+    }
+
+    pub fn f(&mut self) -> Reg {
+        self.fresh(RegClass::F)
+    }
+
+    pub fn p(&mut self) -> Reg {
+        self.fresh(RegClass::P)
+    }
+
+    /// Allocate a label (emit it later with [`Self::place_label`]).
+    pub fn label(&mut self) -> LabelId {
+        let l = self.next_label;
+        self.next_label += 1;
+        l
+    }
+
+    pub fn place_label(&mut self, l: LabelId) {
+        self.body.push(BodyElem::Label(l));
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.body.push(BodyElem::Inst(Instruction {
+            op,
+            guard: self.guard,
+        }));
+    }
+
+    /// Run `f` with all emitted instructions guarded by `@p` (or `@!p`).
+    pub fn with_guard<T>(
+        &mut self,
+        p: Reg,
+        negated: bool,
+        f: impl FnOnce(&mut Self) -> T,
+    ) -> T {
+        let prev = self.guard.replace((p, negated));
+        let out = f(self);
+        self.guard = prev;
+        out
+    }
+
+    // ---- instruction emitters ----
+
+    pub fn mov(&mut self, t: Type, dst: Reg, src: impl Into<Operand>) {
+        self.emit(Op::Mov {
+            t,
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// `mov` from a special register into a fresh u32 register.
+    pub fn special(&mut self, s: SpecialReg) -> Reg {
+        let dst = self.r();
+        self.mov(Type::U32, dst, Operand::Special(s));
+        dst
+    }
+
+    pub fn ld(&mut self, space: Space, t: Type, dst: Reg, addr: Address) {
+        self.emit(Op::Ld {
+            space,
+            t,
+            dst,
+            addr,
+        });
+    }
+
+    /// `ld.param` into a fresh register of the matching class.
+    pub fn ld_param(&mut self, pname: &str, t: Type) -> Reg {
+        let dst = match t {
+            Type::U64 => self.rd(),
+            Type::F32 => self.f(),
+            _ => self.r(),
+        };
+        self.ld(Space::Param, t, dst, Address::param(pname));
+        dst
+    }
+
+    pub fn st(&mut self, space: Space, t: Type, addr: Address, src: impl Into<Operand>) {
+        self.emit(Op::St {
+            space,
+            t,
+            src: src.into(),
+            addr,
+        });
+    }
+
+    pub fn bin(
+        &mut self,
+        op: BinOp,
+        t: Type,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.emit(Op::Bin {
+            op,
+            t,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    /// Fresh-register binary op helper.
+    pub fn bin_r(
+        &mut self,
+        op: BinOp,
+        t: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Reg {
+        let dst = match t {
+            Type::U64 => self.rd(),
+            Type::F32 => self.f(),
+            _ => self.r(),
+        };
+        self.bin(op, t, dst, a, b);
+        dst
+    }
+
+    pub fn un(&mut self, op: UnOp, t: Type, dst: Reg, a: impl Into<Operand>) {
+        self.emit(Op::Un {
+            op,
+            t,
+            dst,
+            a: a.into(),
+        });
+    }
+
+    pub fn mad(
+        &mut self,
+        t: Type,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) {
+        self.emit(Op::Mad {
+            t,
+            dst,
+            a: a.into(),
+            b: b.into(),
+            c: c.into(),
+        });
+    }
+
+    pub fn cvt(&mut self, to: Type, from: Type, dst: Reg, src: impl Into<Operand>) {
+        self.emit(Op::Cvt {
+            to,
+            from,
+            dst,
+            src: src.into(),
+        });
+    }
+
+    pub fn setp(
+        &mut self,
+        cmp: CmpOp,
+        t: Type,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.emit(Op::Setp {
+            cmp,
+            t,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    pub fn selp(
+        &mut self,
+        t: Type,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        p: Reg,
+    ) {
+        self.emit(Op::Selp {
+            t,
+            dst,
+            a: a.into(),
+            b: b.into(),
+            p,
+        });
+    }
+
+    pub fn bra(&mut self, target: LabelId) {
+        self.emit(Op::Bra {
+            target,
+            uni: false,
+        });
+    }
+
+    pub fn bra_uni(&mut self, target: LabelId) {
+        self.emit(Op::Bra { target, uni: true });
+    }
+
+    /// Conditional branch: `@p bra target` (or `@!p`).
+    pub fn bra_if(&mut self, p: Reg, negated: bool, target: LabelId) {
+        self.body.push(BodyElem::Inst(Instruction::guarded(
+            Op::Bra {
+                target,
+                uni: false,
+            },
+            p,
+            negated,
+        )));
+    }
+
+    pub fn bar(&mut self) {
+        self.emit(Op::Bar);
+    }
+
+    pub fn ret(&mut self) {
+        self.emit(Op::Ret);
+    }
+
+    // ---- common idioms ----
+
+    /// Compute the linear global thread id `gid = ctaid.x * ntid.x + tid.x`
+    /// using the shl/or idiom of the paper's Fig. 2 when the block size is a
+    /// power of two, falling back to `mad` otherwise.
+    pub fn global_id(&mut self) -> Reg {
+        let ctaid = self.special(SpecialReg::CtaIdX);
+        let tid = self.special(SpecialReg::TidX);
+        let ntid = self.reqntid.0;
+        if ntid.is_power_of_two() {
+            let shift = ntid.trailing_zeros();
+            let hi = self.bin_r(BinOp::Shl, Type::B32, ctaid, Operand::ImmI(shift as i64));
+            self.bin_r(BinOp::Or, Type::B32, tid, hi)
+        } else {
+            let dst = self.r();
+            self.mad(
+                Type::S32,
+                dst,
+                ctaid,
+                Operand::ImmI(ntid as i64),
+                tid,
+            );
+            dst
+        }
+    }
+
+    /// Emit the standard bounds-guard prologue: returns `(gid, skip_label)`.
+    /// Threads with `gid >= bound_reg` jump to `skip_label` (placed by the
+    /// caller right before `ret`).
+    pub fn guard_gid(&mut self, bound: impl Into<Operand>) -> (Reg, LabelId) {
+        let gid = self.global_id();
+        let p = self.p();
+        self.setp(CmpOp::Ge, Type::U32, p, gid, bound);
+        let skip = self.label();
+        self.bra_if(p, false, skip);
+        (gid, skip)
+    }
+
+    /// Emit a counted loop running `body` with the loop counter register.
+    /// The trip count is read from `count` (a register or immediate). The
+    /// loop is a standard `do/while` with a pre-check, matching NVPTX
+    /// layout.
+    pub fn counted_loop(
+        &mut self,
+        count: impl Into<Operand> + Copy,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let i = self.r();
+        self.mov(Type::U32, i, Operand::ImmI(0));
+        // pre-check: skip entirely when count == 0
+        let p0 = self.p();
+        self.setp(CmpOp::Eq, Type::U32, p0, count, Operand::ImmI(0));
+        let done = self.label();
+        self.bra_if(p0, false, done);
+        let head = self.label();
+        self.place_label(head);
+        body(self, i);
+        self.bin(BinOp::Add, Type::U32, i, i, Operand::ImmI(1));
+        let p = self.p();
+        self.setp(CmpOp::Lt, Type::U32, p, i, count);
+        self.bra_if(p, false, head);
+        self.place_label(done);
+    }
+
+    /// Finish the kernel.
+    pub fn finish(self) -> Kernel {
+        Kernel {
+            name: self.name,
+            params: self.params,
+            reqntid: self.reqntid,
+            shared_bytes: self.shared_bytes,
+            body: self.body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer;
+
+    #[test]
+    fn fig2_idiom_for_pow2_blocks() {
+        let mut kb = KernelBuilder::new("k", 256);
+        let (gid, skip) = kb.guard_gid(Operand::ImmI(1000));
+        let _ = gid;
+        kb.place_label(skip);
+        kb.ret();
+        let k = kb.finish();
+        let text = printer::kernel(&k);
+        assert!(text.contains("shl.b32"), "expected shl idiom:\n{text}");
+        assert!(text.contains("or.b32"), "expected or idiom:\n{text}");
+        assert!(text.contains("setp.ge.u32"));
+    }
+
+    #[test]
+    fn mad_idiom_for_non_pow2_blocks() {
+        let mut kb = KernelBuilder::new("k", 192);
+        let _ = kb.global_id();
+        kb.ret();
+        let k = kb.finish();
+        let text = printer::kernel(&k);
+        assert!(text.contains("mad.lo.s32"), "expected mad idiom:\n{text}");
+    }
+
+    #[test]
+    fn counted_loop_shape() {
+        let mut kb = KernelBuilder::new("k", 128);
+        let n = kb.ld_param("k_param_0", Type::U32);
+        kb.counted_loop(n, |kb, _i| {
+            let f = kb.f();
+            kb.mov(Type::F32, f, Operand::ImmF(0.0));
+        });
+        kb.ret();
+        let k = kb.finish();
+        // loop: mov i, pre-check setp+bra, label, body mov, add, setp, bra, done label
+        assert_eq!(k.num_instructions(), 9);
+        let labels: Vec<_> = k
+            .body
+            .iter()
+            .filter(|e| matches!(e, BodyElem::Label(_)))
+            .collect();
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn with_guard_applies_and_restores() {
+        let mut kb = KernelBuilder::new("k", 64);
+        let p = kb.p();
+        let f = kb.f();
+        kb.with_guard(p, true, |kb| {
+            kb.mov(Type::F32, f, Operand::ImmF(1.0));
+        });
+        kb.mov(Type::F32, f, Operand::ImmF(2.0));
+        kb.ret();
+        let k = kb.finish();
+        let insts: Vec<_> = k.instructions().collect();
+        assert_eq!(insts[0].guard, Some((p, true)));
+        assert_eq!(insts[1].guard, None);
+    }
+
+    #[test]
+    fn shared_allocation_is_sequential() {
+        let mut kb = KernelBuilder::new("k", 64);
+        assert_eq!(kb.shared(1024), 0);
+        assert_eq!(kb.shared(512), 1024);
+        kb.ret();
+        assert_eq!(kb.finish().shared_bytes, 1536);
+    }
+
+    #[test]
+    fn params_are_positional() {
+        let mut kb = KernelBuilder::new("gemm", 256);
+        let a = kb.param("a", Type::U64);
+        let b = kb.param("b", Type::U64);
+        assert_eq!(a, "gemm_param_0");
+        assert_eq!(b, "gemm_param_1");
+    }
+}

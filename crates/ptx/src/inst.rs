@@ -1,0 +1,411 @@
+//! PTX instructions and operands.
+
+use crate::types::{BinOp, CmpOp, Reg, Space, SpecialReg, Type, UnOp};
+use serde::{Deserialize, Serialize};
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    Reg(Reg),
+    /// Integer immediate (covers u32/s32/u64 encodings).
+    ImmI(i64),
+    /// Floating-point immediate.
+    ImmF(f32),
+    Special(SpecialReg),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl Operand {
+    pub fn as_reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// A memory address: `[base + offset]` where base is a register, or a named
+/// kernel parameter `[name + offset]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AddrBase {
+    Reg(Reg),
+    Param(String),
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Address {
+    pub base: AddrBase,
+    pub offset: i64,
+}
+
+impl Address {
+    pub fn reg(r: Reg) -> Self {
+        Self {
+            base: AddrBase::Reg(r),
+            offset: 0,
+        }
+    }
+
+    pub fn reg_off(r: Reg, offset: i64) -> Self {
+        Self {
+            base: AddrBase::Reg(r),
+            offset,
+        }
+    }
+
+    pub fn param(name: impl Into<String>) -> Self {
+        Self {
+            base: AddrBase::Param(name.into()),
+            offset: 0,
+        }
+    }
+}
+
+/// Branch/label identifier within one kernel body.
+pub type LabelId = u32;
+
+/// Instruction operation. Every variant maps to a real PTX opcode family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// `mov.<t> dst, src`
+    Mov { t: Type, dst: Reg, src: Operand },
+    /// `ld.<space>.<t> dst, [addr]`
+    Ld {
+        space: Space,
+        t: Type,
+        dst: Reg,
+        addr: Address,
+    },
+    /// `st.<space>.<t> [addr], src`
+    St {
+        space: Space,
+        t: Type,
+        src: Operand,
+        addr: Address,
+    },
+    /// Two-operand ALU: `add/sub/mul/.../or.<t> dst, a, b`
+    Bin {
+        op: BinOp,
+        t: Type,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// One-operand ALU: `neg/abs/sqrt/....<t> dst, a`
+    Un {
+        op: UnOp,
+        t: Type,
+        dst: Reg,
+        a: Operand,
+    },
+    /// Fused multiply-add: `fma.rn.f32` / `mad.lo.s32 dst, a, b, c`
+    Mad {
+        t: Type,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
+    /// `cvt.<to>.<from> dst, src`
+    Cvt {
+        to: Type,
+        from: Type,
+        dst: Reg,
+        src: Operand,
+    },
+    /// `setp.<cmp>.<t> dst, a, b`
+    Setp {
+        cmp: CmpOp,
+        t: Type,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `selp.<t> dst, a, b, pred`
+    Selp {
+        t: Type,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        p: Reg,
+    },
+    /// `bra` (`uni` marks non-divergent branches, as in the paper's Fig. 2)
+    Bra { target: LabelId, uni: bool },
+    /// `bar.sync 0`
+    Bar,
+    /// `ret`
+    Ret,
+}
+
+/// Coarse instruction categories used by the instruction-mix model and the
+/// GPU simulator's timing tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    IntAlu,
+    FloatAlu,
+    FloatFma,
+    SpecialFunc,
+    LoadGlobal,
+    StoreGlobal,
+    LoadShared,
+    StoreShared,
+    LoadParam,
+    Control,
+    Sync,
+    Move,
+    Convert,
+    Compare,
+}
+
+impl Category {
+    pub const ALL: [Category; 14] = [
+        Category::IntAlu,
+        Category::FloatAlu,
+        Category::FloatFma,
+        Category::SpecialFunc,
+        Category::LoadGlobal,
+        Category::StoreGlobal,
+        Category::LoadShared,
+        Category::StoreShared,
+        Category::LoadParam,
+        Category::Control,
+        Category::Sync,
+        Category::Move,
+        Category::Convert,
+        Category::Compare,
+    ];
+}
+
+/// One instruction with an optional predicate guard (`@%p` / `@!%p`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    pub op: Op,
+    /// `Some((p, negated))` executes only when `p == !negated`.
+    pub guard: Option<(Reg, bool)>,
+}
+
+impl Instruction {
+    pub fn new(op: Op) -> Self {
+        Self { op, guard: None }
+    }
+
+    pub fn guarded(op: Op, p: Reg, negated: bool) -> Self {
+        Self {
+            op,
+            guard: Some((p, negated)),
+        }
+    }
+
+    /// The coarse category of this instruction.
+    pub fn category(&self) -> Category {
+        match &self.op {
+            Op::Mov { .. } => Category::Move,
+            Op::Ld { space, .. } => match space {
+                Space::Global | Space::Local => Category::LoadGlobal,
+                Space::Shared => Category::LoadShared,
+                Space::Param => Category::LoadParam,
+            },
+            Op::St { space, .. } => match space {
+                Space::Shared => Category::StoreShared,
+                _ => Category::StoreGlobal,
+            },
+            Op::Bin { op, t, .. } => match op {
+                BinOp::Div | BinOp::Rem if t.is_float() => Category::SpecialFunc,
+                _ if t.is_float() => Category::FloatAlu,
+                _ => Category::IntAlu,
+            },
+            Op::Un { op, .. } => match op {
+                UnOp::Sqrt | UnOp::Rcp | UnOp::Ex2 | UnOp::Lg2 => {
+                    Category::SpecialFunc
+                }
+                _ => Category::IntAlu,
+            },
+            Op::Mad { t, .. } => {
+                if t.is_float() {
+                    Category::FloatFma
+                } else {
+                    Category::IntAlu
+                }
+            }
+            Op::Cvt { .. } => Category::Convert,
+            Op::Setp { .. } => Category::Compare,
+            Op::Selp { .. } => Category::Move,
+            Op::Bra { .. } | Op::Ret => Category::Control,
+            Op::Bar => Category::Sync,
+        }
+    }
+
+    /// Destination register, if the instruction writes one.
+    pub fn dst(&self) -> Option<Reg> {
+        match &self.op {
+            Op::Mov { dst, .. }
+            | Op::Ld { dst, .. }
+            | Op::Bin { dst, .. }
+            | Op::Un { dst, .. }
+            | Op::Mad { dst, .. }
+            | Op::Cvt { dst, .. }
+            | Op::Setp { dst, .. }
+            | Op::Selp { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Source registers read by this instruction (including the guard and
+    /// address bases).
+    pub fn srcs(&self) -> Vec<Reg> {
+        let mut out = Vec::with_capacity(4);
+        let mut push_op = |o: &Operand| {
+            if let Operand::Reg(r) = o {
+                out.push(*r);
+            }
+        };
+        match &self.op {
+            Op::Mov { src, .. } => push_op(src),
+            Op::Ld { addr, .. } => {
+                if let AddrBase::Reg(r) = &addr.base {
+                    out.push(*r);
+                }
+            }
+            Op::St { src, addr, .. } => {
+                push_op(src);
+                if let AddrBase::Reg(r) = &addr.base {
+                    out.push(*r);
+                }
+            }
+            Op::Bin { a, b, .. } | Op::Setp { a, b, .. } => {
+                push_op(a);
+                push_op(b);
+            }
+            Op::Un { a, .. } => push_op(a),
+            Op::Mad { a, b, c, .. } => {
+                push_op(a);
+                push_op(b);
+                push_op(c);
+            }
+            Op::Cvt { src, .. } => push_op(src),
+            Op::Selp { a, b, p, .. } => {
+                push_op(a);
+                push_op(b);
+                out.push(*p);
+            }
+            Op::Bra { .. } | Op::Bar | Op::Ret => {}
+        }
+        if let Some((p, _)) = self.guard {
+            out.push(p);
+        }
+        out
+    }
+
+    /// True for instructions that terminate a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self.op, Op::Bra { .. } | Op::Ret)
+    }
+}
+
+/// An element of a kernel body: either a label definition or an instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BodyElem {
+    Label(LabelId),
+    Inst(Instruction),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RegClass;
+
+    fn r(i: u32) -> Reg {
+        Reg::new(RegClass::R, i)
+    }
+
+    fn f(i: u32) -> Reg {
+        Reg::new(RegClass::F, i)
+    }
+
+    #[test]
+    fn categories() {
+        let fma = Instruction::new(Op::Mad {
+            t: Type::F32,
+            dst: f(0),
+            a: f(1).into(),
+            b: f(2).into(),
+            c: f(0).into(),
+        });
+        assert_eq!(fma.category(), Category::FloatFma);
+
+        let imad = Instruction::new(Op::Mad {
+            t: Type::S32,
+            dst: r(0),
+            a: r(1).into(),
+            b: r(2).into(),
+            c: r(0).into(),
+        });
+        assert_eq!(imad.category(), Category::IntAlu);
+
+        let ld = Instruction::new(Op::Ld {
+            space: Space::Global,
+            t: Type::F32,
+            dst: f(1),
+            addr: Address::reg(Reg::new(RegClass::Rd, 0)),
+        });
+        assert_eq!(ld.category(), Category::LoadGlobal);
+
+        let bra = Instruction::new(Op::Bra {
+            target: 0,
+            uni: true,
+        });
+        assert_eq!(bra.category(), Category::Control);
+        assert!(bra.is_terminator());
+    }
+
+    #[test]
+    fn fdiv_is_special_func() {
+        let fdiv = Instruction::new(Op::Bin {
+            op: BinOp::Div,
+            t: Type::F32,
+            dst: f(0),
+            a: f(1).into(),
+            b: f(2).into(),
+        });
+        assert_eq!(fdiv.category(), Category::SpecialFunc);
+    }
+
+    #[test]
+    fn def_use_extraction() {
+        let i = Instruction::guarded(
+            Op::Bin {
+                op: BinOp::Add,
+                t: Type::U32,
+                dst: r(3),
+                a: r(1).into(),
+                b: Operand::ImmI(4),
+            },
+            Reg::new(RegClass::P, 1),
+            true,
+        );
+        assert_eq!(i.dst(), Some(r(3)));
+        let srcs = i.srcs();
+        assert!(srcs.contains(&r(1)));
+        assert!(srcs.contains(&Reg::new(RegClass::P, 1)));
+        assert_eq!(srcs.len(), 2);
+    }
+
+    #[test]
+    fn store_reads_value_and_address() {
+        let st = Instruction::new(Op::St {
+            space: Space::Global,
+            t: Type::F32,
+            src: f(5).into(),
+            addr: Address::reg_off(Reg::new(RegClass::Rd, 2), 16),
+        });
+        assert_eq!(st.dst(), None);
+        let srcs = st.srcs();
+        assert!(srcs.contains(&f(5)));
+        assert!(srcs.contains(&Reg::new(RegClass::Rd, 2)));
+    }
+}

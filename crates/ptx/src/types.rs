@@ -1,0 +1,304 @@
+//! Scalar types, state spaces, register classes and operators of the PTX
+//! subset. The subset covers everything our CNN code generator emits and
+//! everything visible in the paper's Fig. 2: integer/float arithmetic,
+//! predicates, loads/stores, branches and barriers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// PTX scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    Pred,
+    U32,
+    S32,
+    U64,
+    F32,
+    B32,
+}
+
+impl Type {
+    /// Size in bytes (predicates are architecturally 1 bit; we report 1).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Type::Pred => 1,
+            Type::U32 | Type::S32 | Type::F32 | Type::B32 => 4,
+            Type::U64 => 8,
+        }
+    }
+
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F32)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::Pred => ".pred",
+            Type::U32 => ".u32",
+            Type::S32 => ".s32",
+            Type::U64 => ".u64",
+            Type::F32 => ".f32",
+            Type::B32 => ".b32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory state spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Space {
+    Global,
+    Shared,
+    Param,
+    Local,
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Space::Global => ".global",
+            Space::Shared => ".shared",
+            Space::Param => ".param",
+            Space::Local => ".local",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Virtual register classes, mirroring `nvcc` naming: `%r` (32-bit int),
+/// `%rd` (64-bit), `%f` (fp32), `%p` (predicate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegClass {
+    R,
+    Rd,
+    F,
+    P,
+}
+
+impl RegClass {
+    pub fn prefix(&self) -> &'static str {
+        match self {
+            RegClass::R => "%r",
+            RegClass::Rd => "%rd",
+            RegClass::F => "%f",
+            RegClass::P => "%p",
+        }
+    }
+
+    pub fn ty(&self) -> Type {
+        match self {
+            RegClass::R => Type::U32,
+            RegClass::Rd => Type::U64,
+            RegClass::F => Type::F32,
+            RegClass::P => Type::Pred,
+        }
+    }
+}
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg {
+    pub class: RegClass,
+    pub idx: u32,
+}
+
+impl Reg {
+    pub const fn new(class: RegClass, idx: u32) -> Self {
+        Self { class, idx }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.class.prefix(), self.idx)
+    }
+}
+
+/// Read-only special registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialReg {
+    TidX,
+    TidY,
+    CtaIdX,
+    CtaIdY,
+    NTidX,
+    NTidY,
+    NCtaIdX,
+    NCtaIdY,
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialReg::TidX => "%tid.x",
+            SpecialReg::TidY => "%tid.y",
+            SpecialReg::CtaIdX => "%ctaid.x",
+            SpecialReg::CtaIdY => "%ctaid.y",
+            SpecialReg::NTidX => "%ntid.x",
+            SpecialReg::NTidY => "%ntid.y",
+            SpecialReg::NCtaIdX => "%nctaid.x",
+            SpecialReg::NCtaIdY => "%nctaid.y",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operators for `setp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    pub fn eval_i(&self, a: i128, b: i128) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    pub fn eval_f(&self, a: f32, b: f32) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+        }
+    }
+
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            _ => return None,
+        })
+    }
+}
+
+/// Two-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    MulWide,
+    Div,
+    Rem,
+    Min,
+    Max,
+    Shl,
+    Shr,
+    And,
+    Or,
+    Xor,
+}
+
+impl BinOp {
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul.lo",
+            BinOp::MulWide => "mul.wide",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+        }
+    }
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    Neg,
+    Abs,
+    Sqrt,
+    Rcp,
+    Ex2,
+    Lg2,
+    Not,
+}
+
+impl UnOp {
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Abs => "abs",
+            UnOp::Sqrt => "sqrt.approx",
+            UnOp::Rcp => "rcp.approx",
+            UnOp::Ex2 => "ex2.approx",
+            UnOp::Lg2 => "lg2.approx",
+            UnOp::Not => "not",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(Type::U32.bytes(), 4);
+        assert_eq!(Type::U64.bytes(), 8);
+        assert_eq!(Type::F32.bytes(), 4);
+    }
+
+    #[test]
+    fn reg_display_matches_nvcc_conventions() {
+        assert_eq!(Reg::new(RegClass::R, 13).to_string(), "%r13");
+        assert_eq!(Reg::new(RegClass::Rd, 10).to_string(), "%rd10");
+        assert_eq!(Reg::new(RegClass::F, 2).to_string(), "%f2");
+        assert_eq!(Reg::new(RegClass::P, 1).to_string(), "%p1");
+    }
+
+    #[test]
+    fn cmp_roundtrip() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(CmpOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(CmpOp::from_mnemonic("zz"), None);
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Lt.eval_i(1, 2));
+        assert!(!CmpOp::Lt.eval_i(2, 2));
+        assert!(CmpOp::Ge.eval_f(2.0, 2.0));
+        assert!(CmpOp::Ne.eval_i(-1, 1));
+    }
+}

@@ -1,0 +1,64 @@
+//! Design-space exploration: pick an accelerator for an autonomous-driving
+//! perception stack under a latency budget — the motivating scenario of the
+//! paper's introduction.
+//!
+//! The estimation path analyzes each candidate CNN once and predicts across
+//! the whole GPU fleet (`T_est = t_dca + n * t_pm`), instead of profiling
+//! every (CNN, GPU) pair (`T_measur = t_p * n`).
+//!
+//! ```text
+//! cargo run --release --example dse_accelerator_selection
+//! ```
+
+use cnnperf::prelude::*;
+
+fn main() {
+    // Train the predictor on the paper's corpus subset.
+    let models: Vec<_> = [
+        "alexnet", "mobilenet", "resnet50", "resnet101", "vgg16", "densenet121",
+        "inceptionv3", "efficientnetb0", "efficientnetb2", "Xception",
+    ]
+    .iter()
+    .map(|n| cnn_ir::zoo::build(n).expect("zoo model"))
+    .collect();
+    let corpus = build_corpus(&models, &gpu_sim::training_devices()).expect("corpus");
+    let predictor =
+        PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
+
+    // The perception stack: a detector backbone and a lane-segmentation net.
+    let candidates = ["MobileNetV2", "efficientnetb1", "resnet50v2"];
+    let fleet = gpu_sim::all_devices();
+
+    println!(
+        "DSE over {} candidate CNNs x {} GPGPUs ({} design points)\n",
+        candidates.len(),
+        fleet.len(),
+        candidates.len() * fleet.len()
+    );
+
+    let mut total_t_est = 0.0;
+    for name in candidates {
+        let model = cnn_ir::zoo::build(name).expect("zoo model");
+        let outcome = rank_devices(&predictor, &model, &fleet).expect("dse");
+        println!(
+            "{name}: ranked by predicted IPC (t_dca {:.2}s, t_pm {:.3}ms)",
+            outcome.t_dca,
+            outcome.t_pm * 1e3
+        );
+        for (i, r) in outcome.ranking.iter().enumerate() {
+            println!("  {}. {:14} predicted IPC {:.3}", i + 1, r.device, r.predicted_ipc);
+        }
+        total_t_est += outcome.t_est;
+        println!();
+    }
+
+    // What the naive approach would have cost for the same sweep, measured
+    // on one (CNN, GPU) pair and extrapolated.
+    let probe = cnn_ir::zoo::build(candidates[0]).expect("zoo model");
+    let t_p = naive_profile_time(&probe, &fleet[0]).expect("profiling");
+    let t_measur = t_p * (candidates.len() * fleet.len()) as f64;
+    println!(
+        "estimation path: {total_t_est:.1}s total;  naive profiling: ~{t_measur:.1}s  ({:.0}x speedup)",
+        t_measur / total_t_est
+    );
+}

@@ -1,0 +1,28 @@
+//! # cnnperf — fast and accurate performance estimation of CNNs for GPGPUs
+//!
+//! Umbrella crate re-exporting the full pipeline. See the individual crates
+//! for details:
+//!
+//! - [`cnn_ir`] — CNN graph IR, static analyzer, 32-model zoo (Table I)
+//! - [`ptx`] — PTX ISA subset: kernels, parser, printer, builder
+//! - [`ptx_codegen`] — CNN graph → PTX module + launch plan
+//! - [`ptx_analysis`] — dependency graph, slicing, executed-instruction counts
+//! - [`gpu_sim`] — GPGPU performance simulator (the "hardware" stand-in)
+//! - [`mlkit`] — from-scratch regressors (Table II) and metrics
+//! - [`core`] (as [`cnnperf_core`]) — dataset pipeline, predictor, DSE
+
+pub use cnn_ir;
+pub use cnnperf_core;
+pub use gpu_sim;
+pub use mlkit;
+pub use ptx;
+pub use ptx_analysis;
+pub use ptx_codegen;
+
+pub use cnnperf_core::prelude::*;
+
+/// One-stop import for applications: the core prelude plus the substrate
+/// crates' entry points.
+pub mod prelude {
+    pub use cnnperf_core::prelude::*;
+}

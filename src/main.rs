@@ -1,0 +1,241 @@
+//! `cnnperf` — command-line interface to the estimation pipeline.
+//!
+//! ```text
+//! cnnperf list                          # models and devices
+//! cnnperf analyze resnet50              # static + dynamic analysis
+//! cnnperf profile resnet50 "V100S"      # ground-truth simulation + power
+//! cnnperf predict resnet50 --all-devices
+//! cnnperf rank MobileNetV2              # DSE over the device fleet
+//! cnnperf ptx mobilenet                 # dump the generated PTX module
+//! cnnperf dot alexnet                   # Graphviz of the model graph
+//! ```
+
+use cnnperf::prelude::*;
+use gpu_sim::{estimate_power, SimMode, Simulator};
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cnnperf <command> [args]\n\
+         commands:\n\
+           list                          list zoo models, variants and devices\n\
+           analyze <model>               static analyzer + executed-instruction count\n\
+           profile <model> <device>      ground-truth simulation (IPC, latency, power)\n\
+           predict <model> [<device>|--all-devices] [--regressor dt|knn|rf|xgb|lr]\n\
+           rank <model>                  rank all devices by predicted IPC\n\
+           ptx <model>                   print the generated PTX module\n\
+           dot <model>                   print the model graph as Graphviz"
+    );
+    ExitCode::from(2)
+}
+
+fn model_or_exit(name: &str) -> cnn_ir::ModelGraph {
+    match cnn_ir::zoo::build_any(name) {
+        Some(m) => m,
+        None => {
+            eprintln!("unknown model '{name}' — see `cnnperf list`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn device_or_exit(name: &str) -> gpu_sim::DeviceSpec {
+    match gpu_sim::device_by_name(name) {
+        Some(d) => d,
+        None => {
+            eprintln!("unknown device '{name}' — see `cnnperf list`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn regressor_of(flag: Option<&str>) -> RegressorKind {
+    match flag.unwrap_or("dt") {
+        "dt" => RegressorKind::DecisionTree,
+        "knn" => RegressorKind::KNearestNeighbors,
+        "rf" => RegressorKind::RandomForest,
+        "xgb" => RegressorKind::XgBoost,
+        "lr" => RegressorKind::LinearRegression,
+        other => {
+            eprintln!("unknown regressor '{other}' (dt|knn|rf|xgb|lr)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Load or build the full paper corpus, cached next to the bench harness's
+/// cache.
+fn corpus() -> Corpus {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    let path = PathBuf::from(target).join("cnnperf-paper-corpus-v2.json");
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Ok(c) = serde_json::from_str::<Corpus>(&text) {
+            if c.dataset.feature_names == feature_names() {
+                return c;
+            }
+        }
+    }
+    eprintln!("building training corpus (32 CNNs x 2 GPUs, ~1 min, cached afterwards)...");
+    let c = build_paper_corpus().expect("corpus build");
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Ok(json) = serde_json::to_string(&c) {
+        let _ = fs::write(&path, json);
+    }
+    c
+}
+
+fn cmd_list() {
+    println!("Table I zoo ({} models):", cnn_ir::zoo::all().len());
+    for e in cnn_ir::zoo::all() {
+        println!("  {}", e.name);
+    }
+    println!("\nvariants:");
+    for (name, _) in cnn_ir::zoo::variants::all_variants() {
+        println!("  {name}");
+    }
+    println!("\ndevices:");
+    for d in gpu_sim::all_devices() {
+        println!(
+            "  {:14} {:4} SMs, {:5} cores, {:6.0} GB/s, {:5} KB L2, sm_{}{}",
+            d.name,
+            d.sm_count,
+            d.cuda_cores(),
+            d.mem_bandwidth_gbs,
+            d.l2_cache_kb,
+            d.compute_capability.0,
+            d.compute_capability.1
+        );
+    }
+}
+
+fn cmd_analyze(name: &str) {
+    let model = model_or_exit(name);
+    let (profile, plan, counts, summary) = profile_model(&model).expect("analysis");
+    println!("model: {}", profile.name);
+    println!("  input:                {}x{}", summary.input_size.0, summary.input_size.1);
+    println!("  graph nodes:          {}", summary.num_nodes);
+    println!("  weighted layers:      {}", summary.weighted_layers);
+    println!("  trainable params:     {}", thousands(summary.trainable_params));
+    println!("  non-trainable params: {}", thousands(summary.non_trainable_params));
+    println!("  neurons:              {}", thousands(summary.neurons));
+    println!("  MACs:                 {}", thousands(summary.macs));
+    println!("  FLOPs:                {}", thousands(summary.flops));
+    println!("  kernel launches:      {}", plan.launches.len());
+    println!(
+        "  executed PTX instructions: {} (thread-level), {} (warp-level)",
+        thousands(counts.thread_instructions),
+        thousands(counts.warp_issues)
+    );
+    println!("  dynamic code analysis time: {:.2}s", profile.dca_seconds);
+}
+
+fn cmd_profile(name: &str, device: &str) {
+    let model = model_or_exit(name);
+    let dev = device_or_exit(device);
+    let plan = ptx_codegen::lower(&model, &dev.sm_target()).expect("lowering");
+    let sim = Simulator::new(dev.clone(), SimMode::Detailed)
+        .simulate_plan(&plan)
+        .expect("simulation");
+    let counts = ptx_analysis::count_plan(&plan, true).expect("counts");
+    let power = estimate_power(&sim, &counts, &dev);
+    println!("{} on {} (detailed simulation):", sim.model_name, dev.name);
+    println!("  cycles:       {:.3e}", sim.cycles);
+    println!("  latency:      {:.2} ms", sim.latency_ms);
+    println!("  IPC:          {:.3}", sim.ipc);
+    println!("  DRAM traffic: {:.1} MB (avg L2 hit {:.0}%)", sim.dram_bytes / 1e6, sim.l2_hit * 100.0);
+    println!("  avg power:    {:.1} W", power.avg_power_w);
+    println!("  energy:       {:.1} mJ (EDP {:.1} mJ*ms)", power.energy_mj, power.edp);
+}
+
+fn cmd_predict(name: &str, device: Option<&str>, all: bool, kind: RegressorKind) {
+    let model = model_or_exit(name);
+    let corpus = corpus();
+    let predictor = PerformancePredictor::train(&corpus.dataset, kind, 42);
+    let (profile, ..) = profile_model(&model).expect("analysis");
+    let devices: Vec<_> = if all {
+        gpu_sim::all_devices()
+    } else {
+        vec![device_or_exit(device.unwrap_or("GTX 1080 Ti"))]
+    };
+    println!(
+        "predicted IPC for {} ({}):",
+        profile.name,
+        kind.name()
+    );
+    for dev in devices {
+        println!("  {:14} {:.3}", dev.name, predictor.predict(&profile, &dev));
+    }
+}
+
+fn cmd_rank(name: &str) {
+    let model = model_or_exit(name);
+    let corpus = corpus();
+    let predictor =
+        PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
+    let devices = gpu_sim::all_devices();
+    let outcome = rank_devices(&predictor, &model, &devices).expect("dse");
+    println!(
+        "device ranking for {} (t_dca {:.2}s, t_pm {:.3}ms):",
+        outcome.model,
+        outcome.t_dca,
+        outcome.t_pm * 1e3
+    );
+    for (i, r) in outcome.ranking.iter().enumerate() {
+        println!("  {}. {:14} predicted IPC {:.3}", i + 1, r.device, r.predicted_ipc);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(|s| s.as_str());
+    match it.next() {
+        Some("list") => cmd_list(),
+        Some("analyze") => match it.next() {
+            Some(m) => cmd_analyze(m),
+            None => return usage(),
+        },
+        Some("profile") => match (it.next(), it.next()) {
+            (Some(m), Some(d)) => cmd_profile(m, d),
+            _ => return usage(),
+        },
+        Some("predict") => {
+            let rest: Vec<&str> = it.collect();
+            let Some(model) = rest.first() else {
+                return usage();
+            };
+            let all = rest.contains(&"--all-devices");
+            let kind = regressor_of(
+                rest.iter()
+                    .position(|a| *a == "--regressor")
+                    .and_then(|i| rest.get(i + 1).copied()),
+            );
+            let device = rest
+                .get(1)
+                .filter(|d| !d.starts_with("--"))
+                .copied();
+            cmd_predict(model, device, all, kind);
+        }
+        Some("rank") => match it.next() {
+            Some(m) => cmd_rank(m),
+            None => return usage(),
+        },
+        Some("ptx") => match it.next() {
+            Some(m) => {
+                let model = model_or_exit(m);
+                let plan = ptx_codegen::lower(&model, "sm_61").expect("lowering");
+                print!("{}", ptx::printer::module(&plan.module));
+            }
+            None => return usage(),
+        },
+        Some("dot") => match it.next() {
+            Some(m) => print!("{}", cnn_ir::to_dot(&model_or_exit(m))),
+            None => return usage(),
+        },
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

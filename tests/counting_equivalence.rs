@@ -1,0 +1,353 @@
+//! Property tests: the interval-splitting instruction counter must agree
+//! *exactly* with brute-force per-thread execution on every code-generator
+//! template and across randomized launch parameters. This is the
+//! correctness core of the paper's dynamic code analysis.
+
+use proptest::prelude::*;
+use ptx::kernel::{Kernel, KernelLaunch};
+use ptx_analysis::{count_launch, count_launch_bruteforce};
+use ptx_codegen::Template;
+
+fn launch(kernel: &Kernel, threads: u64, args: Vec<u64>) -> KernelLaunch {
+    KernelLaunch {
+        kernel: 0,
+        tag: "prop".into(),
+        grid: (
+            threads.div_ceil(kernel.block_threads() as u64).max(1) as u32,
+            1,
+            1,
+        ),
+        args,
+        bytes_read: 0,
+        bytes_written: 0,
+    }
+}
+
+fn assert_equivalent(kernel: &Kernel, l: &KernelLaunch) {
+    let fast = count_launch(kernel, l, true).expect("fast");
+    let brute = count_launch_bruteforce(kernel, l).expect("brute");
+    assert_eq!(
+        fast.thread_instructions, brute.thread_instructions,
+        "thread counts differ for {} args {:?}",
+        kernel.name, l.args
+    );
+    assert_eq!(
+        fast.warp_issues, brute.warp_issues,
+        "warp issues differ for {} args {:?}",
+        kernel.name, l.args
+    );
+    assert_eq!(fast.by_category, brute.by_category);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Elementwise activation kernel with an arbitrary bound (exercises the
+    /// gid guard at every alignment).
+    #[test]
+    fn relu_any_bound(n in 1u64..2000, extra_blocks in 0u64..3) {
+        let kernel = Template::ActRelu.build();
+        let threads = n + extra_blocks * 256;
+        let l = launch(&kernel, threads, vec![0x1000, 0x2000, n]);
+        assert_equivalent(&kernel, &l);
+    }
+
+    /// Vectorized copy (guard compares 4*gid against n).
+    #[test]
+    fn copy_any_bound(n in 1u64..4000) {
+        let kernel = Template::CopyF32.build();
+        let threads = n.div_ceil(4).max(1);
+        let l = launch(&kernel, threads, vec![0x1000, 0x2000, n]);
+        assert_equivalent(&kernel, &l);
+    }
+
+    /// GEMV: guard + parameter-dependent loop trip count.
+    #[test]
+    fn gemv_any_shape(m in 1u64..300, k in 1u64..40) {
+        let kernel = Template::Gemv.build();
+        let l = launch(&kernel, m, vec![0x1000, 0x2000, 0x3000, m, k, 0x9000, 1]);
+        assert_equivalent(&kernel, &l);
+    }
+
+    /// Pooling: guard + window loop + branchless borders.
+    #[test]
+    fn pool_any_shape(ow in 1u32..8, c in 1u32..8, win in 1u32..6) {
+        let kernel = Template::PoolMax.build();
+        let total = (ow * ow * c) as u64;
+        let window = (win * win) as u64;
+        let l = launch(
+            &kernel,
+            total,
+            vec![
+                0x1000, 0x2000, total, window, c as u64,
+                (ow * 2) as u64, ow as u64, win as u64, 2, 2, 1, 1,
+                (ow * 2) as u64, (1.0f32 / window as f32).to_bits() as u64,
+            ],
+        );
+        assert_equivalent(&kernel, &l);
+    }
+
+    /// Softmax reductions: strided tid-dependent loops plus barrier trees.
+    #[test]
+    fn softmax_reduce_any_n(n in 1u64..3000) {
+        let kernel = Template::SoftmaxMax.build();
+        let l = KernelLaunch {
+            kernel: 0,
+            tag: "prop".into(),
+            grid: (1, 1, 1),
+            args: vec![0x1000, 0, 0x2000, 0x3000, n],
+            bytes_read: 0,
+            bytes_written: 0,
+        };
+        assert_equivalent(&kernel, &l);
+    }
+}
+
+/// Deterministic sweep: every template with representative arguments.
+#[test]
+fn all_templates_match_bruteforce_on_representative_launches() {
+    for t in Template::ALL {
+        let kernel = t.build();
+        let l = match t {
+            Template::CopyF32 => launch(&kernel, 64, vec![0x1000, 0x2000, 250]),
+            Template::FillF32 => launch(&kernel, 300, vec![0x1000, 300, 0]),
+            Template::EwAdd | Template::EwMul => {
+                launch(&kernel, 300, vec![0x1000, 0x2000, 0x3000, 300])
+            }
+            Template::EwMulBcast => {
+                launch(&kernel, 300, vec![0x1000, 0x2000, 0x3000, 300, 7])
+            }
+            Template::AffineCh => {
+                launch(&kernel, 300, vec![0x1000, 0x2000, 0x3000, 0x4000, 300, 7])
+            }
+            Template::ActRelu
+            | Template::ActRelu6
+            | Template::ActSigmoid
+            | Template::ActTanh
+            | Template::ActSwish
+            | Template::ActHardSwish => {
+                launch(&kernel, 300, vec![0x1000, 0x2000, 300])
+            }
+            Template::SoftmaxMax | Template::SoftmaxExpSum => KernelLaunch {
+                kernel: 0,
+                tag: "t".into(),
+                grid: (1, 1, 1),
+                args: vec![0x1000, 0x2000, 0x3000, 0x4000, 700],
+                bytes_read: 0,
+                bytes_written: 0,
+            },
+            Template::SoftmaxDiv => {
+                launch(&kernel, 300, vec![0x1000, 0x2000, 0x3000, 300])
+            }
+            Template::Im2col => launch(
+                &kernel,
+                4 * 4 * 3,
+                vec![0x1000, 0x2000, 48, 9, 3, 6, 4, 4, 3, 1, 1, 1, 1, 6],
+            ),
+            Template::GemmTiled => launch(
+                &kernel,
+                8 * 12,
+                vec![0x1000, 0x2000, 0x3000, 8, 12, 40, 3, 0x9000, 1],
+            ),
+            Template::GemmMicro => launch(
+                &kernel,
+                4 * 6,
+                vec![0x1000, 0x2000, 0x3000, 7, 11, 40, 3, 6, 0x9000, 1],
+            ),
+            Template::Gemv => launch(&kernel, 50, vec![0x1000, 0x2000, 0x3000, 50, 20, 0x9000, 0]),
+            Template::Depthwise => launch(
+                &kernel,
+                4 * 4 * 3,
+                vec![0x1000, 0x2000, 0x3000, 48, 9, 3, 6, 4, 3, 1, 1, 1, 1, 6, 0x9000, 1],
+            ),
+            Template::PoolMax | Template::PoolAvg => launch(
+                &kernel,
+                4 * 4 * 3,
+                vec![
+                    0x1000,
+                    0x2000,
+                    48,
+                    4,
+                    3,
+                    8,
+                    4,
+                    2,
+                    2,
+                    2,
+                    0,
+                    0,
+                    8,
+                    (0.25f32).to_bits() as u64,
+                ],
+            ),
+            Template::GapAvg | Template::GapMax => launch(
+                &kernel,
+                16,
+                vec![0x1000, 0x2000, 16, 49, (1.0f32 / 49.0).to_bits() as u64],
+            ),
+            Template::PadCopy => {
+                launch(&kernel, 120, vec![0x1000, 0x2000, 120, 12, 20, 44])
+            }
+        };
+        assert_equivalent(&kernel, &l);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// randomized program generation: the counter must either agree exactly with
+// brute force or fail with a structured error — never be silently wrong
+// ---------------------------------------------------------------------------
+
+mod random_programs {
+    use super::*;
+    use ptx::builder::KernelBuilder;
+    use ptx::inst::Operand;
+    use ptx::types::{BinOp, CmpOp, SpecialReg, Type};
+
+    /// A recipe for one random (but well-formed) kernel: an affine guard
+    /// expression, a loop nest depth and per-level trip sources.
+    #[derive(Debug, Clone)]
+    struct Recipe {
+        block: u32,
+        // guard bound = a*gid + c compared against param0
+        guard_scale: i64,
+        guard_offset: i64,
+        cmp: CmpOp,
+        trips: Vec<u8>,
+        body_movs: u8,
+        use_or_idiom: bool,
+    }
+
+    fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+        (
+            prop_oneof![Just(32u32), Just(64), Just(128), Just(256)],
+            1i64..5,
+            -3i64..4,
+            prop_oneof![
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Ge),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne)
+            ],
+            proptest::collection::vec(0u8..6, 0..3),
+            0u8..5,
+            any::<bool>(),
+        )
+            .prop_map(
+                |(block, guard_scale, guard_offset, cmp, trips, body_movs, use_or_idiom)| Recipe {
+                    block,
+                    guard_scale,
+                    guard_offset,
+                    cmp,
+                    trips,
+                    body_movs,
+                    use_or_idiom,
+                },
+            )
+    }
+
+    fn build(recipe: &Recipe) -> Kernel {
+        let mut kb = KernelBuilder::new("rand_kernel", recipe.block);
+        let p_n = kb.param("n", Type::U32);
+        let n = kb.ld_param(&p_n, Type::U32);
+
+        // gid, optionally through the shl/or idiom
+        let gid = if recipe.use_or_idiom {
+            kb.global_id()
+        } else {
+            let cta = kb.special(SpecialReg::CtaIdX);
+            let tid = kb.special(SpecialReg::TidX);
+            let dst = kb.r();
+            kb.mad(
+                Type::S32,
+                dst,
+                cta,
+                Operand::ImmI(recipe.block as i64),
+                tid,
+            );
+            dst
+        };
+        // scaled/offset guard expression
+        let scaled = kb.bin_r(
+            BinOp::Mul,
+            Type::U32,
+            gid,
+            Operand::ImmI(recipe.guard_scale),
+        );
+        let expr = kb.bin_r(
+            BinOp::Add,
+            Type::U32,
+            scaled,
+            Operand::ImmI(recipe.guard_offset.max(0)),
+        );
+        let p = kb.p();
+        kb.setp(recipe.cmp, Type::U32, p, expr, n);
+        let exit = kb.label();
+        kb.bra_if(p, false, exit);
+
+        // loop nest with constant trip counts
+        fn nest(kb: &mut KernelBuilder, trips: &[u8], movs: u8) {
+            if let Some((&t, rest)) = trips.split_first() {
+                kb.counted_loop(Operand::ImmI(t as i64), |kb, _| {
+                    nest(kb, rest, movs);
+                });
+            } else {
+                for _ in 0..movs {
+                    let f = kb.f();
+                    kb.mov(Type::F32, f, Operand::ImmF(1.0));
+                }
+            }
+        }
+        nest(&mut kb, &recipe.trips, recipe.body_movs);
+
+        kb.place_label(exit);
+        kb.ret();
+        kb.finish()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn random_kernels_agree_or_fail_structurally(
+            recipe in recipe_strategy(),
+            n in 0u64..3000,
+            blocks in 1u64..5,
+        ) {
+            let kernel = build(&recipe);
+            let threads = blocks * recipe.block as u64;
+            let l = launch(&kernel, threads, vec![n]);
+            match (
+                count_launch(&kernel, &l, true),
+                count_launch_bruteforce(&kernel, &l),
+            ) {
+                (Ok(fast), Ok(brute)) => {
+                    prop_assert_eq!(
+                        fast.thread_instructions,
+                        brute.thread_instructions,
+                        "recipe {:?} n={}", recipe, n
+                    );
+                    prop_assert_eq!(fast.warp_issues, brute.warp_issues);
+                }
+                (Err(_), Err(_)) => {} // both reject: fine
+                (Err(e), Ok(_)) => {
+                    // the fast path may reject exotic predicates the brute
+                    // force can still walk — acceptable, but only for the
+                    // structured analysis errors
+                    prop_assert!(
+                        matches!(
+                            e,
+                            ptx_analysis::ExecError::MixedSlopePredicate { .. }
+                        ),
+                        "unexpected fast-path error {e:?}"
+                    );
+                }
+                (Ok(_), Err(e)) => {
+                    prop_assert!(false, "brute force failed where fast succeeded: {e:?}");
+                }
+            }
+        }
+    }
+}

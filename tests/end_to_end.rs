@@ -1,0 +1,88 @@
+//! End-to-end integration tests spanning every crate: CNN IR -> PTX ->
+//! dynamic code analysis -> GPU simulation -> dataset -> regressors ->
+//! prediction -> DSE.
+
+use cnnperf::prelude::*;
+
+fn small_corpus() -> Corpus {
+    let models: Vec<_> = ["alexnet", "mobilenet", "MobileNetV2"]
+        .iter()
+        .map(|n| cnn_ir::zoo::build(n).expect("zoo model"))
+        .collect();
+    build_corpus(&models, &gpu_sim::training_devices()).expect("corpus")
+}
+
+#[test]
+fn full_pipeline_produces_trainable_dataset() {
+    let corpus = small_corpus();
+    assert_eq!(corpus.dataset.len(), 6);
+    assert_eq!(corpus.dataset.feature_names, feature_names());
+    for y in &corpus.dataset.y {
+        assert!(*y > 0.0 && *y < 10.0, "IPC {y} out of range");
+    }
+}
+
+#[test]
+fn all_five_regressors_train_on_the_pipeline_output() {
+    let corpus = small_corpus();
+    for kind in RegressorKind::ALL {
+        let p = PerformancePredictor::train(&corpus.dataset, kind, 42);
+        let prof = corpus.profile("mobilenet").expect("profiled");
+        let y = p.predict(prof, &gpu_sim::specs::gtx_1080_ti());
+        assert!(
+            y.is_finite() && y > 0.0,
+            "{} produced {y}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn predictor_survives_serialization() {
+    let corpus = small_corpus();
+    let p = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 7);
+    let q = PerformancePredictor::from_json(&p.to_json()).expect("roundtrip");
+    let prof = corpus.profile("alexnet").expect("profiled");
+    for dev in gpu_sim::all_devices() {
+        assert_eq!(p.predict(prof, &dev), q.predict(prof, &dev));
+    }
+}
+
+#[test]
+fn dse_is_consistent_with_direct_predictions() {
+    let corpus = small_corpus();
+    let p = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 7);
+    let devices = gpu_sim::all_devices();
+    let model = cnn_ir::zoo::build("mobilenet").expect("zoo model");
+    let outcome = rank_devices(&p, &model, &devices).expect("dse");
+    let prof = corpus.profile("mobilenet").expect("profiled");
+    for r in &outcome.ranking {
+        let dev = gpu_sim::device_by_name(&r.device).expect("device");
+        assert_eq!(r.predicted_ipc, p.predict(prof, &dev));
+    }
+}
+
+#[test]
+fn ground_truth_same_model_reproducible_across_runs() {
+    let a = small_corpus();
+    let b = small_corpus();
+    assert_eq!(a.dataset.y, b.dataset.y, "corpus must be deterministic");
+    assert_eq!(
+        a.profiles.iter().map(|p| p.ptx_instructions).collect::<Vec<_>>(),
+        b.profiles.iter().map(|p| p.ptx_instructions).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn instruction_counts_flow_into_features() {
+    let corpus = small_corpus();
+    let idx = corpus
+        .dataset
+        .feature_index("ptx_instructions")
+        .expect("feature present");
+    for (row, label) in corpus.dataset.x.iter().zip(&corpus.dataset.labels) {
+        let model = label.split('@').next().expect("label format");
+        let prof = corpus.profile(model).expect("profiled");
+        assert_eq!(row[idx], prof.ptx_instructions as f64);
+    }
+}

@@ -1,0 +1,222 @@
+//! Integration tests for the paper's headline claims, at reduced scale so
+//! they run inside the normal test suite (the full-scale regenerations
+//! live in `crates/bench/src/bin/`).
+
+use cnnperf::prelude::*;
+use mlkit::repeated_split_eval;
+
+/// A mid-size corpus: 8 models x 2 GPUs = 16 rows.
+fn corpus() -> Corpus {
+    let models: Vec<_> = [
+        "alexnet",
+        "mobilenet",
+        "MobileNetV2",
+        "resnet50",
+        "vgg16",
+        "densenet121",
+        "inceptionv3",
+        "Xception",
+    ]
+    .iter()
+    .map(|n| cnn_ir::zoo::build(n).expect("zoo model"))
+    .collect();
+    build_corpus(&models, &gpu_sim::training_devices()).expect("corpus")
+}
+
+/// Paper Table II's underlying conclusion: "the R² and adjusted R² of the
+/// Linear Regression indicate no linear dependencies between output and
+/// predictors". The robust, sample-size-independent form of that claim is
+/// a fit gap: a decision tree can fit the (features -> IPC) relationship
+/// that linear regression cannot, even on the training data itself.
+///
+/// (The full Table II generalization comparison needs the complete
+/// 32-model corpus and lives in `crates/bench/src/bin/table2_regressors`;
+/// at 8-model scale trees are data-starved and repeated-split rankings are
+/// dominated by sample-size effects.)
+#[test]
+fn ipc_relationship_is_nonlinear() {
+    let corpus = corpus();
+    let lin = RegressorKind::LinearRegression.fit(&corpus.dataset, 42);
+    let tree = RegressorKind::DecisionTree.fit(&corpus.dataset, 42);
+    let r2_of = |m: &mlkit::Model| {
+        mlkit::metrics::r2(&corpus.dataset.y, &m.predict(&corpus.dataset))
+    };
+    let r2_lin = r2_of(&lin);
+    let r2_tree = r2_of(&tree);
+    assert!(
+        r2_tree > r2_lin + 0.1,
+        "tree should out-fit linear regression: tree {r2_tree:.3} vs linear {r2_lin:.3}"
+    );
+    assert!(
+        r2_lin < 0.9,
+        "linear regression fits suspiciously well (r2 {r2_lin:.3}) — the \
+         target should not be a linear function of the predictors"
+    );
+}
+
+/// Repeated-split evaluation must run end-to-end on pipeline output for
+/// every model kind (smoke for the Table II protocol machinery).
+#[test]
+fn repeated_split_protocol_runs_for_all_models() {
+    let corpus = corpus();
+    let seeds: Vec<u64> = (0..5).collect();
+    for kind in RegressorKind::ALL {
+        let (per, agg) = repeated_split_eval(&corpus.dataset, kind, 0.7, &seeds);
+        assert_eq!(per.len(), 5);
+        assert!(agg.mape.mean.is_finite(), "{}", kind.name());
+    }
+}
+
+/// Paper Table III: the decision tree's top features must include the
+/// paper's predictors (instructions / params / a GPU feature).
+#[test]
+fn decision_tree_importances_cover_paper_features() {
+    let corpus = corpus();
+    let p = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
+    let imps = p.feature_importances().expect("tree importances");
+    let nonzero: Vec<&str> = imps
+        .iter()
+        .filter(|(_, v)| *v > 0.0)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert!(
+        nonzero.contains(&"ptx_instructions") || nonzero.contains(&"trainable_params"),
+        "no CNN feature carries importance: {imps:?}"
+    );
+    let total: f64 = imps.iter().map(|(_, v)| v).sum();
+    assert!((total - 1.0).abs() < 1e-9, "importances must normalize");
+}
+
+/// Paper Table IV: the estimation path must beat naive profiling, and the
+/// advantage must grow with the number of candidate devices.
+#[test]
+fn estimation_is_faster_than_naive_and_scales_with_n() {
+    let corpus = corpus();
+    let p = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
+    let model = cnn_ir::zoo::build("resnet50v2").expect("zoo model");
+    let devices = gpu_sim::all_devices();
+
+    let outcome = rank_devices(&p, &model, &devices).expect("dse");
+    let t_p = naive_profile_time(&model, &devices[0]).expect("profiling");
+
+    let n = devices.len() as f64;
+    let speedup_1 = t_p / (outcome.t_dca + outcome.t_pm);
+    let speedup_n = n * t_p / (outcome.t_dca + n * outcome.t_pm);
+    assert!(speedup_1 > 1.0, "no speedup at n=1: {speedup_1}");
+    assert!(
+        speedup_n > speedup_1,
+        "speedup must grow with n: {speedup_1} -> {speedup_n}"
+    );
+}
+
+/// Fig. 4 protocol: held-out CNNs predicted without ever being trained on.
+#[test]
+fn held_out_cnn_prediction_is_sane() {
+    let corpus = corpus();
+    // hold Xception out
+    let (train, held) = corpus
+        .dataset
+        .partition_by_label(|l| l.starts_with("Xception@"));
+    assert_eq!(held.len(), 2);
+    let p = PerformancePredictor::train(&train, RegressorKind::DecisionTree, 42);
+    let prof = corpus.profile("Xception").expect("profiled");
+    let dev = gpu_sim::specs::gtx_1080_ti();
+    let pred = p.predict(prof, &dev);
+    let truth = corpus
+        .samples
+        .iter()
+        .find(|s| s.model == "Xception" && s.device == dev.name)
+        .expect("sample");
+    let ape = ((truth.ipc - pred) / truth.ipc).abs();
+    assert!(
+        ape < 0.6,
+        "held-out prediction wildly off: pred {pred} vs {}",
+        truth.ipc
+    );
+}
+
+/// Cross-platform: predictions on an unseen device stay within the IPC
+/// range seen in training (trees cannot extrapolate, but they must not
+/// produce garbage either).
+#[test]
+fn unseen_device_predictions_stay_in_range() {
+    let corpus = corpus();
+    let p = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
+    let lo = corpus.dataset.y.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = corpus.dataset.y.iter().cloned().fold(f64::MIN, f64::max);
+    for dev in gpu_sim::all_devices() {
+        for prof in &corpus.profiles {
+            let y = p.predict(prof, &dev);
+            assert!(
+                y >= lo - 1e-9 && y <= hi + 1e-9,
+                "{} on {}: {y} outside [{lo}, {hi}]",
+                prof.name,
+                dev.name
+            );
+        }
+    }
+}
+
+/// The measured-IPC ground truth must be sensitive to the device (the
+/// premise of cross-platform prediction).
+#[test]
+fn ground_truth_depends_on_device() {
+    let corpus = corpus();
+    let mut differing = 0;
+    for prof in &corpus.profiles {
+        let rows: Vec<f64> = corpus
+            .samples
+            .iter()
+            .filter(|s| s.model == prof.name)
+            .map(|s| s.ipc)
+            .collect();
+        assert_eq!(rows.len(), 2);
+        if (rows[0] - rows[1]).abs() > 1e-3 {
+            differing += 1;
+        }
+    }
+    assert!(
+        differing >= 6,
+        "only {differing}/8 models show device sensitivity"
+    );
+}
+
+/// Extension invariant: batch-norm folding must preserve the model's
+/// output structure while strictly reducing kernel launches for networks
+/// with bias-free conv + BN pairs.
+#[test]
+fn bn_folding_reduces_launches_and_preserves_shapes() {
+    let model = cnn_ir::zoo::build("MobileNetV2").expect("zoo model");
+    let (folded, stats) = cnn_ir::fold_batch_norm(&model);
+    assert!(stats.folded > 40, "{stats:?}");
+    assert_eq!(
+        model.infer_shapes().unwrap().last(),
+        folded.infer_shapes().unwrap().last()
+    );
+    let plan_orig = ptx_codegen::lower(&model, "sm_61").expect("lowering");
+    let plan_fold = ptx_codegen::lower(&folded, "sm_61").expect("lowering");
+    assert!(
+        plan_fold.launches.len() + 40 < plan_orig.launches.len(),
+        "folding should remove ~one launch per pair: {} vs {}",
+        plan_fold.launches.len(),
+        plan_orig.launches.len()
+    );
+    // and the folded plan still counts exactly
+    let counts = ptx_analysis::count_plan(&plan_fold, true).expect("counts");
+    assert!(counts.thread_instructions > 0);
+}
+
+/// Extension invariant: the 2x2 microtiled GEMM variant lowers every zoo
+/// model and reduces total instructions (denser threads).
+#[test]
+fn gemm_microtiling_reduces_instructions_on_a_real_model() {
+    let model = cnn_ir::zoo::build("resnet50").expect("zoo model");
+    let tiled = ptx_codegen::lower_with(&model, "sm_61", 1, ptx_codegen::GemmVariant::Tiled)
+        .expect("lowering");
+    let micro =
+        ptx_codegen::lower_with(&model, "sm_61", 1, ptx_codegen::GemmVariant::Micro2x2)
+            .expect("lowering");
+    let ct = ptx_analysis::count_plan(&tiled, true).expect("counts");
+    let cm = ptx_analysis::count_plan(&micro, true).expect("counts");
+    assert!(cm.thread_instructions < ct.thread_instructions);
+}

@@ -1,0 +1,84 @@
+//! Zoo-wide integrity: every Table I model must build, analyze, lower and
+//! stay close to the paper's trainable-parameter count.
+
+use rayon::prelude::*;
+
+/// Per-model tolerance on trainable parameters vs the paper's Table I.
+/// Most models are exact; NASNet is a faithful-structure approximation and
+/// AlexNet uses the original grouped weights (documented in DESIGN.md).
+fn tolerance(name: &str) -> f64 {
+    match name {
+        "alexnet" => 0.05,
+        "nasnetmobile" | "nasnetlarge" => 0.01,
+        _ => 1e-12,
+    }
+}
+
+#[test]
+fn all_models_match_paper_parameters_within_tolerance() {
+    let failures: Vec<String> = cnn_ir::zoo::all()
+        .par_iter()
+        .filter_map(|e| {
+            let model = (e.build)();
+            let s = cnn_ir::analyze(&model).expect("analyzes");
+            let paper = e.paper.trainable_params as f64;
+            let rel = (s.trainable_params as f64 - paper).abs() / paper;
+            if rel > tolerance(e.name) {
+                Some(format!(
+                    "{}: ours {} vs paper {} (rel {:.4})",
+                    e.name, s.trainable_params, e.paper.trainable_params, rel
+                ))
+            } else {
+                None
+            }
+        })
+        .collect();
+    assert!(failures.is_empty(), "{failures:#?}");
+}
+
+#[test]
+fn all_models_lower_to_nonempty_plans() {
+    let bad: Vec<String> = cnn_ir::zoo::all()
+        .par_iter()
+        .filter_map(|e| {
+            let model = (e.build)();
+            match ptx_codegen::lower(&model, "sm_61") {
+                Ok(plan) if !plan.launches.is_empty() => None,
+                Ok(_) => Some(format!("{}: empty plan", e.name)),
+                Err(err) => Some(format!("{}: {err}", e.name)),
+            }
+        })
+        .collect();
+    assert!(bad.is_empty(), "{bad:#?}");
+}
+
+#[test]
+fn plans_count_without_analysis_errors() {
+    // counting the three largest-graph models exercises every kernel
+    // template and the memoization path
+    for name in ["nasnetmobile", "InceptionResNetV2", "efficientnetb0"] {
+        let model = cnn_ir::zoo::build(name).expect("model");
+        let plan = ptx_codegen::lower(&model, "sm_61").expect("lowering");
+        let counts = ptx_analysis::count_plan(&plan, true)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(counts.thread_instructions > 0);
+        assert!(counts.warp_issues > 0);
+        assert!(counts.warp_issues < counts.thread_instructions);
+    }
+}
+
+#[test]
+fn instruction_counts_scale_with_macs() {
+    // models ordered by MACs should be ordered by instruction count too
+    // (coarse monotonicity, pairwise on a clear-cut pair)
+    let count_of = |name: &str| {
+        let model = cnn_ir::zoo::build(name).expect("model");
+        let plan = ptx_codegen::lower(&model, "sm_61").expect("lowering");
+        ptx_analysis::count_plan(&plan, true)
+            .expect("counts")
+            .thread_instructions
+    };
+    assert!(count_of("vgg19") > count_of("vgg16"));
+    assert!(count_of("resnet101") > count_of("resnet50"));
+    assert!(count_of("densenet201") > count_of("densenet121"));
+}
