@@ -14,11 +14,7 @@ fn launch_for(kernel: &ptx::kernel::Kernel, threads: u64, args: Vec<u64>) -> Ker
     KernelLaunch {
         kernel: 0,
         tag: "bench".into(),
-        grid: (
-            threads.div_ceil(kernel.block_threads() as u64) as u32,
-            1,
-            1,
-        ),
+        grid: (threads.div_ceil(kernel.block_threads() as u64) as u32, 1, 1),
         args,
         bytes_read: 0,
         bytes_written: 0,
@@ -39,11 +35,9 @@ fn bench_splitting_vs_bruteforce(c: &mut Criterion) {
         );
         // brute force only at the sizes where it terminates in reasonable time
         if threads <= 10_000 {
-            group.bench_with_input(
-                BenchmarkId::new("bruteforce", threads),
-                &launch,
-                |b, l| b.iter(|| black_box(count_launch_bruteforce(&kernel, l).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new("bruteforce", threads), &launch, |b, l| {
+                b.iter(|| black_box(count_launch_bruteforce(&kernel, l).unwrap()))
+            });
         }
     }
     group.finish();

@@ -9,9 +9,7 @@ use std::hint::black_box;
 
 /// Synthetic corpus shaped like the paper's (few rows, few features).
 fn synthetic(rows: usize) -> Dataset {
-    let mut d = Dataset::new(
-        (0..6).map(|i| format!("f{i}")).collect::<Vec<_>>(),
-    );
+    let mut d = Dataset::new((0..6).map(|i| format!("f{i}")).collect::<Vec<_>>());
     for i in 0..rows {
         let x: Vec<f64> = (0..6)
             .map(|f| ((i * 31 + f * 17) % 97) as f64 / 9.7)

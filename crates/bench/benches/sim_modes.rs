@@ -77,5 +77,10 @@ fn bench_gemm_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim_modes, bench_dvfs_sweep, bench_gemm_variants);
+criterion_group!(
+    benches,
+    bench_sim_modes,
+    bench_dvfs_sweep,
+    bench_gemm_variants
+);
 criterion_main!(benches);

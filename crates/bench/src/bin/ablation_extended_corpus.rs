@@ -12,16 +12,15 @@ use cnnperf_bench::corpus_cached;
 use cnnperf_core::prelude::*;
 use mlkit::repeated_split_eval;
 
-fn main() {
-    let base = corpus_cached();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = corpus_cached()?;
 
     eprintln!("[bench] building variant corpus (8 extra CNNs x 2 GPUs) ...");
     let variant_models: Vec<_> = cnn_ir::zoo::variants::all_variants()
         .into_iter()
         .map(|(_, build)| build())
         .collect();
-    let extra = build_corpus(&variant_models, &gpu_sim::training_devices())
-        .expect("variant corpus");
+    let extra = build_corpus(&variant_models, &gpu_sim::training_devices())?;
 
     // merge the two corpora
     let mut merged = base.dataset.clone();
@@ -41,8 +40,10 @@ fn main() {
     .align(0, Align::Left)
     .align(2, Align::Left);
 
-    for (name, data) in [("Table I zoo (paper)", &base.dataset), ("zoo + 8 variants", &merged)]
-    {
+    for (name, data) in [
+        ("Table I zoo (paper)", &base.dataset),
+        ("zoo + 8 variants", &merged),
+    ] {
         for kind in [RegressorKind::DecisionTree, RegressorKind::LinearRegression] {
             let (_, agg) = repeated_split_eval(data, kind, 0.7, &seeds);
             table.row(vec![
@@ -59,29 +60,31 @@ fn main() {
     // and the Fig.4-style held-out check: do variants improve predictions
     // on the six held-out standard CNNs?
     let eval_names = cnn_ir::zoo::fig4_eval_names();
-    let holdout = |data: &mlkit::Dataset| {
-        let (train, _) = data.partition_by_label(|l| {
-            eval_names.iter().any(|n| l.starts_with(&format!("{n}@")))
-        });
+    let holdout = |data: &mlkit::Dataset| -> Result<f64, Box<dyn std::error::Error>> {
+        let (train, _) =
+            data.partition_by_label(|l| eval_names.iter().any(|n| l.starts_with(&format!("{n}@"))));
         let p = PerformancePredictor::train(&train, RegressorKind::DecisionTree, 42);
         let dev = gpu_sim::specs::gtx_1080_ti();
         let mut y_true = Vec::new();
         let mut y_pred = Vec::new();
         for name in eval_names {
-            let prof = base.profile(name).expect("profiled");
+            let prof = base
+                .profile(name)
+                .ok_or_else(|| format!("{name} not profiled in corpus"))?;
             let s = base
                 .samples
                 .iter()
                 .find(|s| s.model == name && s.device == dev.name)
-                .expect("sample");
+                .ok_or_else(|| format!("no {name}@{} sample", dev.name))?;
             y_true.push(s.ipc);
             y_pred.push(p.predict(prof, &dev));
         }
-        mlkit::metrics::mape(&y_true, &y_pred)
+        Ok(mlkit::metrics::mape(&y_true, &y_pred))
     };
     println!(
         "Fig.4 held-out MAPE: zoo-only {:.2}%  vs  zoo+variants {:.2}%",
-        holdout(&base.dataset),
-        holdout(&merged)
+        holdout(&base.dataset)?,
+        holdout(&merged)?
     );
+    Ok(())
 }

@@ -25,8 +25,8 @@ fn eval_subset(corpus: &Corpus, features: &[&str], label: &str) -> Vec<String> {
     ]
 }
 
-fn main() {
-    let corpus = corpus_cached();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = corpus_cached()?;
 
     let mut table = Table::new(
         "Feature-set ablation (Decision Tree, 20-seed repeated 70/30 splits)",
@@ -42,7 +42,12 @@ fn main() {
     ));
     table.row(eval_subset(
         &corpus,
-        &["mem_bandwidth_gbs", "cuda_cores", "base_clock_mhz", "l2_cache_kb"],
+        &[
+            "mem_bandwidth_gbs",
+            "cuda_cores",
+            "base_clock_mhz",
+            "l2_cache_kb",
+        ],
         "GPU only",
     ));
     table.row(eval_subset(
@@ -78,4 +83,5 @@ fn main() {
             step.features.join(", ")
         );
     }
+    Ok(())
 }

@@ -9,7 +9,7 @@
 use cnnperf_core::prelude::*;
 use gpu_sim::{SimMode, Simulator};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dev = gpu_sim::specs::gtx_1080_ti();
     let mut table = Table::new(
         "Batch-norm folding ablation (GTX 1080 Ti, detailed simulation)",
@@ -26,17 +26,15 @@ fn main() {
     .align(1, Align::Left);
 
     for name in ["mobilenet", "MobileNetV2", "efficientnetb0", "densenet121"] {
-        let model = cnn_ir::zoo::build(name).expect("zoo model");
+        let model = cnn_ir::zoo::build(name).ok_or_else(|| format!("unknown zoo model {name}"))?;
         let (folded, stats) = cnn_ir::fold_batch_norm(&model);
         for (label, graph, folded_count) in [
             ("as-trained", &model, 0usize),
             ("BN-folded", &folded, stats.folded),
         ] {
-            let plan = ptx_codegen::lower(graph, &dev.sm_target()).expect("lowering");
-            let counts = ptx_analysis::count_plan(&plan, true).expect("counts");
-            let sim = Simulator::new(dev.clone(), SimMode::Detailed)
-                .simulate_plan(&plan)
-                .expect("simulation");
+            let plan = ptx_codegen::lower(graph, &dev.sm_target())?;
+            let counts = ptx_analysis::count_plan(&plan, true)?;
+            let sim = Simulator::new(dev.clone(), SimMode::Detailed).simulate_plan(&plan)?;
             table.row(vec![
                 name.to_string(),
                 label.to_string(),
@@ -53,4 +51,5 @@ fn main() {
          largest for depthwise-separable networks whose BN launches touch as \
          many bytes as the convolutions themselves."
     );
+    Ok(())
 }

@@ -11,7 +11,7 @@
 use cnnperf_core::prelude::*;
 use gpu_sim::{SimMode, Simulator};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dev = gpu_sim::specs::gtx_1080_ti();
     let mut table = Table::new(
         format!("Batch-size sweep on {}", dev.name),
@@ -27,14 +27,11 @@ fn main() {
     .align(0, Align::Left);
 
     for name in ["MobileNetV2", "resnet50", "alexnet"] {
-        let model = cnn_ir::zoo::build(name).expect("zoo model");
+        let model = cnn_ir::zoo::build(name).ok_or_else(|| format!("unknown zoo model {name}"))?;
         let mut prev_ipc = 0.0;
         for batch in [1u32, 2, 4, 8, 16] {
-            let plan = ptx_codegen::lower_batched(&model, &dev.sm_target(), batch)
-                .expect("lowering");
-            let sim = Simulator::new(dev.clone(), SimMode::Detailed)
-                .simulate_plan(&plan)
-                .expect("simulation");
+            let plan = ptx_codegen::lower_batched(&model, &dev.sm_target(), batch)?;
+            let sim = Simulator::new(dev.clone(), SimMode::Detailed).simulate_plan(&plan)?;
             table.row(vec![
                 name.to_string(),
                 batch.to_string(),
@@ -53,4 +50,5 @@ fn main() {
          latency rises — the saturation curve every deployment guide warns \
          about, now derivable pre-silicon."
     );
+    Ok(())
 }

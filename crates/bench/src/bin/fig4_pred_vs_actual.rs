@@ -13,8 +13,8 @@
 use cnnperf_bench::corpus_cached;
 use cnnperf_core::prelude::*;
 
-fn main() {
-    let corpus = corpus_cached();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = corpus_cached()?;
     let eval_names = cnn_ir::zoo::fig4_eval_names();
     let device = gpu_sim::specs::gtx_1080_ti();
 
@@ -37,19 +37,24 @@ fn main() {
     for (panel, kind) in panels {
         let predictor = PerformancePredictor::train(&train_all, kind, 42);
         let mut table = Table::new(
-            format!("Fig. 4 {panel}: predicted vs original IPC on {}", device.name),
+            format!(
+                "Fig. 4 {panel}: predicted vs original IPC on {}",
+                device.name
+            ),
             &["CNN", "Original IPC", "Predicted IPC", "APE"],
         )
         .align(0, Align::Left);
         let mut y_true = Vec::new();
         let mut y_pred = Vec::new();
         for name in eval_names {
-            let profile = corpus.profile(name).expect("profiled in corpus");
+            let profile = corpus
+                .profile(name)
+                .ok_or_else(|| format!("{name} not profiled in corpus"))?;
             let sample = corpus
                 .samples
                 .iter()
                 .find(|s| s.model == name && s.device == device.name)
-                .expect("sample exists");
+                .ok_or_else(|| format!("no {name}@{} sample", device.name))?;
             let pred = predictor.predict(profile, &device);
             let ape = 100.0 * ((sample.ipc - pred) / sample.ipc).abs();
             table.row(vec![
@@ -69,7 +74,11 @@ fn main() {
         }
         let mape = mlkit::metrics::mape(&y_true, &y_pred);
         println!("{table}");
-        println!("  {} MAPE over the six held-out CNNs: {:.2}%\n", kind.name(), mape);
+        println!(
+            "  {} MAPE over the six held-out CNNs: {:.2}%\n",
+            kind.name(),
+            mape
+        );
         overall.push((kind.name().to_string(), mape));
     }
 
@@ -85,9 +94,13 @@ fn main() {
     for (name, mape) in &overall {
         println!("  {name:22} {mape:6.2}%");
     }
+    let spread = match (overall.first(), overall.last()) {
+        (Some(best), Some(worst)) => worst.1 - best.1,
+        _ => return Err("no regressor panels were evaluated".into()),
+    };
     println!(
         "\nPaper's observation: \"all predictive models' predictions are close to each \
-         other and do not differ significantly\" — spread between the four panels above: {:.2} pp.",
-        overall.last().expect("4 panels").1 - overall.first().expect("4 panels").1
+         other and do not differ significantly\" — spread between the four panels above: {spread:.2} pp."
     );
+    Ok(())
 }

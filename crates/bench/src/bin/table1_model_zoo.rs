@@ -9,16 +9,15 @@
 use cnnperf_core::prelude::*;
 use rayon::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let entries = cnn_ir::zoo::all();
     let rows: Vec<_> = entries
         .par_iter()
         .map(|e| {
             let model = (e.build)();
-            let s = cnn_ir::analyze(&model).expect("zoo model analyzes");
-            (e.name, e.paper, s)
+            cnn_ir::analyze(&model).map(|s| (e.name, e.paper, s))
         })
-        .collect();
+        .collect::<Result<Vec<_>, _>>()?;
 
     let mut table = Table::new(
         "Table I: An overview of CNN models used in the experiments (ours vs paper)",
@@ -74,4 +73,5 @@ fn main() {
          alexnet uses the original grouped two-tower weights (60,965,224) vs the paper's \
          cuda-convnet variant."
     );
+    Ok(())
 }

@@ -21,8 +21,8 @@ const PAPER: [(&str, f64, f64, f64); 5] = [
     ("XG Boost", 7.59, 0.14, -0.24),
 ];
 
-fn main() {
-    let corpus = corpus_cached();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = corpus_cached()?;
     let seed = 42u64;
 
     let mut table = Table::new(
@@ -45,7 +45,7 @@ fn main() {
         let paper = PAPER
             .iter()
             .find(|(n, _, _, _)| *n == row.kind.name())
-            .expect("paper row");
+            .ok_or_else(|| format!("no paper row for {}", row.kind.name()))?;
         table.row(vec![
             row.kind.name().to_string(),
             pct(row.scores.mape),
@@ -78,9 +78,11 @@ fn main() {
     println!("{agg_table}");
 
     ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
-    println!(
-        "Shape check vs paper: linear regression worst ({}), tree-family best ({}).",
-        ranked.last().expect("5 rows").0,
-        ranked.first().expect("5 rows").0
-    );
+    if let (Some(best), Some(worst)) = (ranked.first(), ranked.last()) {
+        println!(
+            "Shape check vs paper: linear regression worst ({}), tree-family best ({}).",
+            worst.0, best.0
+        );
+    }
+    Ok(())
 }

@@ -20,8 +20,8 @@ fn describe(feature: &str) -> &'static str {
     }
 }
 
-fn main() {
-    let corpus = corpus_cached();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = corpus_cached()?;
     let (train, _) = corpus.dataset.split(0.7, 42);
     let predictor = PerformancePredictor::train(&train, RegressorKind::DecisionTree, 42);
 
@@ -34,9 +34,13 @@ fn main() {
 
     let imps = predictor
         .feature_importances()
-        .expect("decision tree has importances");
+        .ok_or("decision tree exposes no feature importances")?;
     for (name, imp) in &imps {
-        table.row(vec![name.clone(), describe(name).to_string(), fixed(*imp, 5)]);
+        table.row(vec![
+            name.clone(),
+            describe(name).to_string(),
+            fixed(*imp, 5),
+        ]);
     }
     println!("{table}");
     println!(
@@ -62,4 +66,5 @@ fn main() {
         perm.row(vec![name, format!("{delta:+.4}")]);
     }
     println!("\n{perm}");
+    Ok(())
 }

@@ -16,8 +16,8 @@
 use cnnperf_bench::corpus_cached;
 use cnnperf_core::prelude::*;
 
-fn main() {
-    let corpus = corpus_cached();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = corpus_cached()?;
     let (train, _) = corpus.dataset.split(0.7, 42);
     let predictor = PerformancePredictor::train(&train, RegressorKind::DecisionTree, 42);
 
@@ -38,15 +38,14 @@ fn main() {
 
     let mut speedups = Vec::new();
     for name in cnn_ir::zoo::table4_names() {
-        let model = cnn_ir::zoo::build(name).expect("zoo model");
+        let model = cnn_ir::zoo::build(name).ok_or_else(|| format!("unknown zoo model {name}"))?;
 
         // naive: profile on the first device, scale per device (the paper
         // likewise reports one t_p per CNN and multiplies by n)
-        let t_p = naive_profile_time(&model, &devices[0]).expect("naive profiling");
+        let t_p = naive_profile_time(&model, &devices[0])?;
 
         // ours: one dynamic code analysis + n predictions
-        let outcome =
-            rank_devices(&predictor, &model, devices).expect("estimation path");
+        let outcome = rank_devices(&predictor, &model, devices)?;
 
         let mut row: Vec<String> = vec![name.to_string(), fixed(t_p, 2)];
         for n in 1..=7u32 {
@@ -88,4 +87,5 @@ fn main() {
         geo1.powf(1.0 / k),
         geo7.powf(1.0 / k)
     );
+    Ok(())
 }

@@ -64,8 +64,7 @@ pub fn analyze(graph: &ModelGraph) -> Result<ModelSummary, GraphError> {
     let mut weighted_layers = 0usize;
 
     for node in graph.nodes() {
-        let ins: Vec<TensorShape> =
-            node.inputs.iter().map(|i| shapes[i.index()]).collect();
+        let ins: Vec<TensorShape> = node.inputs.iter().map(|i| shapes[i.index()]).collect();
         let out = shapes[node.id.index()];
         let p = node.layer.param_count(&ins);
         let m = node.layer.macs(&ins, out);

@@ -97,8 +97,7 @@ impl ModelGraph {
 fn infer_over(nodes: &[Node]) -> Result<Vec<TensorShape>, GraphError> {
     let mut shapes: Vec<TensorShape> = Vec::with_capacity(nodes.len());
     for node in nodes {
-        let ins: Vec<TensorShape> =
-            node.inputs.iter().map(|i| shapes[i.index()]).collect();
+        let ins: Vec<TensorShape> = node.inputs.iter().map(|i| shapes[i.index()]).collect();
         let out = node
             .layer
             .output_shape(&ins)
@@ -221,7 +220,10 @@ impl GraphBuilder {
             "output node does not exist"
         );
         assert!(
-            matches!(self.nodes.first().map(|n| &n.layer), Some(Layer::Input { .. })),
+            matches!(
+                self.nodes.first().map(|n| &n.layer),
+                Some(Layer::Input { .. })
+            ),
             "graph must start with an input node"
         );
         ModelGraph {

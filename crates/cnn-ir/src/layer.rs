@@ -266,7 +266,10 @@ impl fmt::Display for ShapeError {
             ShapeError::WindowTooLarge { layer, input } => {
                 write!(f, "{layer}: window larger than padded input {input}")
             }
-            ShapeError::BadGrouping { in_channels, groups } => write!(
+            ShapeError::BadGrouping {
+                in_channels,
+                groups,
+            } => write!(
                 f,
                 "conv groups {groups} do not divide input channels {in_channels}"
             ),
@@ -295,16 +298,22 @@ impl std::error::Error for ShapeError {}
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Layer {
     /// Graph entry point carrying the input shape.
-    Input { shape: TensorShape },
+    Input {
+        shape: TensorShape,
+    },
     Conv2d(Conv2d),
     DepthwiseConv2d(DepthwiseConv2d),
     Dense(Dense),
     Pool2d(Pool2d),
     /// Global pooling collapses spatial dims to `1x1`.
-    GlobalPool { kind: PoolKind },
+    GlobalPool {
+        kind: PoolKind,
+    },
     BatchNorm(BatchNorm),
     /// Group normalization (used by the BiT `m-r*` models).
-    GroupNorm { groups: u32 },
+    GroupNorm {
+        groups: u32,
+    },
     Activation(ActKind),
     /// Element-wise sum of >= 2 tensors (residual connections).
     Add,
@@ -314,7 +323,9 @@ pub enum Layer {
     Concat,
     /// ShuffleNet channel shuffle: permutes channels across groups.
     /// Shape-preserving, parameter-free.
-    ChannelShuffle { groups: u32 },
+    ChannelShuffle {
+        groups: u32,
+    },
     ZeroPad {
         top: u32,
         bottom: u32,
@@ -322,7 +333,9 @@ pub enum Layer {
         right: u32,
     },
     Flatten,
-    Dropout { rate: f32 },
+    Dropout {
+        rate: f32,
+    },
 }
 
 impl Layer {
@@ -363,10 +376,7 @@ impl Layer {
     }
 
     /// Infer the output shape from the input shapes.
-    pub fn output_shape(
-        &self,
-        inputs: &[TensorShape],
-    ) -> Result<TensorShape, ShapeError> {
+    pub fn output_shape(&self, inputs: &[TensorShape]) -> Result<TensorShape, ShapeError> {
         let one = |name: &'static str| -> Result<TensorShape, ShapeError> {
             if inputs.len() == 1 {
                 Ok(inputs[0])
@@ -413,9 +423,7 @@ impl Layer {
                 let h = c.padding.out_h(i.h, c.kernel.0, c.stride.0);
                 let w = c.padding.out_w(i.w, c.kernel.1, c.stride.1);
                 match (h, w) {
-                    (Some(h), Some(w)) => {
-                        Ok(TensorShape::hwc(h, w, i.c * c.multiplier))
-                    }
+                    (Some(h), Some(w)) => Ok(TensorShape::hwc(h, w, i.c * c.multiplier)),
                     _ => Err(ShapeError::WindowTooLarge {
                         layer: "depthwise_conv2d".into(),
                         input: i,
@@ -484,9 +492,7 @@ impl Layer {
                     });
                 }
                 let (a, b) = (inputs[0], inputs[1]);
-                if a == b {
-                    Ok(a)
-                } else if b.is_flat() && b.c == a.c {
+                if a == b || (b.is_flat() && b.c == a.c) {
                     Ok(a)
                 } else if a.is_flat() && a.c == b.c {
                     Ok(b)
@@ -550,17 +556,16 @@ impl Layer {
         match self {
             Layer::Conv2d(c) => {
                 let in_c = inputs[0].c as u64;
-                let w = c.kernel.0 as u64 * c.kernel.1 as u64 * (in_c / c.groups as u64)
+                let w = c.kernel.0 as u64
+                    * c.kernel.1 as u64
+                    * (in_c / c.groups as u64)
                     * c.out_channels as u64;
                 let b = if c.use_bias { c.out_channels as u64 } else { 0 };
                 ParamCount::trainable(w + b)
             }
             Layer::DepthwiseConv2d(c) => {
                 let in_c = inputs[0].c as u64;
-                let w = c.kernel.0 as u64
-                    * c.kernel.1 as u64
-                    * in_c
-                    * c.multiplier as u64;
+                let w = c.kernel.0 as u64 * c.kernel.1 as u64 * in_c * c.multiplier as u64;
                 let b = if c.use_bias {
                     in_c * c.multiplier as u64
                 } else {
@@ -601,14 +606,9 @@ impl Layer {
         match self {
             Layer::Conv2d(c) => {
                 let in_c = inputs[0].c as u64;
-                output.elements()
-                    * c.kernel.0 as u64
-                    * c.kernel.1 as u64
-                    * (in_c / c.groups as u64)
+                output.elements() * c.kernel.0 as u64 * c.kernel.1 as u64 * (in_c / c.groups as u64)
             }
-            Layer::DepthwiseConv2d(c) => {
-                output.elements() * c.kernel.0 as u64 * c.kernel.1 as u64
-            }
+            Layer::DepthwiseConv2d(c) => output.elements() * c.kernel.0 as u64 * c.kernel.1 as u64,
             Layer::Dense(d) => inputs[0].elements() * d.units as u64,
             _ => 0,
         }
@@ -621,15 +621,11 @@ impl Layer {
             Layer::Conv2d(_) | Layer::DepthwiseConv2d(_) | Layer::Dense(_) => {
                 2 * self.macs(inputs, output)
             }
-            Layer::Pool2d(p) => {
-                output.elements() * p.pool.0 as u64 * p.pool.1 as u64
-            }
+            Layer::Pool2d(p) => output.elements() * p.pool.0 as u64 * p.pool.1 as u64,
             Layer::GlobalPool { .. } => inputs[0].elements(),
             Layer::BatchNorm(_) | Layer::GroupNorm { .. } => 2 * output.elements(),
             Layer::Activation(a) => a.flops_per_element() * output.elements(),
-            Layer::Add | Layer::Multiply => {
-                (inputs.len() as u64 - 1) * output.elements()
-            }
+            Layer::Add | Layer::Multiply => (inputs.len() as u64 - 1) * output.elements(),
             _ => 0,
         }
     }
@@ -681,9 +677,7 @@ mod tests {
     #[test]
     fn depthwise_params() {
         // MobileNet dw 3x3 on 32 channels, no bias: 3*3*32 = 288
-        let l = Layer::DepthwiseConv2d(
-            DepthwiseConv2d::new(3, 1, Padding::Same).no_bias(),
-        );
+        let l = Layer::DepthwiseConv2d(DepthwiseConv2d::new(3, 1, Padding::Same).no_bias());
         assert_eq!(l.param_count(&[s(112, 112, 32)]).trainable, 288);
     }
 

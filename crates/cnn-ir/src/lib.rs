@@ -28,8 +28,8 @@ pub use analyzer::{analyze, LayerSummary, ModelSummary};
 pub use export::to_dot;
 pub use graph::{GraphBuilder, GraphError, ModelGraph, Node, NodeId};
 pub use layer::{
-    ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, ParamCount,
-    Pool2d, PoolKind, ShapeError,
+    ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, ParamCount, Pool2d, PoolKind,
+    ShapeError,
 };
 pub use shape::{Padding, TensorShape};
 pub use transform::{fold_batch_norm, FoldStats};

@@ -84,9 +84,7 @@ impl Padding {
         match *self {
             Padding::Same => Some(n.div_ceil(s)),
             Padding::Valid => explicit_extent(n, k, s, 0, 0),
-            Padding::Explicit { top, bottom, .. } => {
-                explicit_extent(n, k, s, top, bottom)
-            }
+            Padding::Explicit { top, bottom, .. } => explicit_extent(n, k, s, top, bottom),
         }
     }
 
@@ -97,9 +95,7 @@ impl Padding {
         match *self {
             Padding::Same => Some(n.div_ceil(s)),
             Padding::Valid => explicit_extent(n, k, s, 0, 0),
-            Padding::Explicit { left, right, .. } => {
-                explicit_extent(n, k, s, left, right)
-            }
+            Padding::Explicit { left, right, .. } => explicit_extent(n, k, s, left, right),
         }
     }
 

@@ -38,10 +38,7 @@ pub fn fold_batch_norm(graph: &ModelGraph) -> (ModelGraph, FoldStats) {
     // Identify (norm node -> conv node) pairs to fold.
     let mut fold_into: Vec<Option<usize>> = vec![None; graph.len()];
     for node in graph.nodes() {
-        let is_norm = matches!(
-            node.layer,
-            Layer::BatchNorm(_) | Layer::GroupNorm { .. }
-        );
+        let is_norm = matches!(node.layer, Layer::BatchNorm(_) | Layer::GroupNorm { .. });
         if !is_norm || node.inputs.len() != 1 {
             continue;
         }
@@ -77,9 +74,7 @@ pub fn fold_batch_norm(graph: &ModelGraph) -> (ModelGraph, FoldStats) {
             .map(|i| remap[i.index()].expect("topological order"))
             .collect();
         // does a norm fold into THIS node?
-        let absorbs_norm = fold_into
-            .iter()
-            .any(|f| *f == Some(node.id.index()));
+        let absorbs_norm = fold_into.iter().any(|f| *f == Some(node.id.index()));
         let layer = match (&node.layer, absorbs_norm) {
             (Layer::Conv2d(c), true) => {
                 let mut c = c.clone();

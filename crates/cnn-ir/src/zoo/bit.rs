@@ -30,13 +30,7 @@ fn conv(b: &mut GraphBuilder, x: NodeId, out_c: u32, k: u32, s: u32) -> NodeId {
 
 /// Pre-activation bottleneck with GN. Stride is applied by the middle 3x3
 /// conv at the first block of stages 2-4 (BiT convention).
-fn block(
-    b: &mut GraphBuilder,
-    x: NodeId,
-    filters: u32,
-    stride: u32,
-    project: bool,
-) -> NodeId {
+fn block(b: &mut GraphBuilder, x: NodeId, filters: u32, stride: u32, project: bool) -> NodeId {
     let pre = gn_relu(b, x);
     let shortcut = if project {
         conv(b, pre, 4 * filters, 1, stride)
@@ -51,13 +45,7 @@ fn block(
     b.layer(Layer::Add, &[shortcut, y])
 }
 
-fn stage(
-    b: &mut GraphBuilder,
-    mut x: NodeId,
-    filters: u32,
-    blocks: u32,
-    stride1: u32,
-) -> NodeId {
+fn stage(b: &mut GraphBuilder, mut x: NodeId, filters: u32, blocks: u32, stride1: u32) -> NodeId {
     x = block(b, x, filters, stride1, true);
     for _ in 1..blocks {
         x = block(b, x, filters, 1, false);
@@ -126,7 +114,11 @@ mod tests {
         let s = analyze(&m_r50x1()).unwrap();
         let paper = 25_549_352f64;
         let rel = (s.trainable_params as f64 - paper).abs() / paper;
-        assert!(rel < 0.01, "r50x1 params {} vs paper {paper}", s.trainable_params);
+        assert!(
+            rel < 0.01,
+            "r50x1 params {} vs paper {paper}",
+            s.trainable_params
+        );
     }
 
     #[test]
@@ -142,7 +134,11 @@ mod tests {
         let s = analyze(&m_r101x3()).unwrap();
         let paper = 387_934_888f64;
         let rel = (s.trainable_params as f64 - paper).abs() / paper;
-        assert!(rel < 0.02, "r101x3 params {} vs paper {paper}", s.trainable_params);
+        assert!(
+            rel < 0.02,
+            "r101x3 params {} vs paper {paper}",
+            s.trainable_params
+        );
     }
 
     #[test]
@@ -150,7 +146,11 @@ mod tests {
         let s = analyze(&m_r154x4()).unwrap();
         let paper = 936_533_224f64;
         let rel = (s.trainable_params as f64 - paper).abs() / paper;
-        assert!(rel < 0.02, "r154x4 params {} vs paper {paper}", s.trainable_params);
+        assert!(
+            rel < 0.02,
+            "r154x4 params {} vs paper {paper}",
+            s.trainable_params
+        );
     }
 
     #[test]

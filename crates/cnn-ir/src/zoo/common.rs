@@ -1,9 +1,7 @@
 //! Shared building blocks used across zoo architectures.
 
 use crate::graph::{GraphBuilder, NodeId};
-use crate::layer::{
-    ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, Pool2d, PoolKind,
-};
+use crate::layer::{ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, Pool2d, PoolKind};
 use crate::shape::Padding;
 
 /// `Conv -> BN -> ReLU` with a bias-free convolution (the dominant pattern in
@@ -86,13 +84,7 @@ pub fn separable_conv(
 /// Squeeze-and-excitation block: global-average pool, bottleneck MLP with
 /// biased 1x1 convs, sigmoid gate, channel-wise multiply. Returns the gated
 /// tensor. `se_c` is the bottleneck width.
-pub fn se_block(
-    b: &mut GraphBuilder,
-    x: NodeId,
-    channels: u32,
-    se_c: u32,
-    act: ActKind,
-) -> NodeId {
+pub fn se_block(b: &mut GraphBuilder, x: NodeId, channels: u32, se_c: u32, act: ActKind) -> NodeId {
     let _ = channels; // shape inference recovers it; kept for readability
     let s = b.layer(
         Layer::GlobalPool {

@@ -7,9 +7,7 @@
 
 use super::common::se_block;
 use crate::graph::{GraphBuilder, ModelGraph, NodeId};
-use crate::layer::{
-    ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, PoolKind,
-};
+use crate::layer::{ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, PoolKind};
 use crate::shape::{Padding, TensorShape};
 
 /// (width coefficient, depth coefficient, resolution) for B0..B7.
@@ -84,9 +82,7 @@ fn mbconv(
         y = swish(b, y);
     }
     y = b.layer(
-        Layer::DepthwiseConv2d(
-            DepthwiseConv2d::new(kernel, stride, Padding::Same).no_bias(),
-        ),
+        Layer::DepthwiseConv2d(DepthwiseConv2d::new(kernel, stride, Padding::Same).no_bias()),
         &[y],
     );
     y = bn(b, y);
@@ -195,7 +191,11 @@ mod tests {
         let s = analyze(&efficientnet(7)).unwrap();
         let paper = 66_347_960f64;
         let rel = (s.trainable_params as f64 - paper).abs() / paper;
-        assert!(rel < 0.02, "B7 params {} vs paper {paper}", s.trainable_params);
+        assert!(
+            rel < 0.02,
+            "B7 params {} vs paper {paper}",
+            s.trainable_params
+        );
     }
 
     #[test]

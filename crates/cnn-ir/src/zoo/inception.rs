@@ -84,7 +84,7 @@ pub fn inception_v3() -> ModelGraph {
     let x = v3_block_a(&mut b, x, 32); // mixed0 -> 256
     let x = v3_block_a(&mut b, x, 64); // mixed1 -> 288
     let x = v3_block_a(&mut b, x, 64); // mixed2 -> 288
-    // mixed3: reduction to 17x17x768
+                                       // mixed3: reduction to 17x17x768
     let r3 = cbr(&mut b, x, 384, 3, 3, 2, V);
     let rd = cbr(&mut b, x, 64, 1, 1, 1, S);
     let rd = cbr(&mut b, rd, 96, 3, 3, 1, S);
@@ -96,7 +96,7 @@ pub fn inception_v3() -> ModelGraph {
     let x = v3_block_b(&mut b, x, 160); // mixed5
     let x = v3_block_b(&mut b, x, 160); // mixed6
     let x = v3_block_b(&mut b, x, 192); // mixed7
-    // mixed8: reduction to 8x8x1280
+                                        // mixed8: reduction to 8x8x1280
     let r3 = cbr(&mut b, x, 192, 1, 1, 1, S);
     let r3 = cbr(&mut b, r3, 320, 3, 3, 2, V);
     let r7 = cbr(&mut b, x, 192, 1, 1, 1, S);

@@ -2,9 +2,7 @@
 //! Keras layouts with width multiplier 1.0.
 
 use crate::graph::{GraphBuilder, ModelGraph, NodeId};
-use crate::layer::{
-    ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, PoolKind,
-};
+use crate::layer::{ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, PoolKind};
 use crate::shape::{Padding, TensorShape};
 
 fn bn(b: &mut GraphBuilder, x: NodeId) -> NodeId {
@@ -67,10 +65,7 @@ pub fn mobilenet_v1() -> ModelGraph {
         &[x],
     );
     let x = b.layer(Layer::Dropout { rate: 1e-3 }, &[x]);
-    let x = b.layer(
-        Layer::Conv2d(Conv2d::new(1000, 1, 1, Padding::Same)),
-        &[x],
-    );
+    let x = b.layer(Layer::Conv2d(Conv2d::new(1000, 1, 1, Padding::Same)), &[x]);
     let x = b.layer(Layer::Activation(ActKind::Softmax), &[x]);
     b.finish(x)
 }

@@ -27,8 +27,8 @@ mod xception;
 // Re-exported so downstream users can assemble custom architectures from
 // the same blocks the zoo uses (see `examples/custom_cnn.rs`).
 pub use common::{
-    bn_relu, classifier_head, conv_bn, conv_bn_relu, conv_bn_relu_noscale,
-    padded_maxpool_3x3_s2, se_block, separable_conv,
+    bn_relu, classifier_head, conv_bn, conv_bn_relu, conv_bn_relu_noscale, padded_maxpool_3x3_s2,
+    se_block, separable_conv,
 };
 
 use crate::graph::ModelGraph;
@@ -52,7 +52,9 @@ pub struct ZooEntry {
 
 impl std::fmt::Debug for ZooEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ZooEntry").field("name", &self.name).finish()
+        f.debug_struct("ZooEntry")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -82,34 +84,209 @@ pub fn all() -> Vec<ZooEntry> {
     vec![
         entry!("m-r50x1", bit::m_r50x1, 224, 50, 15_903_016, 25_549_352),
         entry!("m-r50x3", bit::m_r50x3, 224, 50, 143_111_080, 217_319_080),
-        entry!("m-r101x3", bit::m_r101x3, 224, 101, 253_408_168, 387_934_888),
+        entry!(
+            "m-r101x3",
+            bit::m_r101x3,
+            224,
+            101,
+            253_408_168,
+            387_934_888
+        ),
         entry!("m-r101x1", bit::m_r101x1, 224, 101, 28_158_248, 44_541_480),
-        entry!("m-r154x4", bit::m_r154x4, 224, 154, 611_981_544, 936_533_224),
-        entry!("resnet50", resnet::resnet50, 224, 50, 31_404_508, 25_583_592),
-        entry!("resnet101", resnet::resnet101, 224, 101, 55_886_036, 44_601_832),
-        entry!("resnet152", resnet::resnet152, 224, 152, 79_067_348, 60_268_520),
-        entry!("resnet50v2", resnet::resnet50_v2, 224, 50, 31_381_204, 25_568_360),
-        entry!("resnet101v2", resnet::resnet101_v2, 224, 101, 51_261_140, 44_577_896),
-        entry!("resnet152v2", resnet::resnet152_v2, 224, 152, 75_755_220, 60_236_904),
-        entry!("nasnetmobile", nasnet::nasnet_mobile, 224, 771, 27_690_705, 5_289_978),
-        entry!("nasnetlarge", nasnet::nasnet_large, 331, 1041, 290_560_171, 88_753_150),
-        entry!("densenet121", densenet::densenet121, 224, 121, 49_926_612, 7_978_856),
-        entry!("densenet169", densenet::densenet169, 224, 169, 60_094_164, 14_149_480),
-        entry!("densenet201", densenet::densenet201, 224, 201, 77_292_244, 20_013_928),
-        entry!("mobilenet", mobilenet::mobilenet_v1, 224, 28, 16_848_248, 4_231_976),
-        entry!("inceptionv3", inception::inception_v3, 299, 48, 32_554_387, 23_817_352),
+        entry!(
+            "m-r154x4",
+            bit::m_r154x4,
+            224,
+            154,
+            611_981_544,
+            936_533_224
+        ),
+        entry!(
+            "resnet50",
+            resnet::resnet50,
+            224,
+            50,
+            31_404_508,
+            25_583_592
+        ),
+        entry!(
+            "resnet101",
+            resnet::resnet101,
+            224,
+            101,
+            55_886_036,
+            44_601_832
+        ),
+        entry!(
+            "resnet152",
+            resnet::resnet152,
+            224,
+            152,
+            79_067_348,
+            60_268_520
+        ),
+        entry!(
+            "resnet50v2",
+            resnet::resnet50_v2,
+            224,
+            50,
+            31_381_204,
+            25_568_360
+        ),
+        entry!(
+            "resnet101v2",
+            resnet::resnet101_v2,
+            224,
+            101,
+            51_261_140,
+            44_577_896
+        ),
+        entry!(
+            "resnet152v2",
+            resnet::resnet152_v2,
+            224,
+            152,
+            75_755_220,
+            60_236_904
+        ),
+        entry!(
+            "nasnetmobile",
+            nasnet::nasnet_mobile,
+            224,
+            771,
+            27_690_705,
+            5_289_978
+        ),
+        entry!(
+            "nasnetlarge",
+            nasnet::nasnet_large,
+            331,
+            1041,
+            290_560_171,
+            88_753_150
+        ),
+        entry!(
+            "densenet121",
+            densenet::densenet121,
+            224,
+            121,
+            49_926_612,
+            7_978_856
+        ),
+        entry!(
+            "densenet169",
+            densenet::densenet169,
+            224,
+            169,
+            60_094_164,
+            14_149_480
+        ),
+        entry!(
+            "densenet201",
+            densenet::densenet201,
+            224,
+            201,
+            77_292_244,
+            20_013_928
+        ),
+        entry!(
+            "mobilenet",
+            mobilenet::mobilenet_v1,
+            224,
+            28,
+            16_848_248,
+            4_231_976
+        ),
+        entry!(
+            "inceptionv3",
+            inception::inception_v3,
+            299,
+            48,
+            32_554_387,
+            23_817_352
+        ),
         entry!("vgg16", vgg::vgg16, 224, 16, 15_262_696, 138_357_544),
         entry!("vgg19", vgg::vgg19, 224, 19, 16_567_272, 143_667_240),
-        entry!("efficientnetb0", || efficientnet::efficientnet(0), 224, 240, 25_117_095, 5_288_548),
-        entry!("efficientnetb1", || efficientnet::efficientnet(1), 240, 342, 40_150_331, 7_794_184),
-        entry!("efficientnetb2", || efficientnet::efficientnet(2), 260, 342, 50_908_981, 9_109_994),
-        entry!("efficientnetb3", || efficientnet::efficientnet(3), 300, 387, 87_507_971, 12_233_232),
-        entry!("efficientnetb4", || efficientnet::efficientnet(4), 380, 477, 180_088_531, 19_341_616),
-        entry!("efficientnetb5", || efficientnet::efficientnet(5), 456, 579, 358_290_427, 30_389_784),
-        entry!("efficientnetb6", || efficientnet::efficientnet(6), 528, 669, 605_671_091, 43_040_704),
-        entry!("efficientnetb7", || efficientnet::efficientnet(7), 600, 816, 1_046_113_195, 66_347_960),
-        entry!("Xception", xception::xception, 299, 71, 62_981_867, 22_855_952),
-        entry!("MobileNetV2", mobilenet::mobilenet_v2, 224, 53, 21_815_960, 3_504_872),
+        entry!(
+            "efficientnetb0",
+            || efficientnet::efficientnet(0),
+            224,
+            240,
+            25_117_095,
+            5_288_548
+        ),
+        entry!(
+            "efficientnetb1",
+            || efficientnet::efficientnet(1),
+            240,
+            342,
+            40_150_331,
+            7_794_184
+        ),
+        entry!(
+            "efficientnetb2",
+            || efficientnet::efficientnet(2),
+            260,
+            342,
+            50_908_981,
+            9_109_994
+        ),
+        entry!(
+            "efficientnetb3",
+            || efficientnet::efficientnet(3),
+            300,
+            387,
+            87_507_971,
+            12_233_232
+        ),
+        entry!(
+            "efficientnetb4",
+            || efficientnet::efficientnet(4),
+            380,
+            477,
+            180_088_531,
+            19_341_616
+        ),
+        entry!(
+            "efficientnetb5",
+            || efficientnet::efficientnet(5),
+            456,
+            579,
+            358_290_427,
+            30_389_784
+        ),
+        entry!(
+            "efficientnetb6",
+            || efficientnet::efficientnet(6),
+            528,
+            669,
+            605_671_091,
+            43_040_704
+        ),
+        entry!(
+            "efficientnetb7",
+            || efficientnet::efficientnet(7),
+            600,
+            816,
+            1_046_113_195,
+            66_347_960
+        ),
+        entry!(
+            "Xception",
+            xception::xception,
+            299,
+            71,
+            62_981_867,
+            22_855_952
+        ),
+        entry!(
+            "MobileNetV2",
+            mobilenet::mobilenet_v2,
+            224,
+            53,
+            21_815_960,
+            3_504_872
+        ),
         entry!(
             "InceptionResNetV2",
             inception::inception_resnet_v2,

@@ -4,9 +4,7 @@
 //! "adjust" path between cells.
 
 use crate::graph::{GraphBuilder, ModelGraph, NodeId};
-use crate::layer::{
-    ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, Pool2d, PoolKind,
-};
+use crate::layer::{ActKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Layer, Pool2d, PoolKind};
 use crate::shape::{Padding, TensorShape};
 
 fn bn(b: &mut GraphBuilder, x: NodeId) -> NodeId {

@@ -110,10 +110,7 @@ fn block_v2(
         )
     } else if stride > 1 {
         // subsample the identity path with a 1x1 max pool
-        b.layer(
-            Layer::Pool2d(Pool2d::max(1, stride, Padding::Valid)),
-            &[x],
-        )
+        b.layer(Layer::Pool2d(Pool2d::max(1, stride, Padding::Valid)), &[x])
     } else {
         x
     };
@@ -173,10 +170,7 @@ fn resnet_v2(name: &str, depth: u32, blocks: [u32; 4]) -> ModelGraph {
         &[x],
     );
     // v2 stem conv keeps its bias and has no stem BN/ReLU.
-    let x = b.layer(
-        Layer::Conv2d(Conv2d::new(64, 7, 2, Padding::Valid)),
-        &[x],
-    );
+    let x = b.layer(Layer::Conv2d(Conv2d::new(64, 7, 2, Padding::Valid)), &[x]);
     let x = padded_maxpool_3x3_s2(&mut b, x);
     let x = stack_v2(&mut b, x, 64, blocks[0], 2);
     let x = stack_v2(&mut b, x, 128, blocks[1], 2);

@@ -9,9 +9,7 @@
 
 use super::common::{bn_relu, classifier_head, conv_bn_relu, padded_maxpool_3x3_s2};
 use crate::graph::{GraphBuilder, ModelGraph, NodeId};
-use crate::layer::{
-    ActKind, Conv2d, Dense, DepthwiseConv2d, Layer, Pool2d, PoolKind,
-};
+use crate::layer::{ActKind, Conv2d, Dense, DepthwiseConv2d, Layer, Pool2d, PoolKind};
 use crate::shape::{Padding, TensorShape};
 
 // ---------------------------------------------------------------------------
@@ -95,10 +93,7 @@ fn vgg_variant(name: &str, depth: u32, convs: [u32; 5]) -> ModelGraph {
     for (i, &n) in convs.iter().enumerate() {
         let out_c = [64u32, 128, 256, 512, 512][i];
         for _ in 0..n {
-            x = b.layer(
-                Layer::Conv2d(Conv2d::new(out_c, 3, 1, Padding::Same)),
-                &[x],
-            );
+            x = b.layer(Layer::Conv2d(Conv2d::new(out_c, 3, 1, Padding::Same)), &[x]);
             x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
         }
         x = b.layer(Layer::Pool2d(Pool2d::max(2, 2, Padding::Valid)), &[x]);
@@ -148,10 +143,7 @@ fn fire(b: &mut GraphBuilder, x: NodeId, squeeze: u32, expand: u32) -> NodeId {
 pub fn squeezenet() -> ModelGraph {
     let mut b = GraphBuilder::new("squeezenet1.1", 18);
     let x = b.input(TensorShape::square(227, 3));
-    let x = b.layer(
-        Layer::Conv2d(Conv2d::new(64, 3, 2, Padding::Valid)),
-        &[x],
-    );
+    let x = b.layer(Layer::Conv2d(Conv2d::new(64, 3, 2, Padding::Valid)), &[x]);
     let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
     let x = b.layer(Layer::Pool2d(Pool2d::max(3, 2, Padding::Valid)), &[x]);
     let x = fire(&mut b, x, 16, 64);
@@ -166,10 +158,7 @@ pub fn squeezenet() -> ModelGraph {
     let x = fire(&mut b, x, 64, 256);
     let x = b.layer(Layer::Dropout { rate: 0.5 }, &[x]);
     // classifier: 1x1 conv to 1000 classes + GAP
-    let x = b.layer(
-        Layer::Conv2d(Conv2d::new(1000, 1, 1, Padding::Same)),
-        &[x],
-    );
+    let x = b.layer(Layer::Conv2d(Conv2d::new(1000, 1, 1, Padding::Same)), &[x]);
     let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
     let x = b.layer(
         Layer::GlobalPool {
@@ -258,10 +247,7 @@ fn inception_v1_module(
     pool_c: u32,
 ) -> NodeId {
     let conv_relu = |b: &mut GraphBuilder, x, out_c, k| {
-        let y = b.layer(
-            Layer::Conv2d(Conv2d::new(out_c, k, 1, Padding::Same)),
-            &[x],
-        );
+        let y = b.layer(Layer::Conv2d(Conv2d::new(out_c, k, 1, Padding::Same)), &[x]);
         b.layer(Layer::Activation(ActKind::Relu), &[y])
     };
     let b1 = conv_relu(b, x, c1, 1);
@@ -277,21 +263,12 @@ fn inception_v1_module(
 pub fn googlenet() -> ModelGraph {
     let mut b = GraphBuilder::new("googlenet", 22);
     let x = b.input(TensorShape::square(224, 3));
-    let x = b.layer(
-        Layer::Conv2d(Conv2d::new(64, 7, 2, Padding::Same)),
-        &[x],
-    );
+    let x = b.layer(Layer::Conv2d(Conv2d::new(64, 7, 2, Padding::Same)), &[x]);
     let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
     let x = padded_maxpool_3x3_s2(&mut b, x);
-    let x = b.layer(
-        Layer::Conv2d(Conv2d::new(64, 1, 1, Padding::Same)),
-        &[x],
-    );
+    let x = b.layer(Layer::Conv2d(Conv2d::new(64, 1, 1, Padding::Same)), &[x]);
     let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
-    let x = b.layer(
-        Layer::Conv2d(Conv2d::new(192, 3, 1, Padding::Same)),
-        &[x],
-    );
+    let x = b.layer(Layer::Conv2d(Conv2d::new(192, 3, 1, Padding::Same)), &[x]);
     let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
     let x = padded_maxpool_3x3_s2(&mut b, x);
     // 3a, 3b
@@ -320,8 +297,11 @@ pub fn googlenet() -> ModelGraph {
     b.finish(x)
 }
 
+/// A named variant: display name plus builder function.
+pub type VariantEntry = (&'static str, fn() -> ModelGraph);
+
 /// All variant models (builder functions plus names).
-pub fn all_variants() -> Vec<(&'static str, fn() -> ModelGraph)> {
+pub fn all_variants() -> Vec<VariantEntry> {
     vec![
         ("resnet18", resnet18 as fn() -> ModelGraph),
         ("resnet34", resnet34),
@@ -401,8 +381,7 @@ mod tests {
     fn all_variants_build_and_lower() {
         for (name, build) in all_variants() {
             let g = build();
-            g.infer_shapes()
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            g.infer_shapes().unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 }

@@ -17,13 +17,7 @@ fn relu(b: &mut GraphBuilder, x: NodeId) -> NodeId {
 /// Entry/exit-flow downsampling block:
 /// `[relu?] sep(c1) BN relu sep(c2) BN maxpool(3,2)` with a strided 1x1
 /// projection residual.
-fn down_block(
-    b: &mut GraphBuilder,
-    x: NodeId,
-    c1: u32,
-    c2: u32,
-    leading_relu: bool,
-) -> NodeId {
+fn down_block(b: &mut GraphBuilder, x: NodeId, c1: u32, c2: u32, leading_relu: bool) -> NodeId {
     let residual = b.layer(
         Layer::Conv2d(Conv2d::new(c2, 1, 2, Padding::Same).no_bias()),
         &[x],
@@ -113,11 +107,7 @@ mod tests {
     fn middle_flow_keeps_19x19x728() {
         let g = xception();
         let shapes = g.infer_shapes().unwrap();
-        assert!(shapes
-            .iter()
-            .filter(|s| (s.h, s.c) == (19, 728))
-            .count()
-            > 20);
+        assert!(shapes.iter().filter(|s| (s.h, s.c) == (19, 728)).count() > 20);
     }
 
     #[test]

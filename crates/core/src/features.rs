@@ -3,7 +3,7 @@
 //! architectural features `c`, trainable parameters `t` (Eq. 1).
 
 use cnn_ir::{GraphError, ModelGraph, ModelSummary};
-use gpu_sim::DeviceSpec;
+use gpu_sim::{DeviceSpec, ProfileFault};
 use ptx::kernel::LaunchPlan;
 use ptx_analysis::{ExecError, PlanCount};
 use serde::{Deserialize, Serialize};
@@ -27,11 +27,33 @@ pub struct CnnProfile {
     pub dca_seconds: f64,
 }
 
-/// Analysis failure for one model.
+/// Unified pipeline failure: everything that can go wrong between a model
+/// graph and a corpus row. The [`transient`](ProfileError::transient) /
+/// [`permanent`](ProfileError::permanent) split is what drives retry
+/// decisions — transient failures are worth another attempt, permanent
+/// ones fail the cell (or, in strict mode, the whole build).
 #[derive(Debug)]
 pub enum ProfileError {
     Graph(GraphError),
     Exec(ExecError),
+    /// Measurement-layer failure from the robust profiling protocol.
+    Fault(ProfileFault),
+}
+
+impl ProfileError {
+    /// Retryable: a repeat attempt may succeed (injected transient
+    /// failures and hung-run kills). Analysis and simulation errors are
+    /// deterministic and therefore permanent.
+    pub fn transient(&self) -> bool {
+        match self {
+            ProfileError::Graph(_) | ProfileError::Exec(_) => false,
+            ProfileError::Fault(f) => f.transient(),
+        }
+    }
+
+    pub fn permanent(&self) -> bool {
+        !self.transient()
+    }
 }
 
 impl fmt::Display for ProfileError {
@@ -39,6 +61,7 @@ impl fmt::Display for ProfileError {
         match self {
             ProfileError::Graph(e) => write!(f, "graph error: {e}"),
             ProfileError::Exec(e) => write!(f, "analysis error: {e}"),
+            ProfileError::Fault(e) => write!(f, "profiling fault: {e}"),
         }
     }
 }
@@ -54,6 +77,12 @@ impl From<GraphError> for ProfileError {
 impl From<ExecError> for ProfileError {
     fn from(e: ExecError) -> Self {
         ProfileError::Exec(e)
+    }
+}
+
+impl From<ProfileFault> for ProfileError {
+    fn from(e: ProfileFault) -> Self {
+        ProfileError::Fault(e)
     }
 }
 

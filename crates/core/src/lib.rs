@@ -34,14 +34,20 @@ pub mod report;
 pub use dse::{naive_profile_time, rank_devices, rank_devices_profiled, DseOutcome};
 pub use features::{feature_names, feature_row, profile_model, CnnProfile, ProfileError};
 pub use model::{compare_regressors, PerformancePredictor, RegressorComparison};
-pub use pipeline::{build_corpus, build_paper_corpus, Corpus, SampleMeta};
+pub use pipeline::{
+    build_corpus, build_corpus_robust, build_paper_corpus, build_paper_corpus_robust, CellReport,
+    CellStatus, Corpus, CorpusReport, RobustConfig, SampleMeta,
+};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::dse::{naive_profile_time, rank_devices, rank_devices_profiled};
     pub use crate::features::{feature_names, feature_row, profile_model, CnnProfile};
     pub use crate::model::{compare_regressors, PerformancePredictor};
-    pub use crate::pipeline::{build_corpus, build_paper_corpus, Corpus};
+    pub use crate::pipeline::{
+        build_corpus, build_corpus_robust, build_paper_corpus, build_paper_corpus_robust,
+        CellStatus, Corpus, CorpusReport, RobustConfig,
+    };
     pub use crate::report::{fixed, pct, thousands, Align, Table};
     pub use mlkit::{RegressorKind, Scores};
 }

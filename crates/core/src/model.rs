@@ -55,12 +55,7 @@ impl PerformancePredictor {
     /// descending — the paper's Table III.
     pub fn feature_importances(&self) -> Option<Vec<(String, f64)>> {
         let imps = self.model.feature_importances()?;
-        let mut out: Vec<(String, f64)> = self
-            .feature_names
-            .iter()
-            .cloned()
-            .zip(imps)
-            .collect();
+        let mut out: Vec<(String, f64)> = self.feature_names.iter().cloned().zip(imps).collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1));
         Some(out)
     }

@@ -2,10 +2,26 @@
 //! is statically analyzed, lowered to PTX, instruction-counted by the
 //! dynamic code analysis, and "run" on every training GPU under the
 //! `nvprof`-like profiler to obtain the measured IPC response.
+//!
+//! Two entry points share the implementation:
+//!
+//! - [`build_corpus`] — the paper's protocol: one measurement per cell,
+//!   fail-fast on any error. Kept for reproducibility of the published
+//!   numbers (and of the on-disk corpus cache).
+//! - [`build_corpus_robust`] — the fault-tolerant protocol: repeated
+//!   measurements with retry and median/MAD outlier rejection per
+//!   [`RobustConfig`], degrading gracefully instead of failing wholesale.
+//!   Every (model, device) cell gets a [`CellReport`]; cells that lose
+//!   information are `Degraded`, cells that produce no measurement are
+//!   `Failed` and simply missing from the dataset. `strict` mode restores
+//!   fail-fast semantics under the same measurement protocol.
 
 use crate::features::{feature_names, feature_row, profile_model, CnnProfile, ProfileError};
 use cnn_ir::ModelGraph;
-use gpu_sim::{profile_run, DeviceSpec};
+use gpu_sim::{
+    profile_robust, DeviceSpec, FaultInjector, FaultProfile, ProfileFault, RetryPolicy,
+    RobustProfile,
+};
 use mlkit::Dataset;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -42,52 +58,264 @@ impl Corpus {
     }
 }
 
-/// Build the corpus for `models` x `devices`. Parallel over models (each
-/// model's lowering + counting is reused across its device rows).
-pub fn build_corpus(
+/// Measurement protocol configuration for [`build_corpus_robust`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustConfig {
+    /// Repeated measurements per (model, device) cell.
+    pub runs: u32,
+    pub retry: RetryPolicy,
+    pub faults: FaultProfile,
+    /// Fail the whole build on the first error instead of degrading.
+    pub strict: bool,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            runs: 5,
+            retry: RetryPolicy::default(),
+            faults: FaultProfile::none(),
+            strict: false,
+        }
+    }
+}
+
+impl RobustConfig {
+    /// The paper's original protocol: a single measurement per cell, no
+    /// faults, fail-fast. [`build_corpus`] uses this; it reproduces the
+    /// pre-robustness corpus bit-for-bit.
+    pub fn strict_single_run() -> Self {
+        RobustConfig {
+            runs: 1,
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::no_backoff()
+            },
+            faults: FaultProfile::none(),
+            strict: true,
+        }
+    }
+}
+
+/// Health of one (model, device) cell after the robust protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellStatus {
+    /// Every run measured cleanly, nothing rejected.
+    Ok,
+    /// The cell produced a usable estimate but lost information on the
+    /// way: retried transients, killed hangs, rejected outliers, or runs
+    /// that died entirely.
+    Degraded {
+        transient_retries: u32,
+        hangs: u32,
+        rejected_outliers: u32,
+        failed_runs: u32,
+    },
+    /// No usable measurement; the cell is absent from the dataset.
+    Failed { error: String },
+}
+
+/// Per-cell entry of a [`CorpusReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    pub model: String,
+    pub device: String,
+    pub status: CellStatus,
+    /// Measurements that survived retry and outlier rejection.
+    pub runs_retained: u32,
+}
+
+/// Build health report: one entry per (model, device) cell, in model-major
+/// order. Fully deterministic for a given input set and fault seed — the
+/// replay tests compare serialized reports byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusReport {
+    pub strict: bool,
+    pub runs: u32,
+    pub faults: FaultProfile,
+    pub cells: Vec<CellReport>,
+}
+
+impl CorpusReport {
+    pub fn ok_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Ok)
+            .count()
+    }
+
+    pub fn degraded_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.status, CellStatus::Degraded { .. }))
+            .count()
+    }
+
+    pub fn failed_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.status, CellStatus::Failed { .. }))
+            .count()
+    }
+
+    /// One-line human summary, e.g. `62/64 cells ok, 1 degraded, 1 failed`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{} cells ok, {} degraded, {} failed",
+            self.ok_count(),
+            self.cells.len(),
+            self.degraded_count(),
+            self.failed_count()
+        )
+    }
+}
+
+fn cell_of(model: &str, device: &str, rp: &RobustProfile) -> CellReport {
+    let status = if rp.degraded() {
+        CellStatus::Degraded {
+            transient_retries: rp.transient_retries,
+            hangs: rp.hangs,
+            rejected_outliers: rp.rejected_outliers,
+            failed_runs: rp.failed_runs,
+        }
+    } else {
+        CellStatus::Ok
+    };
+    CellReport {
+        model: model.to_string(),
+        device: device.to_string(),
+        status,
+        runs_retained: rp.records.len() as u32,
+    }
+}
+
+/// Build the corpus for `models` x `devices` under the robust measurement
+/// protocol. Parallel over models (each model's lowering + counting is
+/// reused across its device rows). Returns the corpus together with the
+/// per-cell health report.
+///
+/// In non-strict mode a failed model analysis fails all of that model's
+/// cells, a failed cell loses only its own row, and the build itself
+/// succeeds as long as the report can be assembled. In strict mode the
+/// first failure aborts the build with its error.
+pub fn build_corpus_robust(
     models: &[ModelGraph],
     devices: &[DeviceSpec],
-) -> Result<Corpus, ProfileError> {
-    let per_model: Result<Vec<_>, ProfileError> = models
+    cfg: &RobustConfig,
+) -> Result<(Corpus, CorpusReport), ProfileError> {
+    type ModelRows = (
+        CnnProfile,
+        Vec<(Vec<f64>, Result<RobustProfile, ProfileFault>)>,
+    );
+    let injector = FaultInjector::new(cfg.faults.clone());
+    let per_model: Vec<Result<ModelRows, ProfileError>> = models
         .par_iter()
         .map(|m| {
             let (profile, plan, _counts, _summary) = profile_model(m)?;
             let mut rows = Vec::with_capacity(devices.len());
             for dev in devices {
-                let rec = profile_run(&plan, dev, 0).map_err(ProfileError::Exec)?;
-                rows.push((feature_row(&profile, dev), rec));
+                let rp = profile_robust(&plan, dev, cfg.runs, &cfg.retry, &injector);
+                rows.push((feature_row(&profile, dev), rp));
             }
             Ok((profile, rows))
         })
         .collect();
-    let per_model = per_model?;
 
     let mut dataset = Dataset::new(feature_names());
     let mut samples = Vec::new();
     let mut profiles = Vec::new();
-    for (profile, rows) in per_model {
-        for (features, rec) in rows {
-            dataset.push(
-                Corpus::label(&rec.model_name, &rec.device_name),
-                features,
-                rec.ipc,
-            );
-            samples.push(SampleMeta {
-                model: rec.model_name.clone(),
-                device: rec.device_name.clone(),
-                ipc: rec.ipc,
-                ipc_clean: rec.ipc_clean,
-                latency_ms: rec.latency_ms,
-                profiling_wall_s: rec.profiling_wall_s,
-            });
+    let mut cells = Vec::with_capacity(models.len() * devices.len());
+
+    for (model, result) in models.iter().zip(per_model) {
+        match result {
+            Err(e) => {
+                if cfg.strict {
+                    return Err(e);
+                }
+                let error = e.to_string();
+                for dev in devices {
+                    cells.push(CellReport {
+                        model: model.name().to_string(),
+                        device: dev.name.clone(),
+                        status: CellStatus::Failed {
+                            error: error.clone(),
+                        },
+                        runs_retained: 0,
+                    });
+                }
+            }
+            Ok((profile, rows)) => {
+                for (dev, (features, rp)) in devices.iter().zip(rows) {
+                    match rp {
+                        Err(fault) => {
+                            if cfg.strict {
+                                return Err(ProfileError::Fault(fault));
+                            }
+                            cells.push(CellReport {
+                                model: profile.name.clone(),
+                                device: dev.name.clone(),
+                                status: CellStatus::Failed {
+                                    error: fault.to_string(),
+                                },
+                                runs_retained: 0,
+                            });
+                        }
+                        Ok(rp) => {
+                            if cfg.strict && rp.degraded() {
+                                return Err(ProfileError::Fault(ProfileFault::Degraded {
+                                    model: rp.model_name.clone(),
+                                    device: rp.device_name.clone(),
+                                    detail: format!(
+                                        "{} retries, {} hangs, {} outliers rejected, {} dead runs",
+                                        rp.transient_retries,
+                                        rp.hangs,
+                                        rp.rejected_outliers,
+                                        rp.failed_runs
+                                    ),
+                                }));
+                            }
+                            cells.push(cell_of(&profile.name, &dev.name, &rp));
+                            dataset.push(
+                                Corpus::label(&rp.model_name, &rp.device_name),
+                                features,
+                                rp.ipc,
+                            );
+                            samples.push(SampleMeta {
+                                model: rp.model_name.clone(),
+                                device: rp.device_name.clone(),
+                                ipc: rp.ipc,
+                                ipc_clean: rp.ipc_clean,
+                                latency_ms: rp.latency_ms,
+                                profiling_wall_s: rp.profiling_wall_s,
+                            });
+                        }
+                    }
+                }
+                profiles.push(profile);
+            }
         }
-        profiles.push(profile);
     }
-    Ok(Corpus {
-        dataset,
-        samples,
-        profiles,
-    })
+
+    Ok((
+        Corpus {
+            dataset,
+            samples,
+            profiles,
+        },
+        CorpusReport {
+            strict: cfg.strict,
+            runs: cfg.runs,
+            faults: cfg.faults.clone(),
+            cells,
+        },
+    ))
+}
+
+/// Build the corpus for `models` x `devices` with the paper's original
+/// single-run fail-fast protocol.
+pub fn build_corpus(models: &[ModelGraph], devices: &[DeviceSpec]) -> Result<Corpus, ProfileError> {
+    build_corpus_robust(models, devices, &RobustConfig::strict_single_run())
+        .map(|(corpus, _report)| corpus)
 }
 
 /// Build the paper's corpus: the 32-model zoo on the two training GPUs
@@ -98,17 +326,28 @@ pub fn build_paper_corpus() -> Result<Corpus, ProfileError> {
     build_corpus(&models, &devices)
 }
 
+/// [`build_paper_corpus`] under the robust protocol.
+pub fn build_paper_corpus_robust(
+    cfg: &RobustConfig,
+) -> Result<(Corpus, CorpusReport), ProfileError> {
+    let models = cnn_ir::zoo::build_all();
+    let devices = gpu_sim::training_devices();
+    build_corpus_robust(&models, &devices, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn small_corpus() -> Corpus {
-        let models: Vec<ModelGraph> = ["alexnet", "mobilenet", "vgg16"]
+    fn small_models() -> Vec<ModelGraph> {
+        ["alexnet", "mobilenet", "vgg16"]
             .iter()
             .map(|n| cnn_ir::zoo::build(n).unwrap())
-            .collect();
-        let devices = gpu_sim::training_devices();
-        build_corpus(&models, &devices).unwrap()
+            .collect()
+    }
+
+    fn small_corpus() -> Corpus {
+        build_corpus(&small_models(), &gpu_sim::training_devices()).unwrap()
     }
 
     #[test]
@@ -149,5 +388,36 @@ mod tests {
         let a = small_corpus();
         let b = small_corpus();
         assert_eq!(a.dataset.y, b.dataset.y);
+    }
+
+    #[test]
+    fn robust_faultfree_matches_strict_single_run() {
+        let models = small_models();
+        let devices = gpu_sim::training_devices();
+        let strict = build_corpus(&models, &devices).unwrap();
+        let cfg = RobustConfig {
+            runs: 1,
+            ..RobustConfig::default()
+        };
+        let (robust, report) = build_corpus_robust(&models, &devices, &cfg).unwrap();
+        assert_eq!(strict.dataset.y, robust.dataset.y);
+        assert_eq!(report.ok_count(), 6);
+        assert_eq!(report.summary(), "6/6 cells ok, 0 degraded, 0 failed");
+    }
+
+    #[test]
+    fn report_cells_are_model_major_ordered() {
+        let cfg = RobustConfig::default();
+        let (_, report) =
+            build_corpus_robust(&small_models(), &gpu_sim::training_devices(), &cfg).unwrap();
+        let order: Vec<(String, String)> = report
+            .cells
+            .iter()
+            .map(|c| (c.model.clone(), c.device.clone()))
+            .collect();
+        assert_eq!(order[0].0, "alexnet");
+        assert_eq!(order[1].0, "alexnet");
+        assert_eq!(order[2].0, "mobilenet");
+        assert_ne!(order[0].1, order[1].1);
     }
 }

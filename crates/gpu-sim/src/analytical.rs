@@ -39,8 +39,7 @@ pub fn estimate_launch(
     let issue_cycles = counts.warp_issues as f64 * timing.issue_cpi / active_sms;
 
     let l2_hit = l2_hit_rate(launch.bytes_read, dev.l2_cache_kb);
-    let dram_bytes =
-        launch.bytes_read as f64 * (1.0 - l2_hit) + launch.bytes_written as f64;
+    let dram_bytes = launch.bytes_read as f64 * (1.0 - l2_hit) + launch.bytes_written as f64;
     let mem_cycles = dram_bytes / dev.bytes_per_cycle();
 
     // latency bound: average dependent-use latency divided by the warps
@@ -52,12 +51,10 @@ pub fn estimate_launch(
     if thread_total > 0 {
         avg_lat /= thread_total as f64;
     }
-    let latency_cycles = counts.warp_issues as f64 * avg_lat
-        / active_sms
-        / occ.warps_per_sm.max(1) as f64;
+    let latency_cycles =
+        counts.warp_issues as f64 * avg_lat / active_sms / occ.warps_per_sm.max(1) as f64;
 
-    let overhead =
-        crate::detailed::LAUNCH_OVERHEAD_US * 1e-6 * dev.boost_clock_mhz as f64 * 1e6;
+    let overhead = crate::detailed::LAUNCH_OVERHEAD_US * 1e-6 * dev.boost_clock_mhz as f64 * 1e6;
     Ok(compute_cycles
         .max(issue_cycles)
         .max(mem_cycles)

@@ -85,13 +85,9 @@ pub fn simulate_launch(
 
     let l2_hit = l2_hit_rate(launch.bytes_read, dev.l2_cache_kb);
     // DRAM bytes generated per global-load warp instruction on this SM
-    let trace_loads = trace
-        .iter()
-        .filter(|c| **c == Category::LoadGlobal)
-        .count() as f64
-        * trace_scale;
-    let total_load_issues =
-        trace_loads * warps_per_block as f64 * blocks as f64;
+    let trace_loads =
+        trace.iter().filter(|c| **c == Category::LoadGlobal).count() as f64 * trace_scale;
+    let total_load_issues = trace_loads * warps_per_block as f64 * blocks as f64;
     let bytes_per_load = if total_load_issues > 0.0 {
         launch.bytes_read as f64 / total_load_issues
     } else {
@@ -125,8 +121,7 @@ pub fn simulate_launch(
 
     let cycles = wave_cycles * trace_scale * waves as f64
         + LAUNCH_OVERHEAD_US * 1e-6 * dev.boost_clock_mhz as f64 * 1e6;
-    let dram_bytes =
-        launch.bytes_read as f64 * (1.0 - l2_hit) + launch.bytes_written as f64;
+    let dram_bytes = launch.bytes_read as f64 * (1.0 - l2_hit) + launch.bytes_written as f64;
 
     Ok(LaunchSim {
         cycles,
@@ -192,8 +187,9 @@ fn simulate_wave(
                 bar_wait[block].clear();
                 // release all warps of this block at t
                 let lo = block * warps_per_block as usize;
-                for wb in lo..lo + warps_per_block as usize {
-                    if cursor[wb] > 0 && cursor[wb] <= trace.len() {
+                let hi = lo + warps_per_block as usize;
+                for (wb, &cur) in cursor.iter().enumerate().take(hi).skip(lo) {
+                    if cur > 0 && cur <= trace.len() {
                         heap.push(Reverse((t, wb)));
                     }
                 }
@@ -260,11 +256,7 @@ mod tests {
         KernelLaunch {
             kernel: 0,
             tag: "t".into(),
-            grid: (
-                threads.div_ceil(kernel.block_threads() as u64) as u32,
-                1,
-                1,
-            ),
+            grid: (threads.div_ceil(kernel.block_threads() as u64) as u32, 1, 1),
             args,
             bytes_read: br,
             bytes_written: bw,
@@ -276,10 +268,8 @@ mod tests {
         // body heavy enough that waves dominate the fixed launch overhead
         let dev = gtx_1080_ti();
         let k = guard_kernel(64);
-        let small = simulate_launch(&k, &launch(&k, 1 << 18, vec![1 << 18], 0, 0), &dev)
-            .unwrap();
-        let large = simulate_launch(&k, &launch(&k, 1 << 24, vec![1 << 24], 0, 0), &dev)
-            .unwrap();
+        let small = simulate_launch(&k, &launch(&k, 1 << 18, vec![1 << 18], 0, 0), &dev).unwrap();
+        let large = simulate_launch(&k, &launch(&k, 1 << 24, vec![1 << 24], 0, 0), &dev).unwrap();
         assert!(
             large.cycles > small.cycles * 10.0,
             "small {} vs large {}",

@@ -24,6 +24,7 @@
 
 pub mod analytical;
 pub mod detailed;
+pub mod faults;
 pub mod machine;
 pub mod occupancy;
 pub mod power;
@@ -31,8 +32,12 @@ pub mod profiler;
 pub mod specs;
 pub mod timing;
 
+pub use faults::{FaultInjector, FaultOutcome, FaultProfile};
 pub use machine::{SimMode, SimReport, Simulator};
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use power::{estimate as estimate_power, PowerReport};
-pub use profiler::{profile, profile_run, profile_stats, ProfileRecord, ProfileStats};
+pub use profiler::{
+    mad, median, profile, profile_robust, profile_run, profile_stats, robust_filter, ProfileFault,
+    ProfileRecord, ProfileStats, RetryPolicy, RobustFilter, RobustProfile, MAD_K, MAD_SIGMA,
+};
 pub use specs::{all_devices, device_by_name, training_devices, DeviceSpec};

@@ -76,17 +76,13 @@ impl Simulator {
                 .map(|l| {
                     let k = &plan.module.kernels[l.kernel];
                     let counts = ptx_analysis::count_launch(k, l, true)?;
-                    let cycles =
-                        crate::analytical::estimate_launch(k, l, &counts, &self.dev)?;
+                    let cycles = crate::analytical::estimate_launch(k, l, &counts, &self.dev)?;
                     Ok(LaunchSim {
                         cycles,
                         warp_instructions: counts.warp_issues,
                         thread_instructions: counts.thread_instructions,
                         dram_bytes: (l.bytes_read + l.bytes_written) as f64,
-                        l2_hit: crate::timing::l2_hit_rate(
-                            l.bytes_read,
-                            self.dev.l2_cache_kb,
-                        ),
+                        l2_hit: crate::timing::l2_hit_rate(l.bytes_read, self.dev.l2_cache_kb),
                         active_sms: self.dev.sm_count,
                     })
                 })
@@ -95,14 +91,10 @@ impl Simulator {
 
         let cycles: f64 = sims.iter().map(|s| s.cycles).sum();
         let warp_instructions: u64 = sims.iter().map(|s| s.warp_instructions).sum();
-        let thread_instructions: u64 =
-            sims.iter().map(|s| s.thread_instructions).sum();
+        let thread_instructions: u64 = sims.iter().map(|s| s.thread_instructions).sum();
         let dram_bytes: f64 = sims.iter().map(|s| s.dram_bytes).sum();
         let l2_hit = if dram_bytes > 0.0 {
-            sims.iter()
-                .map(|s| s.l2_hit * s.dram_bytes)
-                .sum::<f64>()
-                / dram_bytes
+            sims.iter().map(|s| s.l2_hit * s.dram_bytes).sum::<f64>() / dram_bytes
         } else {
             0.0
         };
@@ -166,8 +158,7 @@ impl Simulator {
                     bytes_read: *br,
                     bytes_written: *bw,
                 };
-                let sim =
-                    simulate_launch(&plan.module.kernels[*kidx], &launch, &self.dev)?;
+                let sim = simulate_launch(&plan.module.kernels[*kidx], &launch, &self.dev)?;
                 cache.lock().insert(id, sim);
                 Ok(())
             },
@@ -236,6 +227,9 @@ mod tests {
         let sim = Simulator::new(gtx_1080_ti(), SimMode::Detailed);
         let a = sim.simulate_plan(&plan_for("alexnet")).unwrap().ipc;
         let b = sim.simulate_plan(&plan_for("mobilenet")).unwrap().ipc;
-        assert!((a - b).abs() > 1e-3, "IPC suspiciously identical: {a} vs {b}");
+        assert!(
+            (a - b).abs() > 1e-3,
+            "IPC suspiciously identical: {a} vs {b}"
+        );
     }
 }

@@ -51,9 +51,8 @@ pub fn board_power(dev: &DeviceSpec) -> (f64, f64) {
 fn energy_table(dev: &DeviceSpec) -> [f64; NCAT] {
     let (tdp, idle) = board_power(dev);
     // peak issue rate of FMA warp instructions per second (whole chip)
-    let peak_fma_rate = dev.sm_count as f64 * (dev.cores_per_sm as f64 / 32.0)
-        * dev.boost_clock_mhz as f64
-        * 1e6;
+    let peak_fma_rate =
+        dev.sm_count as f64 * (dev.cores_per_sm as f64 / 32.0) * dev.boost_clock_mhz as f64 * 1e6;
     let e_fma_nj = (tdp - idle) / peak_fma_rate * 1e9;
     let mut table = [e_fma_nj; NCAT];
     let idx = |c: Category| Category::ALL.iter().position(|x| *x == c).expect("cat");
@@ -106,7 +105,11 @@ pub fn estimate(sim: &SimReport, counts: &PlanCount, dev: &DeviceSpec) -> PowerR
     let idle_j = idle * seconds;
     let total_j = instr_j + dram_j + idle_j;
 
-    let avg_power_w = if seconds > 0.0 { total_j / seconds } else { 0.0 };
+    let avg_power_w = if seconds > 0.0 {
+        total_j / seconds
+    } else {
+        0.0
+    };
     PowerReport {
         model_name: sim.model_name.clone(),
         device_name: dev.name.clone(),

@@ -50,7 +50,10 @@ impl DeviceSpec {
 
     /// `sm_NN` target string for the PTX module header.
     pub fn sm_target(&self) -> String {
-        format!("sm_{}{}", self.compute_capability.0, self.compute_capability.1)
+        format!(
+            "sm_{}{}",
+            self.compute_capability.0, self.compute_capability.1
+        )
     }
 
     /// DRAM bytes deliverable per core cycle (whole chip).
@@ -102,6 +105,7 @@ impl DeviceSpec {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spec(
     name: &str,
     sm_count: u32,
@@ -123,7 +127,7 @@ fn spec(
         l2_cache_kb: l2_kb,
         mem_bus_bits: bus,
         registers_per_sm: 65_536,
-        shared_mem_per_sm_kb: if cc.0 >= 7 { 96 } else { 96 },
+        shared_mem_per_sm_kb: 96,
         max_warps_per_sm: 64,
         max_blocks_per_sm: 32,
         sfu_per_sm: if cores_per_sm >= 128 { 32 } else { 16 },
@@ -215,8 +219,7 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let mut names: Vec<String> =
-            all_devices().into_iter().map(|d| d.name).collect();
+        let mut names: Vec<String> = all_devices().into_iter().map(|d| d.name).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 8);

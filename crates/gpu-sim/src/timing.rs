@@ -25,7 +25,10 @@ pub struct Timing {
 }
 
 fn idx(c: Category) -> usize {
-    Category::ALL.iter().position(|x| *x == c).expect("category")
+    Category::ALL
+        .iter()
+        .position(|x| *x == c)
+        .expect("category")
 }
 
 /// Build the timing tables for `dev`.
@@ -111,7 +114,7 @@ mod tests {
         assert!((l2_hit_rate(1 << 20, 2816) - 0.90).abs() < 1e-9);
         // far exceeds cache
         let h = l2_hit_rate(1 << 30, 2816);
-        assert!(h < 0.5 && h >= 0.15, "{h}");
+        assert!((0.15..0.5).contains(&h), "{h}");
         // monotone in cache size (inside the unclamped region)
         assert!(l2_hit_rate(1 << 24, 6144) > l2_hit_rate(1 << 24, 1024));
     }

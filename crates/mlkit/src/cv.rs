@@ -64,12 +64,7 @@ pub fn repeated_split_eval(
 }
 
 /// K-fold cross-validation: returns the per-fold scores.
-pub fn kfold_eval(
-    data: &Dataset,
-    kind: RegressorKind,
-    k: usize,
-    seed: u64,
-) -> Vec<Scores> {
+pub fn kfold_eval(data: &Dataset, kind: RegressorKind, k: usize, seed: u64) -> Vec<Scores> {
     assert!(k >= 2, "need at least two folds");
     let mut idx: Vec<usize> = (0..data.len()).collect();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -108,12 +103,8 @@ mod tests {
     #[test]
     fn repeated_eval_aggregates() {
         let d = data();
-        let (per, agg) = repeated_split_eval(
-            &d,
-            RegressorKind::LinearRegression,
-            0.7,
-            &[1, 2, 3, 4, 5],
-        );
+        let (per, agg) =
+            repeated_split_eval(&d, RegressorKind::LinearRegression, 0.7, &[1, 2, 3, 4, 5]);
         assert_eq!(per.len(), 5);
         assert_eq!(agg.runs, 5);
         assert!(agg.mape.mean < 1.0, "linear fit should be near perfect");

@@ -190,8 +190,7 @@ mod tests {
         let t = s.transform(&d);
         for f in 0..2 {
             let mean: f64 = t.x.iter().map(|r| r[f]).sum::<f64>() / t.len() as f64;
-            let var: f64 =
-                t.x.iter().map(|r| r[f] * r[f]).sum::<f64>() / t.len() as f64;
+            let var: f64 = t.x.iter().map(|r| r[f] * r[f]).sum::<f64>() / t.len() as f64;
             assert!(mean.abs() < 1e-9, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-9, "var {var}");
         }
@@ -246,12 +245,13 @@ impl Dataset {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty csv")?;
         let cols: Vec<&str> = header.split(',').collect();
-        if cols.len() < 3 || cols[0] != "label" || *cols.last().expect("cols") != "target"
-        {
+        if cols.len() < 3 || cols[0] != "label" || *cols.last().expect("cols") != "target" {
             return Err("expected header 'label,<features...>,target'".into());
         }
-        let feature_names: Vec<String> =
-            cols[1..cols.len() - 1].iter().map(|s| s.to_string()).collect();
+        let feature_names: Vec<String> = cols[1..cols.len() - 1]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut d = Dataset::new(feature_names);
         for (ln, line) in lines.enumerate() {
             if line.trim().is_empty() {
@@ -259,7 +259,12 @@ impl Dataset {
             }
             let parts: Vec<&str> = line.split(',').collect();
             if parts.len() != cols.len() {
-                return Err(format!("row {} has {} columns, expected {}", ln + 2, parts.len(), cols.len()));
+                return Err(format!(
+                    "row {} has {} columns, expected {}",
+                    ln + 2,
+                    parts.len(),
+                    cols.len()
+                ));
             }
             let features: Result<Vec<f64>, _> = parts[1..parts.len() - 1]
                 .iter()

@@ -50,11 +50,11 @@ impl RandomForestRegressor {
         let trees: Vec<DecisionTreeRegressor> = (0..params.n_trees)
             .into_par_iter()
             .map(|t| {
-                let mut rng =
-                    StdRng::seed_from_u64(params.seed.wrapping_add(t as u64 * 7919));
+                let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(t as u64 * 7919));
                 // bootstrap sample
-                let idx: Vec<usize> =
-                    (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect();
+                let idx: Vec<usize> = (0..data.len())
+                    .map(|_| rng.gen_range(0..data.len()))
+                    .collect();
                 let sample = data.select(&idx);
                 DecisionTreeRegressor::fit(
                     &sample,
@@ -152,7 +152,10 @@ mod tests {
         let f = RandomForestRegressor::fit(&d, ForestParams::default());
         let imp = f.feature_importances();
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!(imp[0] > imp[1], "informative feature should dominate: {imp:?}");
+        assert!(
+            imp[0] > imp[1],
+            "informative feature should dominate: {imp:?}"
+        );
     }
 
     #[test]

@@ -104,9 +104,7 @@ impl<'a> Builder<'a> {
             let mut best: Option<(usize, f64, f64)> = None; // feature, thr, gain
             for f in 0..self.data.num_features() {
                 let mut order: Vec<usize> = idx.to_vec();
-                order.sort_by(|&a, &b| {
-                    self.data.x[a][f].total_cmp(&self.data.x[b][f])
-                });
+                order.sort_by(|&a, &b| self.data.x[a][f].total_cmp(&self.data.x[b][f]));
                 let mut gl = 0.0;
                 let mut hl = 0.0;
                 for k in 0..order.len() - 1 {
@@ -114,9 +112,7 @@ impl<'a> Builder<'a> {
                     gl += self.grad[i];
                     hl += self.hess[i];
                     let hr = h - hl;
-                    if hl < self.params.min_child_weight
-                        || hr < self.params.min_child_weight
-                    {
+                    if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
                         continue;
                     }
                     let xv = self.data.x[i][f];
@@ -125,9 +121,7 @@ impl<'a> Builder<'a> {
                         continue;
                     }
                     let gr = g - gl;
-                    let gain = 0.5
-                        * (self.score(gl, hl) + self.score(gr, hr)
-                            - self.score(g, h))
+                    let gain = 0.5 * (self.score(gl, hl) + self.score(gr, hr) - self.score(g, h))
                         - self.params.gamma;
                     if gain > best.map(|(_, _, bg)| bg).unwrap_or(1e-12) {
                         best = Some((f, 0.5 * (xv + xn), gain));
@@ -171,8 +165,7 @@ impl GradientBoosting {
         let hess = vec![1.0; n];
         for _ in 0..params.n_rounds {
             // squared loss: g = pred - y, h = 1
-            let grad: Vec<f64> =
-                pred.iter().zip(&data.y).map(|(p, y)| p - y).collect();
+            let grad: Vec<f64> = pred.iter().zip(&data.y).map(|(p, y)| p - y).collect();
             let mut b = Builder {
                 data,
                 grad: &grad,
@@ -197,12 +190,7 @@ impl GradientBoosting {
 
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         self.base_score
-            + self.params.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict_row(row))
-                    .sum::<f64>()
+            + self.params.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     pub fn predict(&self, data: &Dataset) -> Vec<f64> {
@@ -282,8 +270,7 @@ mod tests {
         // with huge lambda the single tree barely moves off the base score
         let spread = |m: &GradientBoosting| {
             let p = m.predict(&d);
-            p.iter().cloned().fold(f64::MIN, f64::max)
-                - p.iter().cloned().fold(f64::MAX, f64::min)
+            p.iter().cloned().fold(f64::MIN, f64::max) - p.iter().cloned().fold(f64::MAX, f64::min)
         };
         assert!(spread(&tight) < spread(&loose) * 0.5);
     }

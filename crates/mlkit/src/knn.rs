@@ -61,9 +61,7 @@ impl KnnRegressor {
         dist.sort_by(|a, b| a.0.total_cmp(&b.0));
         let neigh = &dist[..k];
         match self.params.weights {
-            KnnWeights::Uniform => {
-                neigh.iter().map(|(_, y)| y).sum::<f64>() / k as f64
-            }
+            KnnWeights::Uniform => neigh.iter().map(|(_, y)| y).sum::<f64>() / k as f64,
             KnnWeights::Distance => {
                 // exact hit short-circuits (infinite weight)
                 if let Some((_, y)) = neigh.iter().find(|(d, _)| *d < 1e-12) {

@@ -30,5 +30,7 @@ pub use gbt::{GbtParams, GradientBoosting};
 pub use knn::{KnnParams, KnnRegressor, KnnWeights};
 pub use linreg::LinearRegression;
 pub use model::{evaluate, Model, RegressorKind, Scores};
-pub use select::{correlation_ranking, forward_select, permutation_importance, project, SelectionStep};
+pub use select::{
+    correlation_ranking, forward_select, permutation_importance, project, SelectionStep,
+};
 pub use tree::{DecisionTreeRegressor, TreeParams};

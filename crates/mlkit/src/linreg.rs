@@ -27,15 +27,17 @@ pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         a.swap(col, piv);
         b.swap(col, piv);
         // eliminate
-        for r in col + 1..n {
-            let f = a[r][col] / a[col][col];
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot = &pivot_rows[col];
+        for (off, row) in rest.iter_mut().enumerate() {
+            let f = row[col] / pivot[col];
             if f == 0.0 {
                 continue;
             }
-            for c in col..n {
-                a[r][c] -= f * a[col][c];
+            for (x, &p) in row[col..].iter_mut().zip(&pivot[col..]) {
+                *x -= f * p;
             }
-            b[r] -= f * b[col];
+            b[col + 1 + off] -= f * b[col];
         }
     }
     // back substitution
@@ -54,8 +56,7 @@ impl LinearRegression {
     /// Fit by OLS (ridge fallback `1e-8` on the diagonal).
     pub fn fit(data: &Dataset) -> Self {
         let scaler = Standardizer::fit(data);
-        let xs: Vec<Vec<f64>> =
-            data.x.iter().map(|r| scaler.transform_row(r)).collect();
+        let xs: Vec<Vec<f64>> = data.x.iter().map(|r| scaler.transform_row(r)).collect();
         let n = data.len();
         let p = data.num_features();
         // design matrix with intercept column appended

@@ -44,9 +44,7 @@ impl RegressorKind {
     /// tabular datasets). `seed` feeds the stochastic models.
     pub fn fit(&self, data: &Dataset, seed: u64) -> Model {
         match self {
-            RegressorKind::LinearRegression => {
-                Model::Linear(LinearRegression::fit(data))
-            }
+            RegressorKind::LinearRegression => Model::Linear(LinearRegression::fit(data)),
             RegressorKind::KNearestNeighbors => {
                 Model::Knn(KnnRegressor::fit(data, KnnParams::default()))
             }
@@ -68,9 +66,7 @@ impl RegressorKind {
                     ..Default::default()
                 },
             )),
-            RegressorKind::XgBoost => {
-                Model::Gbt(GradientBoosting::fit(data, GbtParams::default()))
-            }
+            RegressorKind::XgBoost => Model::Gbt(GradientBoosting::fit(data, GbtParams::default())),
         }
     }
 }
@@ -151,7 +147,11 @@ mod tests {
             let a = i as f64;
             let b = ((i * 13) % 17) as f64;
             // piecewise non-linear target
-            let y = if a < 60.0 { a * 0.1 + b } else { 30.0 - b * 0.5 };
+            let y = if a < 60.0 {
+                a * 0.1 + b
+            } else {
+                30.0 - b * 0.5
+            };
             d.push(format!("r{i}"), vec![a, b], y);
         }
         d

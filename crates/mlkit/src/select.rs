@@ -13,7 +13,12 @@ use serde::{Deserialize, Serialize};
 pub fn correlation_ranking(data: &Dataset) -> Vec<(String, f64)> {
     let n = data.len() as f64;
     let my: f64 = data.y.iter().sum::<f64>() / n;
-    let sy: f64 = data.y.iter().map(|y| (y - my) * (y - my)).sum::<f64>().sqrt();
+    let sy: f64 = data
+        .y
+        .iter()
+        .map(|y| (y - my) * (y - my))
+        .sum::<f64>()
+        .sqrt();
     let mut out = Vec::with_capacity(data.num_features());
     for f in 0..data.num_features() {
         let col: Vec<f64> = data.x.iter().map(|r| r[f]).collect();
@@ -207,7 +212,11 @@ mod permutation_tests {
         for i in 0..150 {
             let a = i as f64;
             let b = ((i * 17) % 23) as f64;
-            d.push(format!("r{i}"), vec![a, b], if a < 75.0 { 1.0 } else { 9.0 });
+            d.push(
+                format!("r{i}"),
+                vec![a, b],
+                if a < 75.0 { 1.0 } else { 9.0 },
+            );
         }
         let m = RegressorKind::DecisionTree.fit(&d, 0);
         let imp = permutation_importance(&m, &d, 42);

@@ -113,13 +113,7 @@ impl DecisionTreeRegressor {
         tree
     }
 
-    fn grow(
-        &mut self,
-        data: &Dataset,
-        idx: &[usize],
-        depth: usize,
-        rng: &mut StdRng,
-    ) -> usize {
+    fn grow(&mut self, data: &Dataset, idx: &[usize], depth: usize, rng: &mut StdRng) -> usize {
         let mean = idx.iter().map(|&i| data.y[i]).sum::<f64>() / idx.len() as f64;
         let stop = depth >= self.params.max_depth
             || idx.len() < self.params.min_samples_split
@@ -138,8 +132,7 @@ impl DecisionTreeRegressor {
             };
             let mut best: Option<(usize, f64, f64)> = None;
             for f in feats {
-                if let Some((thr, dec)) =
-                    best_split_on(data, idx, f, self.params.min_samples_leaf)
+                if let Some((thr, dec)) = best_split_on(data, idx, f, self.params.min_samples_leaf)
                 {
                     if best.map(|(_, _, d)| dec > d).unwrap_or(true) {
                         best = Some((f, thr, dec));
@@ -147,9 +140,8 @@ impl DecisionTreeRegressor {
                 }
             }
             if let Some((feature, threshold, dec)) = best {
-                let (li, ri): (Vec<usize>, Vec<usize>) = idx
-                    .iter()
-                    .partition(|&&i| data.x[i][feature] <= threshold);
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| data.x[i][feature] <= threshold);
                 if !li.is_empty() && !ri.is_empty() {
                     self.importance_raw[feature] += dec;
                     let me = self.nodes.len();

@@ -56,10 +56,8 @@ impl Cfg {
                         leader[i + 1] = true;
                     }
                 }
-                Op::Ret => {
-                    if i + 1 < n {
-                        leader[i + 1] = true;
-                    }
+                Op::Ret if i + 1 < n => {
+                    leader[i + 1] = true;
                 }
                 _ => {}
             }
@@ -81,12 +79,13 @@ impl Cfg {
         let nb = blocks.len();
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nb];
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
-        let add_edge = |succs: &mut Vec<Vec<usize>>, preds: &mut Vec<Vec<usize>>, a: usize, b: usize| {
-            if !succs[a].contains(&b) {
-                succs[a].push(b);
-                preds[b].push(a);
-            }
-        };
+        let add_edge =
+            |succs: &mut Vec<Vec<usize>>, preds: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+                if !succs[a].contains(&b) {
+                    succs[a].push(b);
+                    preds[b].push(a);
+                }
+            };
         for (b, blk) in blocks.iter().enumerate() {
             let last = *blk.last().expect("non-empty block");
             match &instrs[last].op {

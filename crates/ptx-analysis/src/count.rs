@@ -8,7 +8,7 @@
 //! rectangle's area. Typical CNN kernels need fewer than ten representative
 //! executions per launch regardless of grid size.
 
-use crate::exec::{Break, ExecError, Machine, ThreadOutcome, NCAT};
+use crate::exec::{Break, ExecBudget, ExecError, Machine, ThreadOutcome, NCAT};
 use crate::slice::branch_slice;
 use ptx::kernel::{Kernel, KernelLaunch, LaunchPlan};
 use rayon::prelude::*;
@@ -69,9 +69,20 @@ pub fn count_launch(
     launch: &KernelLaunch,
     use_slice: bool,
 ) -> Result<LaunchCount, ExecError> {
+    count_launch_budgeted(kernel, launch, use_slice, &ExecBudget::default())
+}
+
+/// [`count_launch`] with an explicit execution budget (step fuel and
+/// cooperative cancellation) applied to every representative thread.
+pub fn count_launch_budgeted(
+    kernel: &Kernel,
+    launch: &KernelLaunch,
+    use_slice: bool,
+    budget: &ExecBudget,
+) -> Result<LaunchCount, ExecError> {
     let nblocks = launch.blocks();
     let ntid = kernel.block_threads();
-    let mut machine = Machine::new(kernel, nblocks, &launch.args);
+    let mut machine = Machine::new(kernel, nblocks, &launch.args).with_budget(budget.clone());
     if use_slice {
         machine = machine.with_slice(branch_slice(kernel));
     }
@@ -89,8 +100,9 @@ pub fn count_launch(
 
     while let Some(r) = work.pop() {
         if finals.len() + work.len() > MAX_PIECES {
-            return Err(ExecError::StepLimit {
+            return Err(ExecError::SplitBudget {
                 limit: MAX_PIECES as u64,
+                kernel: kernel.name.clone(),
             });
         }
         let outcome = machine.run(r.b0, r.t0)?;
@@ -127,11 +139,7 @@ pub fn count_launch(
                         split = Some((true, blk + 1));
                         break 'outer;
                     }
-                    if r.b1 - r.b0 == 1
-                        && r.b0 == blk
-                        && tid > r.t0
-                        && tid < r.t1
-                    {
+                    if r.b1 - r.b0 == 1 && r.b0 == blk && tid > r.t0 && tid < r.t1 {
                         split = Some((false, tid as u64));
                         break 'outer;
                     }
@@ -140,7 +148,10 @@ pub fn count_launch(
         }
         match split {
             Some((true, at)) => {
-                work.push(Rect { b1: at, ..r.clone() });
+                work.push(Rect {
+                    b1: at,
+                    ..r.clone()
+                });
                 work.push(Rect { b0: at, ..r });
             }
             Some((false, at)) => {
@@ -274,6 +285,16 @@ pub fn count_launch_bruteforce(
 /// Count a whole launch plan, in parallel over distinct `(kernel, args)`
 /// signatures (repeated layers hit the memo table).
 pub fn count_plan(plan: &LaunchPlan, use_slice: bool) -> Result<PlanCount, ExecError> {
+    count_plan_budgeted(plan, use_slice, &ExecBudget::default())
+}
+
+/// [`count_plan`] with an explicit execution budget. A shared cancellation
+/// token in the budget aborts all parallel launch counts cooperatively.
+pub fn count_plan_budgeted(
+    plan: &LaunchPlan,
+    use_slice: bool,
+    budget: &ExecBudget,
+) -> Result<PlanCount, ExecError> {
     // memoize by (kernel index, grid, args)
     type Key = (usize, u32, Vec<u64>);
     let mut keys: Vec<Key> = Vec::new();
@@ -299,13 +320,12 @@ pub fn count_plan(plan: &LaunchPlan, use_slice: bool) -> Result<PlanCount, ExecE
                 bytes_read: 0,
                 bytes_written: 0,
             };
-            count_launch(&plan.module.kernels[*kidx], &launch, use_slice)
+            count_launch_budgeted(&plan.module.kernels[*kidx], &launch, use_slice, budget)
         })
         .collect();
     let uniques = uniques?;
 
-    let per_launch: Vec<LaunchCount> =
-        key_of.iter().map(|&id| uniques[id].clone()).collect();
+    let per_launch: Vec<LaunchCount> = key_of.iter().map(|&id| uniques[id].clone()).collect();
     let mut thread_instructions = 0u64;
     let mut warp_issues = 0u64;
     let mut by_category = [0u64; NCAT];
@@ -389,8 +409,7 @@ mod tests {
     fn piece_count_is_small_and_constant_in_grid_size() {
         let k = guard_kernel(256);
         let small = count_launch(&k, &launch_of(&k, 10_000, vec![9_000]), false).unwrap();
-        let large =
-            count_launch(&k, &launch_of(&k, 10_000_000, vec![9_000_000]), false).unwrap();
+        let large = count_launch(&k, &launch_of(&k, 10_000_000, vec![9_000_000]), false).unwrap();
         assert!(small.pieces <= 6, "{}", small.pieces);
         assert_eq!(small.pieces, large.pieces);
         assert!(large.reps_executed < 20);
@@ -435,7 +454,11 @@ mod tests {
         assert_eq!(pc.per_launch.len(), plan.launches.len());
         let sum: u64 = pc.per_launch.iter().map(|l| l.thread_instructions).sum();
         assert_eq!(sum, pc.thread_instructions);
-        assert!(pc.thread_instructions > 1_000_000_000, "{}", pc.thread_instructions);
+        assert!(
+            pc.thread_instructions > 1_000_000_000,
+            "{}",
+            pc.thread_instructions
+        );
         // warp-level is less than thread-level by roughly the warp width
         assert!(pc.warp_issues * 2 < pc.thread_instructions);
     }

@@ -62,9 +62,9 @@ impl DepGraph {
 
         // second pass: record edges
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); instrs.len()];
-        for b in 0..nblocks {
-            let mut live: HashMap<Reg, HashSet<usize>> = reach_in[b].clone();
-            for &i in &cfg.blocks[b] {
+        for (reach, block) in reach_in.iter().zip(&cfg.blocks) {
+            let mut live: HashMap<Reg, HashSet<usize>> = reach.clone();
+            for &i in block {
                 for src in instrs[i].srcs() {
                     if let Some(defs) = live.get(&src) {
                         for &d in defs {
@@ -172,7 +172,11 @@ mod tests {
         let g = DepGraph::build(&kb.finish());
         // the add reads i defined by mov (1) AND by itself (2) around the loop
         assert!(g.edges[2].contains(&1));
-        assert!(g.edges[2].contains(&2), "loop-carried edge missing: {:?}", g.edges[2]);
+        assert!(
+            g.edges[2].contains(&2),
+            "loop-carried edge missing: {:?}",
+            g.edges[2]
+        );
         // setp depends on the add and the param load
         assert!(g.edges[3].contains(&2));
         assert!(g.edges[3].contains(&0));

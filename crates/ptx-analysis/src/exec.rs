@@ -22,12 +22,60 @@ use ptx::kernel::Kernel;
 use ptx::types::{BinOp, CmpOp, Reg, Space, SpecialReg, Type, UnOp};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Steps between cooperative-cancellation checks; amortizes the atomic
+/// load to noise on the interpreter hot loop.
+const CANCEL_CHECK_INTERVAL: u64 = 8192;
+
+/// Execution budget for the symbolic executor: step fuel plus an optional
+/// cooperative cancellation token shared across threads. Replaces the old
+/// hard-coded step limit, so callers (e.g. a profiling pipeline that wants
+/// to kill hung analyses) can bound the work per representative thread.
+#[derive(Debug, Clone, Default)]
+pub struct ExecBudget {
+    max_steps: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl ExecBudget {
+    /// Default fuel per representative-thread execution. Generous: the
+    /// largest zoo kernels execute ~10^6 instructions per thread.
+    pub const DEFAULT_MAX_STEPS: u64 = 200_000_000;
+
+    pub fn with_max_steps(mut self, n: u64) -> Self {
+        self.max_steps = Some(n);
+        self
+    }
+
+    /// Attach a cancellation token. Setting it to `true` makes every
+    /// in-flight execution return [`ExecError::Cancelled`] at the next
+    /// check point.
+    pub fn with_cancel(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    pub fn max_steps(&self) -> u64 {
+        self.max_steps.unwrap_or(Self::DEFAULT_MAX_STEPS)
+    }
+
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+}
 
 /// Number of instruction categories tracked.
 pub const NCAT: usize = Category::ALL.len();
 
 pub(crate) fn cat_index(c: Category) -> usize {
-    Category::ALL.iter().position(|x| *x == c).expect("category")
+    Category::ALL
+        .iter()
+        .position(|x| *x == c)
+        .expect("category")
 }
 
 /// An abstract value: affine in `(ctaid.x, tid.x)`, a concrete float, or
@@ -35,7 +83,11 @@ pub(crate) fn cat_index(c: Category) -> usize {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Val {
     /// `ct*ctaid.x + td*tid.x + b` over exact integers.
-    Lin { ct: i128, td: i128, b: i128 },
+    Lin {
+        ct: i128,
+        td: i128,
+        b: i128,
+    },
     F32(f32),
     Unknown,
 }
@@ -80,8 +132,12 @@ pub enum ExecError {
     /// A branch predicate was affine but not expressible as a tau/tid/block
     /// split (mixed slopes).
     MixedSlopePredicate { pc: usize },
-    /// Instruction budget exhausted (runaway loop).
-    StepLimit { limit: u64 },
+    /// Instruction budget exhausted (runaway loop) in the named kernel.
+    StepLimit { limit: u64, kernel: String },
+    /// Grid-splitting budget exhausted while counting the named kernel.
+    SplitBudget { limit: u64, kernel: String },
+    /// Execution cancelled via the [`ExecBudget`] cancellation token.
+    Cancelled { kernel: String },
     /// `ld.param` referenced an unknown parameter name.
     UnknownParam { name: String },
     /// Branch to an undefined label.
@@ -97,8 +153,17 @@ impl fmt::Display for ExecError {
             ExecError::MixedSlopePredicate { pc } => {
                 write!(f, "mixed-slope affine predicate at instruction {pc}")
             }
-            ExecError::StepLimit { limit } => {
-                write!(f, "step limit {limit} exhausted")
+            ExecError::StepLimit { limit, kernel } => {
+                write!(f, "step limit {limit} exhausted in kernel `{kernel}`")
+            }
+            ExecError::SplitBudget { limit, kernel } => {
+                write!(
+                    f,
+                    "grid-split budget {limit} exhausted in kernel `{kernel}`"
+                )
+            }
+            ExecError::Cancelled { kernel } => {
+                write!(f, "execution of kernel `{kernel}` cancelled")
             }
             ExecError::UnknownParam { name } => write!(f, "unknown param {name}"),
             ExecError::BadLabel { pc } => write!(f, "bad label at {pc}"),
@@ -136,7 +201,8 @@ pub struct Machine {
     pub ntid: u32,
     pub nctaid: u64,
     args: Vec<u64>,
-    max_steps: u64,
+    kernel_name: String,
+    budget: ExecBudget,
     /// Instruction indices whose values must be evaluated (the slice); when
     /// `None`, evaluate everything.
     slice: Option<HashSet<usize>>,
@@ -169,7 +235,8 @@ impl Machine {
             ntid: kernel.block_threads(),
             nctaid,
             args: args.to_vec(),
-            max_steps: 200_000_000,
+            kernel_name: kernel.name.clone(),
+            budget: ExecBudget::default(),
             slice: None,
         }
     }
@@ -182,8 +249,19 @@ impl Machine {
         self
     }
 
+    /// Replace the execution budget (fuel and/or cancellation token).
+    pub fn with_budget(mut self, budget: ExecBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     pub fn set_max_steps(&mut self, n: u64) {
-        self.max_steps = n;
+        self.budget = self.budget.clone().with_max_steps(n);
+    }
+
+    /// Name of the prepared kernel (for error attribution).
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel_name
     }
 
     fn operand(&self, regs: &HashMap<Reg, Val>, o: &Operand) -> Val {
@@ -235,10 +313,17 @@ impl Machine {
         let cta = ctaid as i128;
         let t = tid as i128;
 
+        let max_steps = self.budget.max_steps();
         while pc < self.instrs.len() {
-            if count >= self.max_steps {
+            if count >= max_steps {
                 return Err(ExecError::StepLimit {
-                    limit: self.max_steps,
+                    limit: max_steps,
+                    kernel: self.kernel_name.clone(),
+                });
+            }
+            if count.is_multiple_of(CANCEL_CHECK_INTERVAL) && self.budget.cancelled() {
+                return Err(ExecError::Cancelled {
+                    kernel: self.kernel_name.clone(),
                 });
             }
             let inst = &self.instrs[pc];
@@ -251,10 +336,7 @@ impl Machine {
             // guard evaluation (for value semantics; issue is counted above)
             let guard_truth: Option<bool> = match inst.guard {
                 None => Some(true),
-                Some((p, neg)) => preds
-                    .get(&p)
-                    .and_then(|pi| pi.truth)
-                    .map(|v| v != neg),
+                Some((p, neg)) => preds.get(&p).and_then(|pi| pi.truth).map(|v| v != neg),
             };
 
             // branches drive control flow and must be resolvable
@@ -272,9 +354,7 @@ impl Machine {
                         }
                         match pi.truth {
                             Some(v) => v != neg,
-                            None => {
-                                return Err(ExecError::DataDependentBranch { pc })
-                            }
+                            None => return Err(ExecError::DataDependentBranch { pc }),
                         }
                     }
                 };
@@ -293,11 +373,7 @@ impl Machine {
             }
 
             // slice mode: skip value evaluation of off-slice instructions
-            let evaluate = self
-                .slice
-                .as_ref()
-                .map(|s| s.contains(&pc))
-                .unwrap_or(true);
+            let evaluate = self.slice.as_ref().map(|s| s.contains(&pc)).unwrap_or(true);
             if evaluate {
                 self.eval_inst(inst, guard_truth, cta, t, &mut regs, &mut preds)?;
             } else if let Some(d) = inst.dst() {
@@ -408,16 +484,14 @@ impl Machine {
                                 name: "<reg>".into(),
                             });
                         };
-                        let idx = self.param_index.get(name).copied().ok_or_else(
-                            || ExecError::UnknownParam { name: name.clone() },
-                        )?;
+                        let idx = self
+                            .param_index
+                            .get(name)
+                            .copied()
+                            .ok_or_else(|| ExecError::UnknownParam { name: name.clone() })?;
                         match self.args.get(idx) {
                             Some(v) => Val::cnst(*v as i128),
-                            None => {
-                                return Err(ExecError::UnknownParam {
-                                    name: name.clone(),
-                                })
-                            }
+                            None => return Err(ExecError::UnknownParam { name: name.clone() }),
                         }
                     }
                     _ => Val::Unknown,
@@ -514,8 +588,18 @@ fn setp_val(cmp: CmpOp, t: Type, a: Val, b: Val, cta: i128, tid: i128) -> PredIn
             lin: None,
         },
         (Val::Lin { .. }, Val::Lin { .. }) => {
-            let (Val::Lin { ct: c1, td: t1, b: b1 }, Val::Lin { ct: c2, td: t2, b: b2 }) =
-                (a, b)
+            let (
+                Val::Lin {
+                    ct: c1,
+                    td: t1,
+                    b: b1,
+                },
+                Val::Lin {
+                    ct: c2,
+                    td: t2,
+                    b: b2,
+                },
+            ) = (a, b)
             else {
                 unreachable!()
             };
@@ -549,13 +633,22 @@ fn setp_val(cmp: CmpOp, t: Type, a: Val, b: Val, cta: i128, tid: i128) -> PredIn
 
 fn lin_add(a: Val, b: Val) -> Val {
     match (a, b) {
-        (Val::Lin { ct: c1, td: t1, b: b1 }, Val::Lin { ct: c2, td: t2, b: b2 }) => {
+        (
             Val::Lin {
-                ct: c1 + c2,
-                td: t1 + t2,
-                b: b1 + b2,
-            }
-        }
+                ct: c1,
+                td: t1,
+                b: b1,
+            },
+            Val::Lin {
+                ct: c2,
+                td: t2,
+                b: b2,
+            },
+        ) => Val::Lin {
+            ct: c1 + c2,
+            td: t1 + t2,
+            b: b1 + b2,
+        },
         _ => Val::Unknown,
     }
 }
@@ -769,7 +862,9 @@ mod tests {
         let m = Machine::new(&k, 4, &[700]);
         let o = m.run(0, 0).unwrap();
         assert!(
-            o.breaks.iter().any(|b| matches!(b, Break::Tau(v) if (699..=701).contains(v))),
+            o.breaks
+                .iter()
+                .any(|b| matches!(b, Break::Tau(v) if (699..=701).contains(v))),
             "expected a tau break near 700, got {:?}",
             o.breaks
         );
@@ -786,9 +881,7 @@ mod tests {
         });
         kb.ret();
         let k = kb.finish();
-        let count_for = |trip: u64| {
-            Machine::new(&k, 1, &[trip]).run(0, 0).unwrap().count
-        };
+        let count_for = |trip: u64| Machine::new(&k, 1, &[trip]).run(0, 0).unwrap().count;
         // body is 4 instructions per iteration (mov, add, setp, bra)
         assert_eq!(count_for(10) - count_for(9), 4);
         assert_eq!(count_for(100) - count_for(99), 4);
@@ -893,6 +986,55 @@ mod tests {
         let mut m = Machine::new(&k, 1, &[]);
         m.set_max_steps(1000);
         assert!(matches!(m.run(0, 0), Err(ExecError::StepLimit { .. })));
+    }
+
+    #[test]
+    fn step_limit_error_names_the_kernel() {
+        let mut kb = KernelBuilder::new("runaway_kernel", 32);
+        let head = kb.label();
+        kb.place_label(head);
+        let r = kb.r();
+        kb.mov(Type::U32, r, Operand::ImmI(1));
+        kb.bra_uni(head);
+        let k = kb.finish();
+        let m = Machine::new(&k, 1, &[]).with_budget(ExecBudget::default().with_max_steps(500));
+        match m.run(0, 0) {
+            Err(ExecError::StepLimit { limit, kernel }) => {
+                assert_eq!(limit, 500);
+                assert_eq!(kernel, "runaway_kernel");
+            }
+            other => panic!("expected StepLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_token_aborts_execution() {
+        let mut kb = KernelBuilder::new("spin", 32);
+        let head = kb.label();
+        kb.place_label(head);
+        let r = kb.r();
+        kb.mov(Type::U32, r, Operand::ImmI(1));
+        kb.bra_uni(head);
+        let k = kb.finish();
+        let token = Arc::new(AtomicBool::new(true)); // pre-cancelled
+        let m = Machine::new(&k, 1, &[]).with_budget(ExecBudget::default().with_cancel(token));
+        assert!(matches!(
+            m.run(0, 0),
+            Err(ExecError::Cancelled { kernel }) if kernel == "spin"
+        ));
+    }
+
+    #[test]
+    fn untripped_token_does_not_disturb_execution() {
+        let k = guard_kernel();
+        let token = Arc::new(AtomicBool::new(false));
+        let budgeted =
+            Machine::new(&k, 4, &[700]).with_budget(ExecBudget::default().with_cancel(token));
+        let plain = Machine::new(&k, 4, &[700]);
+        assert_eq!(
+            budgeted.run(0, 0).unwrap().count,
+            plain.run(0, 0).unwrap().count
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub fn kernel_stats(kernel: &Kernel) -> KernelStats {
         basic_blocks: cfg.num_blocks(),
         dependency_edges: g.num_edges(),
         slice_size: slice.len(),
-        slice_fraction: if n == 0 { 0.0 } else { slice.len() as f64 / n as f64 },
+        slice_fraction: if n == 0 {
+            0.0
+        } else {
+            slice.len() as f64 / n as f64
+        },
         branches,
         loops,
         histogram,

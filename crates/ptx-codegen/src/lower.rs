@@ -198,10 +198,8 @@ pub fn lower_with(
         let out_shape = shapes[node.id.index()];
         // all buffers and launch extents scale with the batch dimension
         let out_elems = out_shape.elements() * batch;
-        let in_shapes: Vec<TensorShape> =
-            node.inputs.iter().map(|i| shapes[i.index()]).collect();
-        let in_addrs: Vec<u64> =
-            node.inputs.iter().map(|i| addr[i.index()]).collect();
+        let in_shapes: Vec<TensorShape> = node.inputs.iter().map(|i| shapes[i.index()]).collect();
+        let in_addrs: Vec<u64> = node.inputs.iter().map(|i| addr[i.index()]).collect();
         let tag = node.name.clone();
 
         let out_addr = match &node.layer {
@@ -628,15 +626,9 @@ mod tests {
     fn tiny() -> ModelGraph {
         let mut b = GraphBuilder::new("tiny", 3);
         let x = b.input(TensorShape::square(8, 3));
-        let x = b.layer(
-            Layer::Conv2d(Conv2d::new(4, 3, 1, Padding::Same)),
-            &[x],
-        );
+        let x = b.layer(Layer::Conv2d(Conv2d::new(4, 3, 1, Padding::Same)), &[x]);
         let x = b.layer(Layer::Activation(ActKind::Relu), &[x]);
-        let x = b.layer(
-            Layer::Pool2d(Pool2d::max(2, 2, Padding::Valid)),
-            &[x],
-        );
+        let x = b.layer(Layer::Pool2d(Pool2d::max(2, 2, Padding::Valid)), &[x]);
         let x = b.layer(Layer::Flatten, &[x]);
         let x = b.layer(Layer::Dense(Dense::new(10)), &[x]);
         let x = b.layer(Layer::Activation(ActKind::Softmax), &[x]);
@@ -727,11 +719,7 @@ mod tests {
         for e in cnn_ir::zoo::all() {
             let g = (e.build)();
             let plan = lower(&g, "sm_61").unwrap();
-            assert!(
-                !plan.launches.is_empty(),
-                "{} produced no launches",
-                e.name
-            );
+            assert!(!plan.launches.is_empty(), "{} produced no launches", e.name);
             // all kernel indices valid
             for l in &plan.launches {
                 assert!(l.kernel < plan.module.kernels.len());
@@ -823,10 +811,7 @@ mod gemm_variant_tests {
         let t = gemm_threads(&tiled, "k_gemm_tiled_f32");
         let m = gemm_threads(&micro, "k_gemm_micro2x2_f32");
         assert!(t > 0 && m > 0);
-        assert!(
-            m * 3 < t,
-            "micro threads {m} should be ~1/4 of tiled {t}"
-        );
+        assert!(m * 3 < t, "micro threads {m} should be ~1/4 of tiled {t}");
     }
 
     #[test]

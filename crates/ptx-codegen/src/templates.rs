@@ -171,13 +171,7 @@ fn elem_addr(kb: &mut KernelBuilder, base: Reg, idx: impl Into<Operand>) -> Reg 
 /// Fused bias epilogue: `acc += has_bias ? bias[idx] : 0`, branchless
 /// (the guarded load is predicated, not branched around, so control flow
 /// stays affine for the dynamic code analysis).
-fn emit_bias_add(
-    kb: &mut KernelBuilder,
-    acc: Reg,
-    bias: Reg,
-    idx: Reg,
-    has_bias: Reg,
-) {
+fn emit_bias_add(kb: &mut KernelBuilder, acc: Reg, bias: Reg, idx: Reg, has_bias: Reg) {
     let p = kb.p();
     kb.setp(CmpOp::Ne, Type::U32, p, has_bias, Operand::ImmI(0));
     let addr = elem_addr(kb, bias, idx);
@@ -387,7 +381,7 @@ impl Act {
 
 /// `sigmoid(x) = 1 / (1 + 2^(-x * log2(e)))` in SFU-friendly ops.
 fn emit_sigmoid(kb: &mut KernelBuilder, x: Reg) -> Reg {
-    const NEG_LOG2_E: f32 = -1.442_695_f32;
+    const NEG_LOG2_E: f32 = -std::f32::consts::LOG2_E;
     let scaled = kb.bin_r(BinOp::Mul, Type::F32, x, Operand::ImmF(NEG_LOG2_E));
     let e = kb.f();
     kb.un(UnOp::Ex2, Type::F32, e, scaled);
@@ -509,8 +503,12 @@ fn softmax_reduce(kind: ReduceKind) -> Kernel {
             }
             ReduceKind::ExpSum => {
                 let d = kb.bin_r(BinOp::Sub, Type::F32, v, mx);
-                let sc =
-                    kb.bin_r(BinOp::Mul, Type::F32, d, Operand::ImmF(1.442_695));
+                let sc = kb.bin_r(
+                    BinOp::Mul,
+                    Type::F32,
+                    d,
+                    Operand::ImmF(std::f32::consts::LOG2_E),
+                );
                 let e = kb.f();
                 kb.un(UnOp::Ex2, Type::F32, e, sc);
                 let oa = elem_addr(&mut kb, out, i);
@@ -526,18 +524,8 @@ fn softmax_reduce(kind: ReduceKind) -> Kernel {
     kb.place_label(after_loop);
 
     // shared-memory tree reduction
-    let saddr = kb.bin_r(
-        BinOp::Shl,
-        Type::B32,
-        tid,
-        Operand::ImmI(2),
-    );
-    let saddr = kb.bin_r(
-        BinOp::Add,
-        Type::U32,
-        saddr,
-        Operand::ImmI(smem_off as i64),
-    );
+    let saddr = kb.bin_r(BinOp::Shl, Type::B32, tid, Operand::ImmI(2));
+    let saddr = kb.bin_r(BinOp::Add, Type::U32, saddr, Operand::ImmI(smem_off as i64));
     // store via a 64-bit shared address register
     let saddr64 = kb.rd();
     kb.cvt(Type::U64, Type::U32, saddr64, saddr);

@@ -102,12 +102,7 @@ impl KernelBuilder {
     }
 
     /// Run `f` with all emitted instructions guarded by `@p` (or `@!p`).
-    pub fn with_guard<T>(
-        &mut self,
-        p: Reg,
-        negated: bool,
-        f: impl FnOnce(&mut Self) -> T,
-    ) -> T {
+    pub fn with_guard<T>(&mut self, p: Reg, negated: bool, f: impl FnOnce(&mut Self) -> T) -> T {
         let prev = self.guard.replace((p, negated));
         let out = f(self);
         self.guard = prev;
@@ -264,10 +259,7 @@ impl KernelBuilder {
     }
 
     pub fn bra(&mut self, target: LabelId) {
-        self.emit(Op::Bra {
-            target,
-            uni: false,
-        });
+        self.emit(Op::Bra { target, uni: false });
     }
 
     pub fn bra_uni(&mut self, target: LabelId) {
@@ -277,10 +269,7 @@ impl KernelBuilder {
     /// Conditional branch: `@p bra target` (or `@!p`).
     pub fn bra_if(&mut self, p: Reg, negated: bool, target: LabelId) {
         self.body.push(BodyElem::Inst(Instruction::guarded(
-            Op::Bra {
-                target,
-                uni: false,
-            },
+            Op::Bra { target, uni: false },
             p,
             negated,
         )));
@@ -309,13 +298,7 @@ impl KernelBuilder {
             self.bin_r(BinOp::Or, Type::B32, tid, hi)
         } else {
             let dst = self.r();
-            self.mad(
-                Type::S32,
-                dst,
-                ctaid,
-                Operand::ImmI(ntid as i64),
-                tid,
-            );
+            self.mad(Type::S32, dst, ctaid, Operand::ImmI(ntid as i64), tid);
             dst
         }
     }

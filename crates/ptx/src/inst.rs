@@ -220,9 +220,7 @@ impl Instruction {
                 _ => Category::IntAlu,
             },
             Op::Un { op, .. } => match op {
-                UnOp::Sqrt | UnOp::Rcp | UnOp::Ex2 | UnOp::Lg2 => {
-                    Category::SpecialFunc
-                }
+                UnOp::Sqrt | UnOp::Rcp | UnOp::Ex2 | UnOp::Lg2 => Category::SpecialFunc,
                 _ => Category::IntAlu,
             },
             Op::Mad { t, .. } => {

@@ -20,9 +20,7 @@ pub mod types;
 pub mod verify;
 
 pub use builder::KernelBuilder;
-pub use inst::{
-    AddrBase, Address, BodyElem, Category, Instruction, LabelId, Op, Operand,
-};
+pub use inst::{AddrBase, Address, BodyElem, Category, Instruction, LabelId, Op, Operand};
 pub use kernel::{Kernel, KernelLaunch, KernelParam, LaunchPlan, Module};
 pub use parser::{parse_module, ParseError};
 pub use types::{BinOp, CmpOp, Reg, RegClass, Space, SpecialReg, Type, UnOp};

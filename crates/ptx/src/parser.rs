@@ -85,11 +85,10 @@ fn parse_operand(s: &str, line: usize) -> PResult<Operand> {
         return Ok(Operand::Reg(r));
     }
     if let Some(hex) = s.strip_prefix("0f") {
-        let bits = u32::from_str_radix(hex, 16)
-            .map_err(|_| ParseError {
-                line,
-                message: format!("bad float literal '{s}'"),
-            })?;
+        let bits = u32::from_str_radix(hex, 16).map_err(|_| ParseError {
+            line,
+            message: format!("bad float literal '{s}'"),
+        })?;
         return Ok(Operand::ImmF(f32::from_bits(bits)));
     }
     match s.parse::<i64>() {
@@ -364,12 +363,12 @@ fn parse_op(stmt: &str, line: usize) -> PResult<Op> {
 fn parse_statement(s: &str, line: usize) -> PResult<Instruction> {
     let s = s.trim();
     if let Some(rest) = s.strip_prefix("@!") {
-        let (p, tail) = rest.split_once(char::is_whitespace).ok_or_else(|| {
-            ParseError {
+        let (p, tail) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| ParseError {
                 line,
                 message: "guard without instruction".into(),
-            }
-        })?;
+            })?;
         let p = parse_reg(p).ok_or_else(|| ParseError {
             line,
             message: format!("bad guard '{p}'"),
@@ -377,12 +376,12 @@ fn parse_statement(s: &str, line: usize) -> PResult<Instruction> {
         return Ok(Instruction::guarded(parse_op(tail, line)?, p, true));
     }
     if let Some(rest) = s.strip_prefix('@') {
-        let (p, tail) = rest.split_once(char::is_whitespace).ok_or_else(|| {
-            ParseError {
+        let (p, tail) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| ParseError {
                 line,
                 message: "guard without instruction".into(),
-            }
-        })?;
+            })?;
         let p = parse_reg(p).ok_or_else(|| ParseError {
             line,
             message: format!("bad guard '{p}'"),
@@ -405,10 +404,7 @@ pub fn parse_module(text: &str) -> PResult<Module> {
         if let Some(v) = line.strip_prefix(".version") {
             let v = v.trim();
             if let Some((a, b)) = v.split_once('.') {
-                module.version = (
-                    a.trim().parse().unwrap_or(6),
-                    b.trim().parse().unwrap_or(0),
-                );
+                module.version = (a.trim().parse().unwrap_or(6), b.trim().parse().unwrap_or(0));
             }
         } else if let Some(t) = line.strip_prefix(".target") {
             module.target = t.trim().to_string();
@@ -477,10 +473,7 @@ fn parse_kernel(header: &str, header_ln: usize, lines: &mut Lines) -> PResult<Ke
             continue;
         }
         if let Some(r) = l.strip_prefix(".reqntid") {
-            let dims: Vec<u32> = r
-                .split(',')
-                .filter_map(|x| x.trim().parse().ok())
-                .collect();
+            let dims: Vec<u32> = r.split(',').filter_map(|x| x.trim().parse().ok()).collect();
             if !dims.is_empty() {
                 reqntid = (
                     dims[0],
@@ -570,10 +563,7 @@ LBB0_1:
         assert_eq!(k.params.len(), 1);
         assert_eq!(k.num_instructions(), 10);
         // the guard survives
-        let guarded = k
-            .instructions()
-            .filter(|i| i.guard.is_some())
-            .count();
+        let guarded = k.instructions().filter(|i| i.guard.is_some()).count();
         assert_eq!(guarded, 1);
     }
 

@@ -288,7 +288,14 @@ mod tests {
 
     #[test]
     fn cmp_roundtrip() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             assert_eq!(CmpOp::from_mnemonic(op.mnemonic()), Some(op));
         }
         assert_eq!(CmpOp::from_mnemonic("zz"), None);

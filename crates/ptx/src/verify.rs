@@ -20,12 +20,31 @@ use std::fmt;
 /// One verification failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyError {
-    UnresolvedLabel { kernel: String, target: u32 },
-    UseBeforeDef { kernel: String, pc: usize, reg: Reg },
-    GuardNotPredicate { kernel: String, pc: usize, reg: Reg },
-    UnknownParam { kernel: String, pc: usize, name: String },
-    MissingRet { kernel: String },
-    EmptyBody { kernel: String },
+    UnresolvedLabel {
+        kernel: String,
+        target: u32,
+    },
+    UseBeforeDef {
+        kernel: String,
+        pc: usize,
+        reg: Reg,
+    },
+    GuardNotPredicate {
+        kernel: String,
+        pc: usize,
+        reg: Reg,
+    },
+    UnknownParam {
+        kernel: String,
+        pc: usize,
+        name: String,
+    },
+    MissingRet {
+        kernel: String,
+    },
+    EmptyBody {
+        kernel: String,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -35,13 +54,22 @@ impl fmt::Display for VerifyError {
                 write!(f, "{kernel}: branch to undefined label LBB0_{target}")
             }
             VerifyError::UseBeforeDef { kernel, pc, reg } => {
-                write!(f, "{kernel}: instruction {pc} reads {reg} before any definition")
+                write!(
+                    f,
+                    "{kernel}: instruction {pc} reads {reg} before any definition"
+                )
             }
             VerifyError::GuardNotPredicate { kernel, pc, reg } => {
-                write!(f, "{kernel}: instruction {pc} guarded by non-predicate {reg}")
+                write!(
+                    f,
+                    "{kernel}: instruction {pc} guarded by non-predicate {reg}"
+                )
             }
             VerifyError::UnknownParam { kernel, pc, name } => {
-                write!(f, "{kernel}: instruction {pc} loads undeclared param '{name}'")
+                write!(
+                    f,
+                    "{kernel}: instruction {pc} loads undeclared param '{name}'"
+                )
             }
             VerifyError::MissingRet { kernel } => {
                 write!(f, "{kernel}: body does not end in ret")

@@ -14,8 +14,16 @@ use cnnperf::prelude::*;
 
 fn main() {
     let names = [
-        "alexnet", "mobilenet", "MobileNetV2", "resnet50", "resnet101",
-        "vgg16", "densenet121", "inceptionv3", "Xception", "efficientnetb0",
+        "alexnet",
+        "mobilenet",
+        "MobileNetV2",
+        "resnet50",
+        "resnet101",
+        "vgg16",
+        "densenet121",
+        "inceptionv3",
+        "Xception",
+        "efficientnetb0",
     ];
     let models: Vec<_> = names
         .iter()
@@ -24,8 +32,7 @@ fn main() {
 
     // train ONLY on the two paper GPUs
     let corpus = build_corpus(&models, &gpu_sim::training_devices()).expect("corpus");
-    let predictor =
-        PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
+    let predictor = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
 
     // evaluate on an unseen device
     let unseen = gpu_sim::specs::quadro_p1000();
@@ -78,8 +85,7 @@ fn main() {
     let mut fleet = gpu_sim::all_devices();
     fleet.retain(|d| d.name != unseen.name && d.name != "GTX 1050 Ti");
     let wide = build_corpus(&models, &fleet).expect("corpus");
-    let predictor6 =
-        PerformancePredictor::train(&wide.dataset, RegressorKind::DecisionTree, 42);
+    let predictor6 = PerformancePredictor::train(&wide.dataset, RegressorKind::DecisionTree, 42);
     let mut y_pred6 = Vec::new();
     for model in &models {
         let (profile, _, _, _) = profile_model(model).expect("analysis");

@@ -7,9 +7,11 @@
 //! cargo run --release --example custom_cnn
 //! ```
 
+use cnn_ir::{
+    ActKind, Conv2d, Dense, DepthwiseConv2d, GraphBuilder, Layer, Padding, Pool2d, PoolKind,
+    TensorShape,
+};
 use cnnperf::prelude::*;
-use cnn_ir::{ActKind, Conv2d, Dense, DepthwiseConv2d, GraphBuilder, Layer, Padding,
-    Pool2d, PoolKind, TensorShape};
 
 /// A hand-rolled mobile-style architecture: stem, four depthwise-separable
 /// stages with residuals, classifier.
@@ -33,9 +35,7 @@ fn build_candidate(width: u32, depth_per_stage: u32) -> cnn_ir::ModelGraph {
             let stride = if block == 0 { 2 } else { 1 };
             let shortcut = x;
             let mut y = b.layer(
-                Layer::DepthwiseConv2d(
-                    DepthwiseConv2d::new(3, stride, Padding::Same).no_bias(),
-                ),
+                Layer::DepthwiseConv2d(DepthwiseConv2d::new(3, stride, Padding::Same).no_bias()),
                 &[x],
             );
             y = b.layer(Layer::BatchNorm(Default::default()), &[y]);
@@ -53,11 +53,13 @@ fn build_candidate(width: u32, depth_per_stage: u32) -> cnn_ir::ModelGraph {
         }
     }
 
+    x = b.layer(Layer::Pool2d(Pool2d::avg(2, 2, Padding::Valid)), &[x]);
     x = b.layer(
-        Layer::Pool2d(Pool2d::avg(2, 2, Padding::Valid)),
+        Layer::GlobalPool {
+            kind: PoolKind::Avg,
+        },
         &[x],
     );
-    x = b.layer(Layer::GlobalPool { kind: PoolKind::Avg }, &[x]);
     x = b.layer(Layer::Dense(Dense::new(100)), &[x]);
     x = b.layer(Layer::Activation(ActKind::Softmax), &[x]);
     b.finish(x)
@@ -65,11 +67,17 @@ fn build_candidate(width: u32, depth_per_stage: u32) -> cnn_ir::ModelGraph {
 
 fn main() {
     // predictor trained on a zoo subset
-    let models: Vec<_> = ["mobilenet", "MobileNetV2", "efficientnetb0", "resnet50",
-        "densenet121", "Xception"]
-        .iter()
-        .map(|n| cnn_ir::zoo::build(n).expect("zoo model"))
-        .collect();
+    let models: Vec<_> = [
+        "mobilenet",
+        "MobileNetV2",
+        "efficientnetb0",
+        "resnet50",
+        "densenet121",
+        "Xception",
+    ]
+    .iter()
+    .map(|n| cnn_ir::zoo::build(n).expect("zoo model"))
+    .collect();
     let corpus = build_corpus(&models, &gpu_sim::training_devices()).expect("corpus");
     // KNN rather than the decision tree: it interpolates between training
     // points, giving the sweep a smoother score surface than piecewise-

@@ -15,15 +15,22 @@ use cnnperf::prelude::*;
 fn main() {
     // Train the predictor on the paper's corpus subset.
     let models: Vec<_> = [
-        "alexnet", "mobilenet", "resnet50", "resnet101", "vgg16", "densenet121",
-        "inceptionv3", "efficientnetb0", "efficientnetb2", "Xception",
+        "alexnet",
+        "mobilenet",
+        "resnet50",
+        "resnet101",
+        "vgg16",
+        "densenet121",
+        "inceptionv3",
+        "efficientnetb0",
+        "efficientnetb2",
+        "Xception",
     ]
     .iter()
     .map(|n| cnn_ir::zoo::build(n).expect("zoo model"))
     .collect();
     let corpus = build_corpus(&models, &gpu_sim::training_devices()).expect("corpus");
-    let predictor =
-        PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
+    let predictor = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
 
     // The perception stack: a detector backbone and a lane-segmentation net.
     let candidates = ["MobileNetV2", "efficientnetb1", "resnet50v2"];
@@ -46,7 +53,12 @@ fn main() {
             outcome.t_pm * 1e3
         );
         for (i, r) in outcome.ranking.iter().enumerate() {
-            println!("  {}. {:14} predicted IPC {:.3}", i + 1, r.device, r.predicted_ipc);
+            println!(
+                "  {}. {:14} predicted IPC {:.3}",
+                i + 1,
+                r.device,
+                r.predicted_ipc
+            );
         }
         total_t_est += outcome.t_est;
         println!();

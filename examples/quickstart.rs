@@ -11,11 +11,19 @@ fn main() {
     // 1. Build a small training corpus: a few zoo CNNs "profiled" on the
     //    two training GPUs (GTX 1080 Ti, V100S). The full 32-model corpus
     //    is `build_paper_corpus()`; this subset keeps the example fast.
-    let models: Vec<_> = ["alexnet", "mobilenet", "MobileNetV2", "resnet50", "vgg16",
-        "densenet121", "inceptionv3", "Xception"]
-        .iter()
-        .map(|n| cnn_ir::zoo::build(n).expect("zoo model"))
-        .collect();
+    let models: Vec<_> = [
+        "alexnet",
+        "mobilenet",
+        "MobileNetV2",
+        "resnet50",
+        "vgg16",
+        "densenet121",
+        "inceptionv3",
+        "Xception",
+    ]
+    .iter()
+    .map(|n| cnn_ir::zoo::build(n).expect("zoo model"))
+    .collect();
     let corpus = build_corpus(&models, &gpu_sim::training_devices()).expect("corpus");
     println!("corpus: {} observations", corpus.dataset.len());
 

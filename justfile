@@ -1,0 +1,33 @@
+# Development tasks. `just ci` is what the GitHub Actions workflow runs.
+
+default: ci
+
+# Format check + lints + tests: the merge gate.
+ci: fmt-check clippy test
+
+fmt:
+    cargo fmt --all
+
+fmt-check:
+    cargo fmt --all -- --check
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+test:
+    cargo test -q --workspace
+
+build:
+    cargo build --release --workspace
+
+# Regenerate every paper table/figure (writes CSVs under target/figures/).
+tables:
+    cargo run --release -p cnnperf-bench --bin table1_model_zoo
+    cargo run --release -p cnnperf-bench --bin table2_regressors
+    cargo run --release -p cnnperf-bench --bin table3_importance
+    cargo run --release -p cnnperf-bench --bin fig4_pred_vs_actual
+    cargo run --release -p cnnperf-bench --bin table4_speedup
+
+# Robust corpus build under the harsh fault preset, with health report.
+corpus-harsh:
+    cargo run --release -- corpus --runs 5 --fault-profile harsh

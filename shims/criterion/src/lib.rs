@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion` covering the harness subset the bench
+//! crate uses: `Criterion`, benchmark groups, `BenchmarkId`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples (default 20) of a single iteration
+//! batch, and prints the median wall-clock time per iteration. There is no
+//! statistical analysis, HTML report, or baseline persistence — good enough
+//! to watch for regressions by eye in a container.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark identifier, e.g. `BenchmarkId::new("bruteforce", threads)` or
+/// `BenchmarkId::from_parameter(name)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// median ns/iter from the most recent `iter` call
+    result_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // warm-up: run until ~10ms or 3 iterations, whichever is first
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3 && warm_start.elapsed() < Duration::from_millis(10) {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(f());
+            times.push(t0.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = times[times.len() / 2];
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(label: &str, samples: usize, f: F) {
+    let mut b = Bencher {
+        samples,
+        result_ns: 0.0,
+    };
+    f(&mut b);
+    println!("{label:<50} {:>12}/iter", fmt_ns(b.result_ns));
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, id: S, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id), self.samples, |b| f(b));
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.samples, |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Criterion { samples: 20 }
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let samples = if self.samples == 0 { 20 } else { self.samples };
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let samples = if self.samples == 0 { 20 } else { self.samples };
+        run_one(id, samples, |b| f(b));
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, n| b.iter(|| n * n));
+        group.finish();
+    }
+
+    #[test]
+    fn top_level_bench_function() {
+        let mut c = Criterion::new();
+        c.bench_function("top", |b| b.iter(|| black_box(21u32) * 2));
+    }
+}

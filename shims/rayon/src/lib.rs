@@ -1,0 +1,230 @@
+//! Offline stand-in for `rayon`, API-compatible with the subset this
+//! workspace uses: `par_iter()` / `into_par_iter()` followed by `map`,
+//! `enumerate`, `filter`, `try_for_each`, `for_each` and `collect`.
+//!
+//! Unlike the real rayon there is no global work-stealing pool; each
+//! adaptor chain evaluates eagerly and terminal operations fan work out
+//! over `std::thread::scope` with an atomic work index, preserving input
+//! order in the output. Nested parallelism simply spawns nested scoped
+//! threads, which the OS scheduler absorbs fine at this workspace's
+//! fan-out (tens of items per level).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
+}
+
+/// Eagerly-materialized "parallel" iterator: adaptors consume and rebuild
+/// the item vector; parallel evaluation happens in [`ParIter::map`] and the
+/// terminal operations.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// Parallel map preserving input order. Panics in workers propagate on
+/// scope exit, matching rayon's behavior.
+fn par_map<T: Send, U: Send, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot taken once");
+                let v = f(item);
+                *out[i].lock().unwrap() = Some(v);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U: Send, F>(self, f: F) -> ParIter<U>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: par_map(self.items, f),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        ParIter {
+            items: self.items.into_iter().filter(|t| f(t)).collect(),
+        }
+    }
+
+    pub fn filter_map<U: Send, F>(self, f: F) -> ParIter<U>
+    where
+        F: Fn(T) -> Option<U> + Sync,
+    {
+        ParIter {
+            items: par_map(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map(self.items, f);
+    }
+
+    pub fn try_for_each<E, F>(self, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(T) -> Result<(), E> + Sync,
+    {
+        par_map(self.items, f).into_iter().collect()
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// `xs.par_iter()` for slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `xs.into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Subset of rayon's `ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(size.max(1)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_for_each_surfaces_errors() {
+        let v: Vec<u32> = (0..100).collect();
+        let r = v
+            .par_iter()
+            .try_for_each(|&x| if x == 42 { Err(x) } else { Ok(()) });
+        assert_eq!(r, Err(42));
+        assert_eq!(v.par_iter().try_for_each(|_| Ok::<(), ()>(())), Ok(()));
+    }
+
+    #[test]
+    fn result_collect_short_forms_work() {
+        let v: Vec<u32> = (0..10).collect();
+        let ok: Result<Vec<u32>, ()> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        use crate::IntoParallelIterator;
+        let out: Vec<usize> = (0..17usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out[16], 17);
+    }
+}

@@ -1,0 +1,425 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! There is no syn/quote in this offline environment, so the item is
+//! parsed directly from the `proc_macro::TokenStream` and the impl is
+//! emitted as source text. Supported shapes — the only ones this
+//! workspace uses — are non-generic structs (named, tuple, unit) and
+//! non-generic enums with unit, tuple and struct variants. Generic items
+//! produce a compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip one attribute (`#` + bracket group) if present.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // inner attributes are `#![...]`; outer are `#[...]`
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '!' {
+                        tokens.next();
+                    }
+                }
+                tokens.next(); // the [...] group
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skip tokens until a top-level comma (angle-bracket aware) and consume
+/// it. Returns false if the stream ended.
+fn skip_to_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut angle: i32 = 0;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut tokens = group.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                // consume `:` then the type
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
+                }
+                if !skip_to_comma(&mut tokens) {
+                    break;
+                }
+            }
+            None => break,
+            other => panic!("serde shim derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    names
+}
+
+fn parse_tuple_arity(group: TokenStream) -> usize {
+    let mut tokens = group.into_iter().peekable();
+    let mut arity = 0;
+    loop {
+        skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        arity += 1;
+        if !skip_to_comma(&mut tokens) {
+            break;
+        }
+        // tolerate a trailing comma
+        if tokens.peek().is_none() {
+            break;
+        }
+    }
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut tokens = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: unexpected token in enum: {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Tuple(parse_tuple_arity(g))
+            }
+            _ => Fields::Unit,
+        };
+        // skip an explicit discriminant and/or the separating comma
+        skip_to_comma(&mut tokens);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "struct" => {
+                    let name = expect_ident(&mut tokens);
+                    reject_generics(&mut tokens, &name);
+                    return match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Item::Struct {
+                                name,
+                                fields: Fields::Named(parse_named_fields(g.stream())),
+                            }
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Item::Struct {
+                                name,
+                                fields: Fields::Tuple(parse_tuple_arity(g.stream())),
+                            }
+                        }
+                        _ => Item::Struct {
+                            name,
+                            fields: Fields::Unit,
+                        },
+                    };
+                }
+                "enum" => {
+                    let name = expect_ident(&mut tokens);
+                    reject_generics(&mut tokens, &name);
+                    match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            return Item::Enum {
+                                name,
+                                variants: parse_variants(g.stream()),
+                            };
+                        }
+                        other => panic!("serde shim derive: expected enum body, got {other:?}"),
+                    }
+                }
+                // `union`, modifiers, etc. — keep scanning
+                _ => continue,
+            },
+            None => panic!("serde shim derive: no struct/enum found"),
+            _ => continue,
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn reject_generics(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let pushes: String = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})),"
+                            )
+                        })
+                        .collect();
+                    format!("serde::Value::Obj(vec![{pushes}])")
+                }
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: String = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                        .collect();
+                    format!("serde::Value::Arr(vec![{items}])")
+                }
+                Fields::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::Value::Obj(vec![(String::from(\"{vn}\"), serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Obj(vec![(String::from(\"{vn}\"), serde::Value::Arr(vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fieldnames) => {
+                            let binds = fieldnames.join(", ");
+                            let items: String = fieldnames
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Obj(vec![(String::from(\"{vn}\"), serde::Value::Obj(vec![{items}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let sets: String = names
+                        .iter()
+                        .map(|f| format!("{f}: serde::field(v, \"{f}\")?,"))
+                        .collect();
+                    format!("Ok({name} {{ {sets} }})")
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let gets: String = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?,"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             serde::Value::Arr(items) if items.len() == {n} => Ok({name}({gets})),\n\
+                             other => Err(serde::Error::msg(format!(\"expected {n}-array for {name}, got {{other:?}}\"))),\n\
+                         }}"
+                    )
+                }
+                Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let gets: String = (0..*n)
+                                .map(|i| {
+                                    format!("serde::Deserialize::from_value(&items[{i}])?,")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     serde::Value::Arr(items) if items.len() == {n} => Ok({name}::{vn}({gets})),\n\
+                                     other => Err(serde::Error::msg(format!(\"bad payload for {name}::{vn}: {{other:?}}\"))),\n\
+                                 }},"
+                            )
+                        }
+                        Fields::Named(fieldnames) => {
+                            let sets: String = fieldnames
+                                .iter()
+                                .map(|f| format!("{f}: serde::field(inner, \"{f}\")?,"))
+                                .collect();
+                            format!("\"{vn}\" => Ok({name}::{vn} {{ {sets} }}),")
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(serde::Error::msg(format!(\"unknown variant {{other}} for {name}\"))),\n\
+                             }},\n\
+                             serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, inner) = &fields[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => Err(serde::Error::msg(format!(\"unknown variant {{other}} for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(serde::Error::msg(format!(\"bad value for enum {name}: {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl parses")
+}

@@ -25,6 +25,9 @@ fn usage() -> ExitCode {
            profile <model> <device>      ground-truth simulation (IPC, latency, power)\n\
            predict <model> [<device>|--all-devices] [--regressor dt|knn|rf|xgb|lr]\n\
            rank <model>                  rank all devices by predicted IPC\n\
+           corpus [--strict] [--runs N] [--fault-profile none|light|harsh|k=v,..]\n\
+                                         build the training corpus under the robust\n\
+                                         measurement protocol and print its health report\n\
            ptx <model>                   print the generated PTX module\n\
            dot <model>                   print the model graph as Graphviz"
     );
@@ -116,11 +119,20 @@ fn cmd_analyze(name: &str) {
     let model = model_or_exit(name);
     let (profile, plan, counts, summary) = profile_model(&model).expect("analysis");
     println!("model: {}", profile.name);
-    println!("  input:                {}x{}", summary.input_size.0, summary.input_size.1);
+    println!(
+        "  input:                {}x{}",
+        summary.input_size.0, summary.input_size.1
+    );
     println!("  graph nodes:          {}", summary.num_nodes);
     println!("  weighted layers:      {}", summary.weighted_layers);
-    println!("  trainable params:     {}", thousands(summary.trainable_params));
-    println!("  non-trainable params: {}", thousands(summary.non_trainable_params));
+    println!(
+        "  trainable params:     {}",
+        thousands(summary.trainable_params)
+    );
+    println!(
+        "  non-trainable params: {}",
+        thousands(summary.non_trainable_params)
+    );
     println!("  neurons:              {}", thousands(summary.neurons));
     println!("  MACs:                 {}", thousands(summary.macs));
     println!("  FLOPs:                {}", thousands(summary.flops));
@@ -146,9 +158,16 @@ fn cmd_profile(name: &str, device: &str) {
     println!("  cycles:       {:.3e}", sim.cycles);
     println!("  latency:      {:.2} ms", sim.latency_ms);
     println!("  IPC:          {:.3}", sim.ipc);
-    println!("  DRAM traffic: {:.1} MB (avg L2 hit {:.0}%)", sim.dram_bytes / 1e6, sim.l2_hit * 100.0);
+    println!(
+        "  DRAM traffic: {:.1} MB (avg L2 hit {:.0}%)",
+        sim.dram_bytes / 1e6,
+        sim.l2_hit * 100.0
+    );
     println!("  avg power:    {:.1} W", power.avg_power_w);
-    println!("  energy:       {:.1} mJ (EDP {:.1} mJ*ms)", power.energy_mj, power.edp);
+    println!(
+        "  energy:       {:.1} mJ (EDP {:.1} mJ*ms)",
+        power.energy_mj, power.edp
+    );
 }
 
 fn cmd_predict(name: &str, device: Option<&str>, all: bool, kind: RegressorKind) {
@@ -161,11 +180,7 @@ fn cmd_predict(name: &str, device: Option<&str>, all: bool, kind: RegressorKind)
     } else {
         vec![device_or_exit(device.unwrap_or("GTX 1080 Ti"))]
     };
-    println!(
-        "predicted IPC for {} ({}):",
-        profile.name,
-        kind.name()
-    );
+    println!("predicted IPC for {} ({}):", profile.name, kind.name());
     for dev in devices {
         println!("  {:14} {:.3}", dev.name, predictor.predict(&profile, &dev));
     }
@@ -174,8 +189,7 @@ fn cmd_predict(name: &str, device: Option<&str>, all: bool, kind: RegressorKind)
 fn cmd_rank(name: &str) {
     let model = model_or_exit(name);
     let corpus = corpus();
-    let predictor =
-        PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
+    let predictor = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
     let devices = gpu_sim::all_devices();
     let outcome = rank_devices(&predictor, &model, &devices).expect("dse");
     println!(
@@ -185,7 +199,95 @@ fn cmd_rank(name: &str) {
         outcome.t_pm * 1e3
     );
     for (i, r) in outcome.ranking.iter().enumerate() {
-        println!("  {}. {:14} predicted IPC {:.3}", i + 1, r.device, r.predicted_ipc);
+        println!(
+            "  {}. {:14} predicted IPC {:.3}",
+            i + 1,
+            r.device,
+            r.predicted_ipc
+        );
+    }
+}
+
+fn cmd_corpus(args: &[&str]) -> ExitCode {
+    let mut cfg = RobustConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--strict" => cfg.strict = true,
+            "--runs" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) if n >= 1 => cfg.runs = n,
+                _ => {
+                    eprintln!("--runs needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fault-profile" => match it.next() {
+                Some(spec) => match gpu_sim::FaultProfile::parse(spec) {
+                    Ok(p) => cfg.faults = p,
+                    Err(e) => {
+                        eprintln!("bad --fault-profile: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("--fault-profile needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown corpus flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    eprintln!(
+        "building corpus (32 CNNs x 2 GPUs, {} run(s)/cell, strict={}) ...",
+        cfg.runs, cfg.strict
+    );
+    match build_paper_corpus_robust(&cfg) {
+        Ok((corpus, report)) => {
+            println!(
+                "corpus: {} rows, {} models",
+                corpus.dataset.len(),
+                corpus.profiles.len()
+            );
+            println!("report: {}", report.summary());
+            for cell in &report.cells {
+                match &cell.status {
+                    CellStatus::Ok => {}
+                    CellStatus::Degraded {
+                        transient_retries,
+                        hangs,
+                        rejected_outliers,
+                        failed_runs,
+                    } => println!(
+                        "  degraded {}@{}: {} retries, {} hangs, {} outliers, {} dead runs ({} kept)",
+                        cell.model,
+                        cell.device,
+                        transient_retries,
+                        hangs,
+                        rejected_outliers,
+                        failed_runs,
+                        cell.runs_retained
+                    ),
+                    CellStatus::Failed { error } => {
+                        println!("  FAILED {}@{}: {error}", cell.model, cell.device)
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!(
+                "corpus build failed ({}): {e}",
+                if e.transient() {
+                    "transient"
+                } else {
+                    "permanent"
+                }
+            );
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -213,16 +315,17 @@ fn main() -> ExitCode {
                     .position(|a| *a == "--regressor")
                     .and_then(|i| rest.get(i + 1).copied()),
             );
-            let device = rest
-                .get(1)
-                .filter(|d| !d.starts_with("--"))
-                .copied();
+            let device = rest.get(1).filter(|d| !d.starts_with("--")).copied();
             cmd_predict(model, device, all, kind);
         }
         Some("rank") => match it.next() {
             Some(m) => cmd_rank(m),
             None => return usage(),
         },
+        Some("corpus") => {
+            let rest: Vec<&str> = it.collect();
+            return cmd_corpus(&rest);
+        }
         Some("ptx") => match it.next() {
             Some(m) => {
                 let model = model_or_exit(m);

@@ -114,9 +114,7 @@ fn all_templates_match_bruteforce_on_representative_launches() {
             Template::EwAdd | Template::EwMul => {
                 launch(&kernel, 300, vec![0x1000, 0x2000, 0x3000, 300])
             }
-            Template::EwMulBcast => {
-                launch(&kernel, 300, vec![0x1000, 0x2000, 0x3000, 300, 7])
-            }
+            Template::EwMulBcast => launch(&kernel, 300, vec![0x1000, 0x2000, 0x3000, 300, 7]),
             Template::AffineCh => {
                 launch(&kernel, 300, vec![0x1000, 0x2000, 0x3000, 0x4000, 300, 7])
             }
@@ -125,9 +123,7 @@ fn all_templates_match_bruteforce_on_representative_launches() {
             | Template::ActSigmoid
             | Template::ActTanh
             | Template::ActSwish
-            | Template::ActHardSwish => {
-                launch(&kernel, 300, vec![0x1000, 0x2000, 300])
-            }
+            | Template::ActHardSwish => launch(&kernel, 300, vec![0x1000, 0x2000, 300]),
             Template::SoftmaxMax | Template::SoftmaxExpSum => KernelLaunch {
                 kernel: 0,
                 tag: "t".into(),
@@ -136,9 +132,7 @@ fn all_templates_match_bruteforce_on_representative_launches() {
                 bytes_read: 0,
                 bytes_written: 0,
             },
-            Template::SoftmaxDiv => {
-                launch(&kernel, 300, vec![0x1000, 0x2000, 0x3000, 300])
-            }
+            Template::SoftmaxDiv => launch(&kernel, 300, vec![0x1000, 0x2000, 0x3000, 300]),
             Template::Im2col => launch(
                 &kernel,
                 4 * 4 * 3,
@@ -158,7 +152,9 @@ fn all_templates_match_bruteforce_on_representative_launches() {
             Template::Depthwise => launch(
                 &kernel,
                 4 * 4 * 3,
-                vec![0x1000, 0x2000, 0x3000, 48, 9, 3, 6, 4, 3, 1, 1, 1, 1, 6, 0x9000, 1],
+                vec![
+                    0x1000, 0x2000, 0x3000, 48, 9, 3, 6, 4, 3, 1, 1, 1, 1, 6, 0x9000, 1,
+                ],
             ),
             Template::PoolMax | Template::PoolAvg => launch(
                 &kernel,
@@ -185,9 +181,7 @@ fn all_templates_match_bruteforce_on_representative_launches() {
                 16,
                 vec![0x1000, 0x2000, 16, 49, (1.0f32 / 49.0).to_bits() as u64],
             ),
-            Template::PadCopy => {
-                launch(&kernel, 120, vec![0x1000, 0x2000, 120, 12, 20, 44])
-            }
+            Template::PadCopy => launch(&kernel, 120, vec![0x1000, 0x2000, 120, 12, 20, 44]),
         };
         assert_equivalent(&kernel, &l);
     }
@@ -260,13 +254,7 @@ mod random_programs {
             let cta = kb.special(SpecialReg::CtaIdX);
             let tid = kb.special(SpecialReg::TidX);
             let dst = kb.r();
-            kb.mad(
-                Type::S32,
-                dst,
-                cta,
-                Operand::ImmI(recipe.block as i64),
-                tid,
-            );
+            kb.mad(Type::S32, dst, cta, Operand::ImmI(recipe.block as i64), tid);
             dst
         };
         // scaled/offset guard expression

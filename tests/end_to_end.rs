@@ -29,11 +29,7 @@ fn all_five_regressors_train_on_the_pipeline_output() {
         let p = PerformancePredictor::train(&corpus.dataset, kind, 42);
         let prof = corpus.profile("mobilenet").expect("profiled");
         let y = p.predict(prof, &gpu_sim::specs::gtx_1080_ti());
-        assert!(
-            y.is_finite() && y > 0.0,
-            "{} produced {y}",
-            kind.name()
-        );
+        assert!(y.is_finite() && y > 0.0, "{} produced {y}", kind.name());
     }
 }
 
@@ -68,8 +64,14 @@ fn ground_truth_same_model_reproducible_across_runs() {
     let b = small_corpus();
     assert_eq!(a.dataset.y, b.dataset.y, "corpus must be deterministic");
     assert_eq!(
-        a.profiles.iter().map(|p| p.ptx_instructions).collect::<Vec<_>>(),
-        b.profiles.iter().map(|p| p.ptx_instructions).collect::<Vec<_>>()
+        a.profiles
+            .iter()
+            .map(|p| p.ptx_instructions)
+            .collect::<Vec<_>>(),
+        b.profiles
+            .iter()
+            .map(|p| p.ptx_instructions)
+            .collect::<Vec<_>>()
     );
 }
 

@@ -1,0 +1,142 @@
+//! Integration test for the fault-tolerant profiling pipeline (the
+//! ISSUE's acceptance scenario): a hostile fault profile — 20% transient
+//! failures, 5% heavy-tailed outliers — over a 3-model mini-corpus must
+//! degrade gracefully, stay accurate, replay deterministically, and still
+//! fail fast in strict mode.
+
+use cnnperf_core::pipeline::{build_corpus_robust, CellStatus, RobustConfig};
+use cnnperf_core::Corpus;
+use gpu_sim::{DeviceSpec, FaultProfile, RetryPolicy};
+
+fn mini_models() -> Vec<cnn_ir::ModelGraph> {
+    ["alexnet", "mobilenet", "vgg16"]
+        .iter()
+        .map(|n| cnn_ir::zoo::build(n).unwrap())
+        .collect()
+}
+
+fn devices() -> Vec<DeviceSpec> {
+    gpu_sim::training_devices()
+}
+
+fn hostile() -> RobustConfig {
+    RobustConfig {
+        runs: 5,
+        retry: RetryPolicy::no_backoff(),
+        faults: FaultProfile::parse("transient=0.2,outlier=0.05,seed=7").expect("valid fault spec"),
+        strict: false,
+    }
+}
+
+fn ipc_of(corpus: &Corpus, model: &str, device: &str) -> Option<f64> {
+    corpus
+        .samples
+        .iter()
+        .find(|s| s.model == model && s.device == device)
+        .map(|s| s.ipc)
+}
+
+#[test]
+fn hostile_faults_degrade_gracefully_and_stay_accurate() {
+    let models = mini_models();
+    let devices = devices();
+
+    let (faulty, report) =
+        build_corpus_robust(&models, &devices, &hostile()).expect("non-strict build completes");
+    let (clean, clean_report) = build_corpus_robust(
+        &models,
+        &devices,
+        &RobustConfig {
+            runs: 5,
+            retry: RetryPolicy::no_backoff(),
+            ..RobustConfig::default()
+        },
+    )
+    .expect("fault-free build");
+
+    // the fault-free protocol sees nothing to degrade
+    assert_eq!(clean_report.ok_count(), clean_report.cells.len());
+    assert_eq!(clean.dataset.len(), models.len() * devices.len());
+
+    // under 20% transients + 5% outliers the build still completes, and
+    // the report is honest about what happened
+    assert_eq!(report.cells.len(), models.len() * devices.len());
+    assert!(
+        report.degraded_count() + report.failed_count() > 0,
+        "a 20%-transient profile must leave marks: {}",
+        report.summary()
+    );
+    // sanity: summary string reflects the counts
+    assert!(report
+        .summary()
+        .contains(&format!("{} cells", report.cells.len())));
+
+    // every retained cell's robust IPC is within 2% of the fault-free value
+    for cell in &report.cells {
+        if matches!(cell.status, CellStatus::Failed { .. }) {
+            assert!(
+                ipc_of(&faulty, &cell.model, &cell.device).is_none(),
+                "failed cell {}@{} must not contribute a dataset row",
+                cell.model,
+                cell.device
+            );
+            continue;
+        }
+        let got =
+            ipc_of(&faulty, &cell.model, &cell.device).expect("retained cell has a dataset row");
+        let want = ipc_of(&clean, &cell.model, &cell.device).expect("clean row");
+        let rel = ((got - want) / want).abs();
+        assert!(
+            rel < 0.02,
+            "{}@{}: robust IPC {got} drifted {:.2}% from fault-free {want}",
+            cell.model,
+            cell.device,
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn same_fault_seed_replays_byte_identical_report() {
+    let models = mini_models();
+    let devices = devices();
+
+    let (_, a) = build_corpus_robust(&models, &devices, &hostile()).unwrap();
+    let (_, b) = build_corpus_robust(&models, &devices, &hostile()).unwrap();
+    assert_eq!(a, b);
+    let ja = serde_json::to_string(&a).unwrap();
+    let jb = serde_json::to_string(&b).unwrap();
+    assert_eq!(ja, jb, "same seed must serialize byte-identically");
+
+    // a different seed is a different universe
+    let mut other = hostile();
+    other.faults = other.faults.with_seed(8);
+    let (_, c) = build_corpus_robust(&models, &devices, &other).unwrap();
+    assert_ne!(a, c);
+}
+
+#[test]
+fn strict_mode_fails_fast_under_faults() {
+    let models = mini_models();
+    let cfg = RobustConfig {
+        strict: true,
+        ..hostile()
+    };
+    let err = build_corpus_robust(&models, &devices(), &cfg)
+        .expect_err("strict build under 20% transients must abort");
+    // the abort reason is part of the retry contract: transient faults are
+    // exhausted into a permanent degradation, never silently absorbed
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+}
+
+#[test]
+fn strict_mode_without_faults_matches_plain_build() {
+    let models = mini_models();
+    let devices = devices();
+    let plain = cnnperf_core::build_corpus(&models, &devices).unwrap();
+    let (robust, report) =
+        build_corpus_robust(&models, &devices, &RobustConfig::strict_single_run()).unwrap();
+    assert_eq!(plain.dataset.y, robust.dataset.y);
+    assert_eq!(report.ok_count(), report.cells.len());
+}

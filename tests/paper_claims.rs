@@ -38,9 +38,8 @@ fn ipc_relationship_is_nonlinear() {
     let corpus = corpus();
     let lin = RegressorKind::LinearRegression.fit(&corpus.dataset, 42);
     let tree = RegressorKind::DecisionTree.fit(&corpus.dataset, 42);
-    let r2_of = |m: &mlkit::Model| {
-        mlkit::metrics::r2(&corpus.dataset.y, &m.predict(&corpus.dataset))
-    };
+    let r2_of =
+        |m: &mlkit::Model| mlkit::metrics::r2(&corpus.dataset.y, &m.predict(&corpus.dataset));
     let r2_lin = r2_of(&lin);
     let r2_tree = r2_of(&tree);
     assert!(
@@ -213,9 +212,8 @@ fn gemm_microtiling_reduces_instructions_on_a_real_model() {
     let model = cnn_ir::zoo::build("resnet50").expect("zoo model");
     let tiled = ptx_codegen::lower_with(&model, "sm_61", 1, ptx_codegen::GemmVariant::Tiled)
         .expect("lowering");
-    let micro =
-        ptx_codegen::lower_with(&model, "sm_61", 1, ptx_codegen::GemmVariant::Micro2x2)
-            .expect("lowering");
+    let micro = ptx_codegen::lower_with(&model, "sm_61", 1, ptx_codegen::GemmVariant::Micro2x2)
+        .expect("lowering");
     let ct = ptx_analysis::count_plan(&tiled, true).expect("counts");
     let cm = ptx_analysis::count_plan(&micro, true).expect("counts");
     assert!(cm.thread_instructions < ct.thread_instructions);

@@ -76,13 +76,32 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         Just(UnOp::Lg2)
     ];
     prop_oneof![
-        (int_type(), reg_strategy(), operand_strategy())
-            .prop_map(|(t, dst, src)| Op::Mov { t, dst, src }),
-        (bin, int_type(), reg_strategy(), operand_strategy(), operand_strategy())
+        (int_type(), reg_strategy(), operand_strategy()).prop_map(|(t, dst, src)| Op::Mov {
+            t,
+            dst,
+            src
+        }),
+        (
+            bin,
+            int_type(),
+            reg_strategy(),
+            operand_strategy(),
+            operand_strategy()
+        )
             .prop_map(|(op, t, dst, a, b)| Op::Bin { op, t, dst, a, b }),
-        (un, reg_strategy(), operand_strategy())
-            .prop_map(|(op, dst, a)| Op::Un { op, t: Type::F32, dst, a }),
-        (cmp, int_type(), reg_strategy(), operand_strategy(), operand_strategy())
+        (un, reg_strategy(), operand_strategy()).prop_map(|(op, dst, a)| Op::Un {
+            op,
+            t: Type::F32,
+            dst,
+            a
+        }),
+        (
+            cmp,
+            int_type(),
+            reg_strategy(),
+            operand_strategy(),
+            operand_strategy()
+        )
             .prop_map(|(cmp, t, dst, a, b)| Op::Setp { cmp, t, dst, a, b }),
         (reg_strategy(), reg_strategy(), -512i64..512).prop_map(|(dst, base, off)| {
             Op::Ld {
@@ -100,8 +119,19 @@ fn op_strategy() -> impl Strategy<Value = Op> {
                 addr: Address::reg_off(base, off),
             }
         }),
-        (reg_strategy(), operand_strategy(), operand_strategy(), operand_strategy())
-            .prop_map(|(dst, a, b, c)| Op::Mad { t: Type::F32, dst, a, b, c }),
+        (
+            reg_strategy(),
+            operand_strategy(),
+            operand_strategy(),
+            operand_strategy()
+        )
+            .prop_map(|(dst, a, b, c)| Op::Mad {
+                t: Type::F32,
+                dst,
+                a,
+                b,
+                c
+            }),
         Just(Op::Bar),
     ]
 }

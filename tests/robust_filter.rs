@@ -1,0 +1,108 @@
+//! Property tests for the median/MAD outlier filter behind the robust
+//! profiling protocol: a minority of arbitrarily large outliers must never
+//! drag the estimate outside the clean sample's range, and the filter must
+//! not depend on the order measurements arrive in.
+
+use gpu_sim::{mad, median, robust_filter, MAD_K};
+use proptest::prelude::*;
+
+/// Clean measurements: a tight band around IPC ~1.5, as repeated profiler
+/// runs of one (model, device) cell would produce.
+fn clean_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((1000u32..2000).prop_map(|m| m as f64 / 1000.0), 5..16)
+}
+
+/// Outliers at least 5x beyond the clean band: hiccup runs whose timers
+/// caught a context switch, a thermal event, a co-tenant.
+fn outlier_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((10_000u32..100_000).prop_map(|m| m as f64 / 1000.0), 0..3)
+}
+
+fn rotate(xs: &[f64], k: usize) -> Vec<f64> {
+    let n = xs.len();
+    let k = k % n;
+    let mut out = xs[k..].to_vec();
+    out.extend_from_slice(&xs[..k]);
+    out
+}
+
+proptest! {
+    /// Fewer outliers than half the sample (here: <=2 among >=5 clean)
+    /// never move the robust estimate outside the clean band — the
+    /// breakdown-point guarantee the protocol leans on.
+    #[test]
+    fn outliers_never_shift_estimate_beyond_clean_range(
+        clean in clean_sample(),
+        outliers in outlier_sample(),
+    ) {
+        let mut xs = clean.clone();
+        xs.extend_from_slice(&outliers);
+        let f = robust_filter(&xs, MAD_K);
+        let lo = clean.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = clean.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(
+            f.estimate >= lo && f.estimate <= hi,
+            "estimate {} escaped clean range [{}, {}] with outliers {:?}",
+            f.estimate, lo, hi, outliers
+        );
+        // the estimate never degrades past the clean sample's own spread
+        prop_assert!((f.estimate - median(&clean)).abs() <= hi - lo);
+    }
+
+    /// The filter is a function of the sample as a multiset: estimate,
+    /// MAD and the number of rejected points are permutation-invariant.
+    #[test]
+    fn filter_is_permutation_invariant(
+        clean in clean_sample(),
+        outliers in outlier_sample(),
+        k in 0usize..64,
+    ) {
+        let mut xs = clean;
+        xs.extend_from_slice(&outliers);
+        let base = robust_filter(&xs, MAD_K);
+
+        let mut reversed = xs.clone();
+        reversed.reverse();
+        let rotated = rotate(&xs, k);
+
+        for perm in [reversed, rotated] {
+            let f = robust_filter(&perm, MAD_K);
+            prop_assert_eq!(f.estimate, base.estimate);
+            prop_assert_eq!(f.mad, base.mad);
+            prop_assert_eq!(
+                f.keep.iter().filter(|&&kept| !kept).count(),
+                base.keep.iter().filter(|&&kept| !kept).count()
+            );
+        }
+    }
+
+    /// Median and MAD themselves are permutation-invariant and the median
+    /// always lies inside the sample's hull.
+    #[test]
+    fn median_is_order_free_and_bounded(xs in clean_sample(), k in 0usize..64) {
+        let m = median(&xs);
+        prop_assert_eq!(m, median(&rotate(&xs, k)));
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+        prop_assert_eq!(mad(&xs, m), mad(&rotate(&xs, k), m));
+    }
+
+    /// Degenerate samples (too small, or zero spread) retain everything:
+    /// the filter refuses to call anything an outlier without evidence.
+    #[test]
+    fn degenerate_samples_retain_everything(
+        x in (1u32..1000).prop_map(|m| m as f64 / 100.0),
+        n in 1usize..4,
+        m in 4usize..12,
+    ) {
+        // fewer than 4 samples
+        let small = vec![x; n];
+        prop_assert!(robust_filter(&small, MAD_K).keep.iter().all(|&k| k));
+        // zero MAD (identical measurements)
+        let flat = vec![x; m];
+        let f = robust_filter(&flat, MAD_K);
+        prop_assert!(f.keep.iter().all(|&k| k));
+        prop_assert_eq!(f.estimate, x);
+    }
+}

@@ -59,8 +59,8 @@ fn plans_count_without_analysis_errors() {
     for name in ["nasnetmobile", "InceptionResNetV2", "efficientnetb0"] {
         let model = cnn_ir::zoo::build(name).expect("model");
         let plan = ptx_codegen::lower(&model, "sm_61").expect("lowering");
-        let counts = ptx_analysis::count_plan(&plan, true)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let counts =
+            ptx_analysis::count_plan(&plan, true).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(counts.thread_instructions > 0);
         assert!(counts.warp_issues > 0);
         assert!(counts.warp_issues < counts.thread_instructions);
