@@ -15,31 +15,31 @@ pub fn corpus_path() -> PathBuf {
     PathBuf::from(target).join("cnnperf-paper-corpus-v2.json")
 }
 
-/// Load the paper corpus from the cache, building (and caching) it on a
-/// miss. The corpus is fully deterministic, so the cache is safe. A build
-/// failure propagates instead of aborting the process, so regeneration
-/// binaries can report it and exit with a status code.
+/// Load the paper corpus from the crash-safe cache, building (and caching)
+/// it on a miss. The corpus is fully deterministic, so the cache is safe;
+/// [`cnnperf_core::load_corpus`] validates a schema + checksum envelope
+/// and quarantines anything half-written (`<name>.corrupt`), so a crashed
+/// earlier run can never poison this one. A build failure propagates
+/// instead of aborting the process, so regeneration binaries can report
+/// it and exit with a status code.
 pub fn corpus_cached() -> Result<Corpus, cnnperf_core::ProfileError> {
     let path = corpus_path();
-    if let Ok(text) = fs::read_to_string(&path) {
-        if let Ok(c) = serde_json::from_str::<Corpus>(&text) {
-            // guard against stale caches from older feature layouts
-            if c.dataset.feature_names == cnnperf_core::feature_names() {
-                eprintln!("[bench] corpus cache hit: {}", path.display());
-                return Ok(c);
-            }
-            eprintln!("[bench] corpus cache stale (feature layout changed)");
+    match load_corpus(&path) {
+        // guard against stale caches from older feature layouts
+        Ok(c) if c.dataset.feature_names == cnnperf_core::feature_names() => {
+            eprintln!("[bench] corpus cache hit: {}", path.display());
+            return Ok(c);
         }
+        Ok(_) => eprintln!("[bench] corpus cache stale (feature layout changed)"),
+        // Absent = clean miss; Quarantined already warned on stderr
+        Err(_) => {}
     }
     eprintln!("[bench] building paper corpus (32 CNNs x 2 GPUs) ...");
     let t0 = std::time::Instant::now();
     let corpus = build_paper_corpus()?;
     eprintln!("[bench] corpus built in {:.1}s", t0.elapsed().as_secs_f64());
-    if let Ok(json) = serde_json::to_string(&corpus) {
-        if let Some(dir) = path.parent() {
-            let _ = fs::create_dir_all(dir);
-        }
-        let _ = fs::write(&path, json);
+    if let Err(e) = store_corpus(&path, &corpus) {
+        eprintln!("[bench] warning: corpus cache write failed: {e}");
     }
     Ok(corpus)
 }

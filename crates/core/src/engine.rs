@@ -1,0 +1,661 @@
+//! The deadline-aware tiered estimation engine.
+//!
+//! An estimation request (`model`, `device`) walks a ladder of tiers in
+//! fidelity order — detailed simulation, analytical model, trained
+//! regressor, stale cache — and is served by the first tier that succeeds
+//! within its time slice. Every hazard is contained and *classified*:
+//!
+//! - a wall-clock [`Deadline`] bounds the whole request; each tier gets an
+//!   even share of the remainder, and on expiry its cancellation token is
+//!   tripped so the cooperative loops in `ptx-analysis` and `gpu-sim`
+//!   unwind within their documented check intervals;
+//! - tier work runs on a worker thread under `catch_unwind`, so a panic
+//!   is a recorded tier failure, not a batch abort;
+//! - a per-tier [`CircuitBreaker`] (logical-tick clock, see
+//!   [`crate::resilience`]) stops routing work to a tier that keeps
+//!   failing, and re-probes it after a cooldown;
+//! - batches are bounded: requests beyond [`EngineConfig::queue_capacity`]
+//!   are shed immediately with an explicit `Overloaded` outcome.
+//!
+//! The result is the availability contract the chaos suite asserts: every
+//! request returns a classified [`EstimateOutcome`] within deadline + ε,
+//! no matter which tiers hang, panic, or crawl.
+
+use crate::features::profile_model_budgeted;
+use crate::model::PerformancePredictor;
+use crate::pipeline::Corpus;
+use crate::resilience::{BreakerConfig, BreakerState, CircuitBreaker, Deadline};
+use gpu_sim::{ChaosInjector, ChaosProfile, SimMode, Simulator, TierFaultKind};
+use ptx_analysis::ExecBudget;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// The estimation tiers, in descending fidelity (and cost) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Event-driven cycle-level simulation (the "hardware" stand-in).
+    Detailed,
+    /// Closed-form roofline estimate over exact instruction counts.
+    Analytical,
+    /// Trained-regressor prediction from DCA features (the paper's model).
+    Regressor,
+    /// Last known value for this (model, device), possibly stale.
+    StaleCache,
+}
+
+impl Tier {
+    /// The full ladder, fidelity-descending.
+    pub const LADDER: [Tier; 4] = [
+        Tier::Detailed,
+        Tier::Analytical,
+        Tier::Regressor,
+        Tier::StaleCache,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Detailed => "detailed",
+            Tier::Analytical => "analytical",
+            Tier::Regressor => "regressor",
+            Tier::StaleCache => "stale-cache",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Tier, String> {
+        match s.trim() {
+            "detailed" => Ok(Tier::Detailed),
+            "analytical" => Ok(Tier::Analytical),
+            "regressor" => Ok(Tier::Regressor),
+            "stale-cache" | "cache" => Ok(Tier::StaleCache),
+            other => Err(format!(
+                "unknown tier `{other}` (want detailed|analytical|regressor|stale-cache)"
+            )),
+        }
+    }
+
+    /// Parse a comma-separated ladder spec, e.g. `detailed,analytical`.
+    pub fn parse_ladder(spec: &str) -> Result<Vec<Tier>, String> {
+        let tiers: Vec<Tier> = spec.split(',').map(Tier::parse).collect::<Result<_, _>>()?;
+        if tiers.is_empty() {
+            return Err("empty tier ladder".into());
+        }
+        Ok(tiers)
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why one tier failed to serve a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TierFailure {
+    /// The tier did not answer within its time slice; its cancellation
+    /// token was tripped and the ladder moved on.
+    Timeout,
+    /// The tier panicked; the unwind was contained by the worker.
+    Panic(String),
+    /// The tier returned an error.
+    Error(String),
+    /// The tier's circuit breaker was open; no work was attempted.
+    BreakerOpen,
+    /// Stale-cache tier: no entry for this (model, device).
+    CacheMiss,
+    /// The deadline was already spent before this tier's turn.
+    DeadlineSpent,
+}
+
+impl TierFailure {
+    fn canonical(&self) -> String {
+        match self {
+            TierFailure::Timeout => "timeout".into(),
+            TierFailure::Panic(m) => format!("panic({m})"),
+            TierFailure::Error(m) => format!("error({m})"),
+            TierFailure::BreakerOpen => "breaker-open".into(),
+            TierFailure::CacheMiss => "cache-miss".into(),
+            TierFailure::DeadlineSpent => "deadline-spent".into(),
+        }
+    }
+}
+
+/// One rung of the degradation path of a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierAttempt {
+    pub tier: Tier,
+    pub failure: TierFailure,
+}
+
+/// Terminal classification of a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OutcomeKind {
+    /// Served by `tier` (possibly after degrading past earlier tiers).
+    Served { tier: Tier },
+    /// Every tier in the ladder failed; `attempts` says how.
+    Exhausted,
+    /// Shed at admission: the batch exceeded the engine's queue capacity.
+    Overloaded,
+}
+
+/// The classified result of one estimation request. Every request gets
+/// one — success, degradation, exhaustion and load-shedding all included.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EstimateOutcome {
+    pub model: String,
+    pub device: String,
+    pub kind: OutcomeKind,
+    /// Predicted IPC, when served.
+    pub ipc: Option<f64>,
+    /// Predicted latency in ms, when the serving tier computes one (the
+    /// regressor predicts IPC only).
+    pub latency_ms: Option<f64>,
+    /// The degradation path: one entry per tier that failed before the
+    /// request was served (or exhausted).
+    pub attempts: Vec<TierAttempt>,
+    /// Wall-clock time the request took. Excluded from [`canonical`]
+    /// (wall time is the one legitimately nondeterministic field).
+    pub elapsed_ms: f64,
+}
+
+impl EstimateOutcome {
+    /// Deterministic one-line rendering: everything except wall time.
+    /// Two runs with the same seed and inputs must produce byte-identical
+    /// canonical strings — the chaos suite's determinism oracle.
+    pub fn canonical(&self) -> String {
+        let kind = match &self.kind {
+            OutcomeKind::Served { tier } => format!("served:{tier}"),
+            OutcomeKind::Exhausted => "exhausted".into(),
+            OutcomeKind::Overloaded => "overloaded".into(),
+        };
+        let ipc = match self.ipc {
+            Some(v) => format!("{v:.9}"),
+            None => "-".into(),
+        };
+        let latency = match self.latency_ms {
+            Some(v) => format!("{v:.6}"),
+            None => "-".into(),
+        };
+        let path: Vec<String> = self
+            .attempts
+            .iter()
+            .map(|a| format!("{}:{}", a.tier, a.failure.canonical()))
+            .collect();
+        format!(
+            "{}@{} {kind} ipc={ipc} latency_ms={latency} path=[{}]",
+            self.model,
+            self.device,
+            path.join(",")
+        )
+    }
+
+    pub fn served(&self) -> bool {
+        matches!(self.kind, OutcomeKind::Served { .. })
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Wall-clock budget per request, milliseconds.
+    pub deadline_ms: u64,
+    /// Tier ladder, tried in order.
+    pub tiers: Vec<Tier>,
+    /// Circuit-breaker tuning shared by all tiers.
+    pub breaker: BreakerConfig,
+    /// Chaos injection (tests and drills; `none` in production).
+    pub chaos: ChaosProfile,
+    /// Requests admitted per batch; the rest are shed as `Overloaded`.
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            deadline_ms: 2000,
+            tiers: Tier::LADDER.to_vec(),
+            breaker: BreakerConfig::default(),
+            chaos: ChaosProfile::none(),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// The resilient estimation engine. Processes requests sequentially so
+/// breaker state evolves as a pure function of the request sequence (see
+/// [`crate::resilience`] on determinism).
+pub struct ResilientEngine {
+    config: EngineConfig,
+    breakers: HashMap<Tier, CircuitBreaker>,
+    /// Logical clock: one tick per admitted request.
+    tick: u64,
+    /// (model, device) -> (ipc, latency_ms): warmed from a corpus and
+    /// refreshed by every live success, read by the stale-cache tier.
+    cache: HashMap<(String, String), (f64, Option<f64>)>,
+    predictor: Option<Arc<PerformancePredictor>>,
+}
+
+impl ResilientEngine {
+    pub fn new(config: EngineConfig) -> Self {
+        ResilientEngine {
+            config,
+            breakers: HashMap::new(),
+            tick: 0,
+            cache: HashMap::new(),
+            predictor: None,
+        }
+    }
+
+    /// Attach a trained predictor for the regressor tier (without one the
+    /// tier fails fast with a classified error).
+    pub fn with_predictor(mut self, predictor: PerformancePredictor) -> Self {
+        self.predictor = Some(Arc::new(predictor));
+        self
+    }
+
+    /// Seed the stale-cache tier from a previously built corpus.
+    pub fn warm_from_corpus(&mut self, corpus: &Corpus) {
+        for s in &corpus.samples {
+            self.cache.insert(
+                (s.model.clone(), s.device.clone()),
+                (s.ipc, Some(s.latency_ms)),
+            );
+        }
+    }
+
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Current breaker state for a tier (`Closed` if it never saw traffic).
+    pub fn breaker_state(&self, tier: Tier) -> BreakerState {
+        self.breakers
+            .get(&tier)
+            .map(|b| b.state())
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Estimate one (model, device) cell through the tier ladder.
+    pub fn estimate(&mut self, model: &str, device: &str) -> EstimateOutcome {
+        self.tick += 1;
+        let tick = self.tick;
+        let deadline = Deadline::in_ms(self.config.deadline_ms);
+        let injector = ChaosInjector::new(self.config.chaos.clone());
+        let tiers = self.config.tiers.clone();
+        let mut attempts: Vec<TierAttempt> = Vec::new();
+
+        for (i, &tier) in tiers.iter().enumerate() {
+            // the stale cache is the in-process floor of the ladder: no
+            // worker, no breaker, immune to chaos, effectively instant
+            if tier == Tier::StaleCache {
+                match self.cache.get(&(model.to_string(), device.to_string())) {
+                    Some(&(ipc, latency_ms)) => {
+                        return self.outcome(
+                            model,
+                            device,
+                            OutcomeKind::Served { tier },
+                            Some(ipc),
+                            latency_ms,
+                            attempts,
+                            &deadline,
+                        );
+                    }
+                    None => {
+                        attempts.push(TierAttempt {
+                            tier,
+                            failure: TierFailure::CacheMiss,
+                        });
+                        continue;
+                    }
+                }
+            }
+
+            if deadline.expired() {
+                attempts.push(TierAttempt {
+                    tier,
+                    failure: TierFailure::DeadlineSpent,
+                });
+                continue;
+            }
+
+            let breaker = self
+                .breakers
+                .entry(tier)
+                .or_insert_with(|| CircuitBreaker::new(self.config.breaker.clone()));
+            if !breaker.admit(tick) {
+                attempts.push(TierAttempt {
+                    tier,
+                    failure: TierFailure::BreakerOpen,
+                });
+                continue;
+            }
+
+            let slice = deadline.tier_slice(tiers.len() - i);
+            let fault = injector.tier_fault(model, device, tier.name());
+            let result = run_tier(
+                tier,
+                model,
+                device,
+                self.predictor.clone(),
+                fault,
+                self.config.chaos.slow_ms,
+                slice,
+            );
+            match result {
+                Ok((ipc, latency_ms)) => {
+                    self.breakers
+                        .get_mut(&tier)
+                        .expect("breaker exists")
+                        .record(tick, true);
+                    self.cache
+                        .insert((model.to_string(), device.to_string()), (ipc, latency_ms));
+                    return self.outcome(
+                        model,
+                        device,
+                        OutcomeKind::Served { tier },
+                        Some(ipc),
+                        latency_ms,
+                        attempts,
+                        &deadline,
+                    );
+                }
+                Err(failure) => {
+                    self.breakers
+                        .get_mut(&tier)
+                        .expect("breaker exists")
+                        .record(tick, false);
+                    attempts.push(TierAttempt { tier, failure });
+                }
+            }
+        }
+
+        self.outcome(
+            model,
+            device,
+            OutcomeKind::Exhausted,
+            None,
+            None,
+            attempts,
+            &deadline,
+        )
+    }
+
+    /// Process a batch sequentially. At most
+    /// [`EngineConfig::queue_capacity`] requests are admitted; the rest
+    /// are shed immediately with `Overloaded` — an overloaded engine
+    /// answers fast rather than queueing into its own deadline.
+    pub fn estimate_batch(&mut self, requests: &[(String, String)]) -> Vec<EstimateOutcome> {
+        requests
+            .iter()
+            .enumerate()
+            .map(|(i, (model, device))| {
+                if i >= self.config.queue_capacity {
+                    EstimateOutcome {
+                        model: model.clone(),
+                        device: device.clone(),
+                        kind: OutcomeKind::Overloaded,
+                        ipc: None,
+                        latency_ms: None,
+                        attempts: Vec::new(),
+                        elapsed_ms: 0.0,
+                    }
+                } else {
+                    self.estimate(model, device)
+                }
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn outcome(
+        &self,
+        model: &str,
+        device: &str,
+        kind: OutcomeKind,
+        ipc: Option<f64>,
+        latency_ms: Option<f64>,
+        attempts: Vec<TierAttempt>,
+        deadline: &Deadline,
+    ) -> EstimateOutcome {
+        EstimateOutcome {
+            model: model.to_string(),
+            device: device.to_string(),
+            kind,
+            ipc,
+            latency_ms,
+            attempts,
+            elapsed_ms: deadline.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// Run one tier on a worker thread under `catch_unwind`, bounded by
+/// `slice`. On timeout the tier's cancellation token is tripped and the
+/// worker is abandoned — the cooperative cancellation contracts of
+/// `ptx-analysis` ([`ptx_analysis::CANCEL_CHECK_INTERVAL`]) and `gpu-sim`
+/// ([`gpu_sim::SIM_CANCEL_CHECK_EVENTS`]) guarantee it unwinds and exits
+/// shortly after, so abandoned workers cannot pile up.
+fn run_tier(
+    tier: Tier,
+    model: &str,
+    device: &str,
+    predictor: Option<Arc<PerformancePredictor>>,
+    fault: TierFaultKind,
+    slow_ms: u64,
+    slice: Duration,
+) -> Result<(f64, Option<f64>), TierFailure> {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel();
+    let worker_cancel = cancel.clone();
+    let model = model.to_string();
+    let device = device.to_string();
+    let spawned = std::thread::Builder::new()
+        .name(format!("tier-{}", tier.name()))
+        .spawn(move || {
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                tier_work(
+                    tier,
+                    &model,
+                    &device,
+                    predictor.as_deref(),
+                    fault,
+                    slow_ms,
+                    &worker_cancel,
+                )
+            }));
+            let _ = tx.send(out);
+        });
+    if spawned.is_err() {
+        return Err(TierFailure::Error("worker spawn failed".into()));
+    }
+    match rx.recv_timeout(slice) {
+        Ok(Ok(Ok(value))) => Ok(value),
+        Ok(Ok(Err(msg))) => Err(TierFailure::Error(msg)),
+        Ok(Err(payload)) => Err(TierFailure::Panic(panic_message(payload.as_ref()))),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            cancel.store(true, Ordering::Relaxed);
+            Err(TierFailure::Timeout)
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Err(TierFailure::Panic("worker died without reporting".into()))
+        }
+    }
+}
+
+// takes the unboxed dyn reference: coercing `&Box<dyn Any>` here would
+// downcast against the Box itself and always miss
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
+/// The actual work of one tier, run on the worker thread. Injected chaos
+/// is acted out here: a `Hang` spins on the cancellation token, a `Panic`
+/// unwinds for real, a `Slow` sleeps (cancellably) before working.
+fn tier_work(
+    tier: Tier,
+    model: &str,
+    device: &str,
+    predictor: Option<&PerformancePredictor>,
+    fault: TierFaultKind,
+    slow_ms: u64,
+    cancel: &Arc<AtomicBool>,
+) -> Result<(f64, Option<f64>), String> {
+    match fault {
+        TierFaultKind::Hang => {
+            while !cancel.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            return Err("injected hang, cancelled by deadline".into());
+        }
+        TierFaultKind::Panic => panic!("chaos: injected panic in {} tier", tier.name()),
+        TierFaultKind::Slow => {
+            for _ in 0..slow_ms {
+                if cancel.load(Ordering::Relaxed) {
+                    return Err("injected slowdown, cancelled by deadline".into());
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        TierFaultKind::None => {}
+    }
+
+    let dev =
+        gpu_sim::device_by_name(device).ok_or_else(|| format!("unknown device `{device}`"))?;
+    let graph = cnn_ir::zoo::build_any(model).ok_or_else(|| format!("unknown model `{model}`"))?;
+    let budget = ExecBudget::default().with_cancel(cancel.clone());
+    match tier {
+        Tier::Detailed | Tier::Analytical => {
+            let plan = ptx_codegen::lower(&graph, "sm_61").map_err(|e| e.to_string())?;
+            let mode = if tier == Tier::Detailed {
+                SimMode::Detailed
+            } else {
+                SimMode::Analytical
+            };
+            let report = Simulator::new(dev, mode)
+                .simulate_plan_budgeted(&plan, &budget)
+                .map_err(|e| e.to_string())?;
+            Ok((report.ipc, Some(report.latency_ms)))
+        }
+        Tier::Regressor => {
+            let predictor = predictor.ok_or("no trained predictor attached")?;
+            let (profile, _, _, _) =
+                profile_model_budgeted(&graph, &budget).map_err(|e| e.to_string())?;
+            Ok((predictor.predict(&profile, &dev), None))
+        }
+        Tier::StaleCache => unreachable!("stale cache is served inline by the engine"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_parses() {
+        assert_eq!(
+            Tier::parse_ladder("detailed,analytical").unwrap(),
+            vec![Tier::Detailed, Tier::Analytical]
+        );
+        assert_eq!(Tier::parse_ladder("cache").unwrap(), vec![Tier::StaleCache]);
+        assert!(Tier::parse_ladder("warp-speed").is_err());
+    }
+
+    #[test]
+    fn healthy_engine_serves_from_top_tier() {
+        let mut engine = ResilientEngine::new(EngineConfig {
+            deadline_ms: 30_000,
+            tiers: vec![Tier::Analytical, Tier::StaleCache],
+            ..EngineConfig::default()
+        });
+        let out = engine.estimate("mobilenet", "Quadro P1000");
+        assert_eq!(
+            out.kind,
+            OutcomeKind::Served {
+                tier: Tier::Analytical
+            },
+            "path: {:?}",
+            out.attempts
+        );
+        assert!(out.ipc.unwrap() > 0.0);
+        // the success refreshed the cache: a cache-only ladder now serves
+        let mut cached = ResilientEngine::new(EngineConfig {
+            tiers: vec![Tier::StaleCache],
+            ..EngineConfig::default()
+        });
+        cached.cache = engine.cache.clone();
+        let hit = cached.estimate("mobilenet", "Quadro P1000");
+        assert_eq!(
+            hit.kind,
+            OutcomeKind::Served {
+                tier: Tier::StaleCache
+            }
+        );
+        assert_eq!(hit.ipc, out.ipc);
+    }
+
+    #[test]
+    fn unknown_model_exhausts_with_classified_errors() {
+        let mut engine = ResilientEngine::new(EngineConfig {
+            deadline_ms: 10_000,
+            tiers: vec![Tier::Analytical, Tier::StaleCache],
+            ..EngineConfig::default()
+        });
+        let out = engine.estimate("not-a-model", "V100S");
+        assert_eq!(out.kind, OutcomeKind::Exhausted);
+        assert_eq!(out.attempts.len(), 2);
+        assert!(
+            matches!(&out.attempts[0].failure, TierFailure::Error(m) if m.contains("unknown model"))
+        );
+        assert_eq!(out.attempts[1].failure, TierFailure::CacheMiss);
+    }
+
+    #[test]
+    fn batch_sheds_load_beyond_capacity() {
+        let mut engine = ResilientEngine::new(EngineConfig {
+            queue_capacity: 1,
+            tiers: vec![Tier::StaleCache],
+            ..EngineConfig::default()
+        });
+        let reqs: Vec<(String, String)> = (0..3)
+            .map(|i| (format!("m{i}"), "V100S".to_string()))
+            .collect();
+        let outs = engine.estimate_batch(&reqs);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0].kind, OutcomeKind::Exhausted); // admitted, cache miss
+        assert_eq!(outs[1].kind, OutcomeKind::Overloaded);
+        assert_eq!(outs[2].kind, OutcomeKind::Overloaded);
+    }
+
+    #[test]
+    fn canonical_excludes_wall_time() {
+        let mut a = EstimateOutcome {
+            model: "m".into(),
+            device: "d".into(),
+            kind: OutcomeKind::Served {
+                tier: Tier::Detailed,
+            },
+            ipc: Some(1.25),
+            latency_ms: Some(3.5),
+            attempts: vec![TierAttempt {
+                tier: Tier::Detailed,
+                failure: TierFailure::Timeout,
+            }],
+            elapsed_ms: 12.0,
+        };
+        let c1 = a.canonical();
+        a.elapsed_ms = 99.0;
+        assert_eq!(c1, a.canonical());
+        assert!(c1.contains("served:detailed"));
+        assert!(c1.contains("detailed:timeout"));
+    }
+}

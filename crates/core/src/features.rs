@@ -92,10 +92,21 @@ impl From<ProfileFault> for ProfileError {
 pub fn profile_model(
     model: &ModelGraph,
 ) -> Result<(CnnProfile, LaunchPlan, PlanCount, ModelSummary), ProfileError> {
+    profile_model_budgeted(model, &ptx_analysis::ExecBudget::default())
+}
+
+/// [`profile_model`] under an execution budget: the budget's cancellation
+/// token and step fuel bound the dynamic code analysis, so a
+/// deadline-driven caller (the regressor tier of the estimation engine)
+/// can abandon a DCA that will not finish in time.
+pub fn profile_model_budgeted(
+    model: &ModelGraph,
+    budget: &ptx_analysis::ExecBudget,
+) -> Result<(CnnProfile, LaunchPlan, PlanCount, ModelSummary), ProfileError> {
     let summary = cnn_ir::analyze(model)?;
     let t0 = std::time::Instant::now();
     let plan = ptx_codegen::lower(model, "sm_61")?;
-    let counts = ptx_analysis::count_plan(&plan, true)?;
+    let counts = ptx_analysis::count_plan_budgeted(&plan, true, budget)?;
     let dca_seconds = t0.elapsed().as_secs_f64();
     let profile = CnnProfile {
         name: model.name().to_string(),

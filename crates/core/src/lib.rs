@@ -25,23 +25,37 @@
 //! println!("MAPE {:.2}%  R2 {:.2}", scores.mape, scores.r2);
 //! ```
 
+pub mod cache;
 pub mod dse;
+pub mod engine;
 pub mod features;
 pub mod model;
 pub mod pipeline;
 pub mod report;
+pub mod resilience;
 
+pub use cache::{load_corpus, store_corpus, CacheMiss, CORPUS_CACHE_SCHEMA};
 pub use dse::{naive_profile_time, rank_devices, rank_devices_profiled, DseOutcome};
-pub use features::{feature_names, feature_row, profile_model, CnnProfile, ProfileError};
+pub use engine::{
+    EngineConfig, EstimateOutcome, OutcomeKind, ResilientEngine, Tier, TierAttempt, TierFailure,
+};
+pub use features::{
+    feature_names, feature_row, profile_model, profile_model_budgeted, CnnProfile, ProfileError,
+};
 pub use model::{compare_regressors, PerformancePredictor, RegressorComparison};
 pub use pipeline::{
     build_corpus, build_corpus_robust, build_paper_corpus, build_paper_corpus_robust, CellReport,
     CellStatus, Corpus, CorpusReport, RobustConfig, SampleMeta,
 };
+pub use resilience::{BreakerConfig, BreakerState, CircuitBreaker, Deadline};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
+    pub use crate::cache::{load_corpus, store_corpus, CacheMiss};
     pub use crate::dse::{naive_profile_time, rank_devices, rank_devices_profiled};
+    pub use crate::engine::{
+        EngineConfig, EstimateOutcome, OutcomeKind, ResilientEngine, Tier, TierFailure,
+    };
     pub use crate::features::{feature_names, feature_row, profile_model, CnnProfile};
     pub use crate::model::{compare_regressors, PerformancePredictor};
     pub use crate::pipeline::{
@@ -49,5 +63,6 @@ pub mod prelude {
         CellStatus, Corpus, CorpusReport, RobustConfig,
     };
     pub use crate::report::{fixed, pct, thousands, Align, Table};
+    pub use crate::resilience::{BreakerConfig, BreakerState, CircuitBreaker, Deadline};
     pub use mlkit::{RegressorKind, Scores};
 }

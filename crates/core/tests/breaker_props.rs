@@ -1,0 +1,103 @@
+//! Property tests for the circuit-breaker state machine behind the
+//! resilient estimation engine. Three liveness/determinism guarantees:
+//!
+//! 1. A breaker is **never stuck open**: from any reachable open state,
+//!    admission at `opened_at + cooldown_ticks` starts a half-open probe.
+//! 2. Half-open admits **exactly the probe quota** before outcomes are
+//!    recorded — no more, no fewer.
+//! 3. The machine is **deterministic**: the same outcome sequence drives
+//!    two breakers through identical admit/state traces (the property the
+//!    engine's byte-identical chaos replays rest on).
+
+use cnnperf_core::resilience::{BreakerConfig, BreakerState, CircuitBreaker};
+use proptest::prelude::*;
+
+/// Randomized-but-sane breaker tuning.
+fn config() -> impl Strategy<Value = BreakerConfig> {
+    (2usize..10, 1usize..5, 3u32..10, 1u64..25, 1u32..5).prop_map(
+        |(window, min_samples, threshold_tenths, cooldown_ticks, probe_quota)| BreakerConfig {
+            window,
+            failure_threshold: threshold_tenths as f64 / 10.0,
+            min_samples: min_samples.min(window),
+            cooldown_ticks,
+            probe_quota,
+        },
+    )
+}
+
+/// Outcome sequences: true = success.
+fn outcomes() -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), 1..120)
+}
+
+proptest! {
+    /// From any reachable state, an open breaker admits again once the
+    /// cooldown has elapsed — it can never reject forever.
+    #[test]
+    fn never_stuck_open(cfg in config(), seq in outcomes()) {
+        let cooldown = cfg.cooldown_ticks;
+        let mut b = CircuitBreaker::new(cfg);
+        for (i, &ok) in seq.iter().enumerate() {
+            let tick = i as u64 + 1;
+            if b.admit(tick) {
+                b.record(tick, ok);
+            }
+            if b.state() == BreakerState::Open {
+                // a clone probes the future without disturbing the run
+                let mut probe = b.clone();
+                prop_assert!(
+                    probe.admit(tick + cooldown),
+                    "open at tick {tick}, still rejecting at {}",
+                    tick + cooldown
+                );
+                prop_assert_eq!(probe.state(), BreakerState::HalfOpen);
+            }
+        }
+    }
+
+    /// Once half-open, exactly `probe_quota` admits succeed before any
+    /// outcome is recorded; the next admit is rejected.
+    #[test]
+    fn half_open_admits_exactly_the_probe_quota(cfg in config()) {
+        let quota = cfg.probe_quota;
+        let cooldown = cfg.cooldown_ticks;
+        let min = cfg.min_samples as u64;
+        let mut b = CircuitBreaker::new(cfg);
+        // drive open with solid failures
+        let mut tick = 0;
+        while b.state() != BreakerState::Open {
+            tick += 1;
+            prop_assert!(b.admit(tick));
+            b.record(tick, false);
+            prop_assert!(tick <= min + 1, "did not open by tick {tick}");
+        }
+        let probe_tick = tick + cooldown;
+        let mut admitted = 0u32;
+        for _ in 0..quota + 3 {
+            if b.admit(probe_tick) {
+                admitted += 1;
+            }
+        }
+        prop_assert_eq!(admitted, quota);
+        prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    /// Identical inputs produce identical traces: admits, states, and the
+    /// records they gate never diverge between two breakers.
+    #[test]
+    fn deterministic_under_identical_sequences(cfg in config(), seq in outcomes()) {
+        let mut a = CircuitBreaker::new(cfg.clone());
+        let mut b = CircuitBreaker::new(cfg);
+        for (i, &ok) in seq.iter().enumerate() {
+            let tick = i as u64 + 1;
+            let ia = a.admit(tick);
+            let ib = b.admit(tick);
+            prop_assert_eq!(ia, ib, "admit diverged at tick {}", tick);
+            if ia {
+                a.record(tick, ok);
+                b.record(tick, ok);
+            }
+            prop_assert_eq!(a.state(), b.state(), "state diverged at tick {}", tick);
+        }
+    }
+}

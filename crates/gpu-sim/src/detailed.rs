@@ -17,9 +17,17 @@ use crate::specs::DeviceSpec;
 use crate::timing::{l2_hit_rate, timing_for, Timing};
 use ptx::inst::Category;
 use ptx::kernel::{Kernel, KernelLaunch};
-use ptx_analysis::{ExecError, Machine};
+use ptx_analysis::{ExecBudget, ExecError, Machine};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Scheduler events between cooperative-cancellation checks in the
+/// event-driven wave loop. This is the detailed simulator's documented
+/// cancellation-latency contract: once the [`ExecBudget`] token trips, the
+/// cycle loop returns [`ExecError::Cancelled`] after at most this many
+/// further warp-issue events (each event is one heap pop — nanoseconds of
+/// host work — so the wall-clock observation latency is microseconds).
+pub const SIM_CANCEL_CHECK_EVENTS: u64 = 4096;
 
 /// Detailed-simulation result for one launch.
 #[derive(Debug, Clone)]
@@ -48,20 +56,33 @@ pub const LAUNCH_OVERHEAD_US: f64 = 2.5;
 /// case dense layers tractable without changing the steady-state rate.
 const TRACE_CAP: usize = 262_144;
 
-/// Simulate one launch on `dev` in detail.
+/// Simulate one launch on `dev` in detail (unbounded budget).
 pub fn simulate_launch(
     kernel: &Kernel,
     launch: &KernelLaunch,
     dev: &DeviceSpec,
 ) -> Result<LaunchSim, ExecError> {
+    simulate_launch_budgeted(kernel, launch, dev, &ExecBudget::default())
+}
+
+/// [`simulate_launch`] under an execution budget: the budget's step fuel
+/// and cancellation token bound both the representative-thread execution
+/// and — via [`SIM_CANCEL_CHECK_EVENTS`] — the event-driven cycle loop
+/// itself, so a deadline-driven caller can abort a runaway simulation.
+pub fn simulate_launch_budgeted(
+    kernel: &Kernel,
+    launch: &KernelLaunch,
+    dev: &DeviceSpec,
+    budget: &ExecBudget,
+) -> Result<LaunchSim, ExecError> {
     let timing = timing_for(dev);
     let occ = occupancy(kernel, dev);
-    let machine = Machine::new(kernel, launch.blocks(), &launch.args);
+    let machine = Machine::new(kernel, launch.blocks(), &launch.args).with_budget(budget.clone());
     let (outcome, mut trace) = machine.run_traced(0, 0)?;
     let _ = outcome;
 
     // exact counts for reporting (cheap: interval splitting)
-    let counts = ptx_analysis::count_launch(kernel, launch, true)?;
+    let counts = ptx_analysis::count_launch_budgeted(kernel, launch, true, budget)?;
 
     let trace_scale = if trace.len() > TRACE_CAP {
         let s = trace.len() as f64 / TRACE_CAP as f64;
@@ -117,7 +138,9 @@ pub fn simulate_launch(
         bytes_per_load * (1.0 - l2_hit),
         bytes_per_store,
         dram_bpc_sm,
-    );
+        budget,
+        &kernel.name,
+    )?;
 
     let cycles = wave_cycles * trace_scale * waves as f64
         + LAUNCH_OVERHEAD_US * 1e-6 * dev.boost_clock_mhz as f64 * 1e6;
@@ -133,7 +156,9 @@ pub fn simulate_launch(
     })
 }
 
-/// Event-driven simulation of one wave on one SM. Returns cycles.
+/// Event-driven simulation of one wave on one SM. Returns cycles. The
+/// budget's cancellation token is polled every [`SIM_CANCEL_CHECK_EVENTS`]
+/// heap pops; its step fuel also caps total events (a hung-wave backstop).
 #[allow(clippy::too_many_arguments)]
 fn simulate_wave(
     trace: &[Category],
@@ -144,9 +169,11 @@ fn simulate_wave(
     dram_bytes_per_load: f64,
     dram_bytes_per_store: f64,
     dram_bpc: f64,
-) -> f64 {
+    budget: &ExecBudget,
+    kernel_name: &str,
+) -> Result<f64, ExecError> {
     if trace.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     let nwarps = (warps_per_block * blocks) as usize;
     // warp state: (ready_time, trace cursor); heap keyed by ready time
@@ -168,7 +195,24 @@ fn simulate_wave(
     let dram_cpl = (dram_bytes_per_load / dram_bpc * FX) as u64;
     let dram_cps = (dram_bytes_per_store / dram_bpc * FX) as u64;
 
+    let mut events: u64 = 0;
+    let max_events = budget.max_steps();
     while let Some(Reverse((ready, w))) = heap.pop() {
+        events += 1;
+        if events.is_multiple_of(SIM_CANCEL_CHECK_EVENTS) {
+            if budget.cancelled() {
+                return Err(ExecError::Cancelled {
+                    kernel: kernel_name.to_string(),
+                    step: events,
+                });
+            }
+            if events > max_events {
+                return Err(ExecError::StepLimit {
+                    limit: max_events,
+                    kernel: kernel_name.to_string(),
+                });
+            }
+        }
         let i = cursor[w];
         if i >= trace.len() {
             finish = finish.max(ready);
@@ -227,7 +271,7 @@ fn simulate_wave(
         }
     }
     finish = finish.max(issue_free).max(dram_free);
-    finish as f64 / FX
+    Ok(finish as f64 / FX)
 }
 
 #[cfg(test)]
@@ -346,6 +390,72 @@ mod tests {
             (0.05..4.0).contains(&ipc_per_sm),
             "per-SM IPC {ipc_per_sm} out of range"
         );
+    }
+
+    #[test]
+    fn cancelled_simulation_stops_within_bounded_events() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        // a launch big enough that the wave loop runs far past one check
+        // interval; a pre-tripped token must abort it at the first check
+        let dev = gtx_1080_ti();
+        let k = guard_kernel(64);
+        let l = launch(&k, 1 << 22, vec![1 << 22], 0, 0);
+        let token = Arc::new(AtomicBool::new(true));
+        let budget = ExecBudget::default().with_cancel(token);
+        match simulate_launch_budgeted(&k, &l, &dev, &budget) {
+            Err(ExecError::Cancelled { step, .. }) => {
+                // observed within the documented bound: the representative
+                // execution checks at step 0, the wave loop within
+                // SIM_CANCEL_CHECK_EVENTS events
+                assert!(
+                    step <= SIM_CANCEL_CHECK_EVENTS,
+                    "cancel observed only after {step} events"
+                );
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untripped_budget_matches_unbudgeted_simulation() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let dev = gtx_1080_ti();
+        let k = guard_kernel(16);
+        let l = launch(&k, 1 << 18, vec![200_000], 1 << 22, 1 << 20);
+        let plain = simulate_launch(&k, &l, &dev).unwrap();
+        let budget = ExecBudget::default().with_cancel(Arc::new(AtomicBool::new(false)));
+        let budgeted = simulate_launch_budgeted(&k, &l, &dev, &budget).unwrap();
+        assert_eq!(plain.cycles, budgeted.cycles);
+        assert_eq!(plain.warp_instructions, budgeted.warp_instructions);
+    }
+
+    #[test]
+    fn wave_event_fuel_catches_runaway() {
+        // a tiny step fuel trips the wave loop's StepLimit backstop. The
+        // kernel needs a long trace but few registers (so occupancy stays
+        // high and events = warps x trace overwhelms the fuel): a counted
+        // loop reusing one register, ~3.5k steps per thread.
+        let mut kb = KernelBuilder::new("runaway", 256);
+        let p_n = kb.param("n", Type::U32);
+        let n = kb.ld_param(&p_n, Type::U32);
+        let (_gid, exit) = kb.guard_gid(n);
+        let f = kb.f();
+        kb.counted_loop(Operand::ImmI(700), |kb, _i| {
+            kb.mov(Type::F32, f, Operand::ImmF(1.0));
+        });
+        kb.place_label(exit);
+        kb.ret();
+        let k = kb.finish();
+        let l = launch(&k, 1 << 22, vec![1 << 22], 0, 0);
+        let budget = ExecBudget::default().with_max_steps(SIM_CANCEL_CHECK_EVENTS);
+        // representative execution fits in the fuel; the wave loop (many
+        // warps x trace) does not
+        match simulate_launch_budgeted(&k, &l, &gtx_1080_ti(), &budget) {
+            Err(ExecError::StepLimit { .. }) => {}
+            other => panic!("expected StepLimit, got {other:?}"),
+        }
     }
 
     #[test]

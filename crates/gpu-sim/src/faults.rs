@@ -220,6 +220,177 @@ impl FaultInjector {
     }
 }
 
+/// What the chaos model injects into one estimation-tier invocation.
+///
+/// Unlike [`FaultOutcome`], which the measurement layer *reports*, a tier
+/// fault is *acted out* by the tier worker: a `Hang` really spins until the
+/// deadline's cancellation token fires, a `Panic` really unwinds, and a
+/// `Slow` really sleeps before doing the work. That makes the chaos suite
+/// exercise the engine's deadline and circuit-breaker machinery for real
+/// rather than against simulated flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierFaultKind {
+    /// The tier runs normally.
+    None,
+    /// The tier wedges and never produces a result on its own; only the
+    /// cancellation token (tripped when the tier's time slice expires)
+    /// gets it off the CPU.
+    Hang,
+    /// The tier panics mid-flight; the engine must contain the unwind.
+    Panic,
+    /// The tier sleeps for [`ChaosProfile::slow_ms`] before doing the real
+    /// work — long enough to blow a tight per-tier slice, short enough to
+    /// succeed under a generous one.
+    Slow,
+}
+
+/// Chaos rates for the resilient estimation engine. All rates are
+/// probabilities per `(model, device, tier)` invocation in `[0, 1]`,
+/// drawn from disjoint slices of one uniform variate (so they must sum to
+/// at most 1); `seed` decorrelates campaigns that share rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosProfile {
+    /// Probability a tier invocation hangs until cancelled.
+    pub hang_rate: f64,
+    /// Probability a tier invocation panics.
+    pub panic_rate: f64,
+    /// Probability a tier invocation is delayed by `slow_ms` first.
+    pub slow_rate: f64,
+    /// Injected delay for `Slow` faults, in milliseconds.
+    pub slow_ms: u64,
+    /// Campaign seed mixed into every per-invocation decision.
+    pub seed: u64,
+}
+
+impl ChaosProfile {
+    /// No chaos; [`ChaosInjector`] short-circuits to `None`.
+    pub fn none() -> Self {
+        ChaosProfile {
+            hang_rate: 0.0,
+            panic_rate: 0.0,
+            slow_rate: 0.0,
+            slow_ms: 0,
+            seed: 0,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.hang_rate == 0.0 && self.panic_rate == 0.0 && self.slow_rate == 0.0
+    }
+
+    /// Parse a CLI spec: `none`, or a comma-separated key=value list, e.g.
+    /// `hang=0.3,panic=0.2,slow=0.2,slow_ms=50,seed=7`. Unlisted fields
+    /// keep the `none()` defaults (`slow_ms` defaults to 25 when any slow
+    /// faults are on).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec == "none" {
+            return Ok(Self::none());
+        }
+        let mut p = Self::none();
+        let mut slow_ms_set = false;
+        for part in spec.split(',') {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad chaos spec element `{part}` (want key=value)"))?;
+            let fval = || {
+                value
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad number `{value}` for `{key}`"))
+            };
+            let uval = || {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad integer `{value}` for `{key}`"))
+            };
+            match key.trim() {
+                "hang" => p.hang_rate = fval()?,
+                "panic" => p.panic_rate = fval()?,
+                "slow" => p.slow_rate = fval()?,
+                "slow_ms" => {
+                    p.slow_ms = uval()?;
+                    slow_ms_set = true;
+                }
+                "seed" => p.seed = uval()?,
+                other => return Err(format!("unknown chaos spec key `{other}`")),
+            }
+        }
+        for (name, rate) in [
+            ("hang", p.hang_rate),
+            ("panic", p.panic_rate),
+            ("slow", p.slow_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} rate {rate} outside [0, 1]"));
+            }
+        }
+        if p.hang_rate + p.panic_rate + p.slow_rate > 1.0 {
+            return Err(format!(
+                "chaos rates sum to {} > 1",
+                p.hang_rate + p.panic_rate + p.slow_rate
+            ));
+        }
+        if p.slow_rate > 0.0 && !slow_ms_set {
+            p.slow_ms = 25;
+        }
+        Ok(p)
+    }
+}
+
+impl Default for ChaosProfile {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Draws tier faults deterministically from a [`ChaosProfile`].
+#[derive(Debug, Clone)]
+pub struct ChaosInjector {
+    profile: ChaosProfile,
+}
+
+impl ChaosInjector {
+    pub fn new(profile: ChaosProfile) -> Self {
+        ChaosInjector { profile }
+    }
+
+    pub fn profile(&self) -> &ChaosProfile {
+        &self.profile
+    }
+
+    /// Decide the fate of one tier invocation. Pure in its arguments: the
+    /// same `(profile, model, device, tier)` always yields the same fault,
+    /// so a fixed-seed chaos run replays byte-for-byte, and the fault
+    /// varies across tiers so one request can hit a hang in the detailed
+    /// tier and still find a clean analytical tier beneath it.
+    pub fn tier_fault(&self, model: &str, device: &str, tier: &str) -> TierFaultKind {
+        let p = &self.profile;
+        if p.is_none() {
+            return TierFaultKind::None;
+        }
+        // reuse the attempt hash with the tier name folded into the model
+        // slot and a fixed discriminator in run/attempt so chaos draws are
+        // decorrelated from FaultInjector draws that share a seed
+        let key = format!("{model}\u{1f}{tier}");
+        let h = attempt_hash(p.seed ^ 0xC0A5_1DE5_C0A5_1DE5, &key, device, u32::MAX, 0);
+        let u = unit(mix(h));
+        if u < p.hang_rate {
+            return TierFaultKind::Hang;
+        }
+        if u < p.hang_rate + p.panic_rate {
+            return TierFaultKind::Panic;
+        }
+        if u < p.hang_rate + p.panic_rate + p.slow_rate {
+            return TierFaultKind::Slow;
+        }
+        TierFaultKind::None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +451,70 @@ mod tests {
                 assert!(recovered, "run {run} never recovers within 10 attempts");
             }
         }
+    }
+
+    #[test]
+    fn chaos_faults_are_deterministic_and_tier_sensitive() {
+        let p = ChaosProfile {
+            hang_rate: 0.3,
+            panic_rate: 0.2,
+            slow_rate: 0.2,
+            slow_ms: 10,
+            seed: 11,
+        };
+        let a = ChaosInjector::new(p.clone());
+        let b = ChaosInjector::new(p);
+        let mut tier_differs = false;
+        for m in ["alexnet", "vgg16", "mobilenet", "resnet50"] {
+            for d in ["GTX 1080 Ti", "V100S"] {
+                assert_eq!(
+                    a.tier_fault(m, d, "detailed"),
+                    b.tier_fault(m, d, "detailed")
+                );
+                if a.tier_fault(m, d, "detailed") != a.tier_fault(m, d, "analytical") {
+                    tier_differs = true;
+                }
+            }
+        }
+        assert!(tier_differs, "tier name should decorrelate chaos draws");
+    }
+
+    #[test]
+    fn chaos_rates_are_roughly_respected() {
+        let inj = ChaosInjector::new(ChaosProfile {
+            hang_rate: 0.25,
+            panic_rate: 0.25,
+            slow_rate: 0.25,
+            slow_ms: 1,
+            seed: 5,
+        });
+        let n = 3000;
+        let (mut hangs, mut panics, mut slows) = (0, 0, 0);
+        for i in 0..n {
+            match inj.tier_fault(&format!("model{i}"), "dev", "tier") {
+                TierFaultKind::Hang => hangs += 1,
+                TierFaultKind::Panic => panics += 1,
+                TierFaultKind::Slow => slows += 1,
+                TierFaultKind::None => {}
+            }
+        }
+        for (name, count) in [("hang", hangs), ("panic", panics), ("slow", slows)] {
+            let rate = count as f64 / n as f64;
+            assert!((rate - 0.25).abs() < 0.04, "{name} rate {rate}");
+        }
+    }
+
+    #[test]
+    fn chaos_parse_specs() {
+        assert!(ChaosProfile::parse("none").unwrap().is_none());
+        let p = ChaosProfile::parse("hang=0.3,slow=0.1,seed=7").unwrap();
+        assert_eq!(p.hang_rate, 0.3);
+        assert_eq!(p.slow_rate, 0.1);
+        assert_eq!(p.slow_ms, 25, "slow_ms defaults on when slow set");
+        assert_eq!(p.seed, 7);
+        assert!(ChaosProfile::parse("hang=0.6,panic=0.6").is_err());
+        assert!(ChaosProfile::parse("bogus=1").is_err());
+        assert!(ChaosProfile::parse("garbage").is_err());
     }
 
     #[test]

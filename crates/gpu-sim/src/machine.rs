@@ -1,11 +1,11 @@
 //! Whole-plan simulation: run every launch of a [`LaunchPlan`] on a device
 //! and aggregate cycles, instruction counts and the headline IPC metric.
 
-use crate::detailed::{simulate_launch, LaunchSim};
+use crate::detailed::{simulate_launch_budgeted, LaunchSim};
 use crate::specs::DeviceSpec;
 use parking_lot::Mutex;
 use ptx::kernel::{KernelLaunch, LaunchPlan};
-use ptx_analysis::ExecError;
+use ptx_analysis::{ExecBudget, ExecError};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -63,19 +63,33 @@ impl Simulator {
     /// Simulate a full launch plan (serialized launches, as in single-stream
     /// inference).
     pub fn simulate_plan(&self, plan: &LaunchPlan) -> Result<SimReport, ExecError> {
+        self.simulate_plan_budgeted(plan, &ExecBudget::default())
+    }
+
+    /// [`simulate_plan`] under an execution budget: the budget's step fuel
+    /// and cancellation token propagate into every per-launch simulation
+    /// (detailed cycle loops included), so a deadline-driven caller can
+    /// abort the whole plan cooperatively.
+    pub fn simulate_plan_budgeted(
+        &self,
+        plan: &LaunchPlan,
+        budget: &ExecBudget,
+    ) -> Result<SimReport, ExecError> {
         let sims: Vec<LaunchSim> = match self.mode {
-            SimMode::Detailed => self.run_memoized(plan)?,
+            SimMode::Detailed => self.run_memoized(plan, budget)?,
             SimMode::DetailedNoMemo => plan
                 .launches
                 .par_iter()
-                .map(|l| simulate_launch(&plan.module.kernels[l.kernel], l, &self.dev))
+                .map(|l| {
+                    simulate_launch_budgeted(&plan.module.kernels[l.kernel], l, &self.dev, budget)
+                })
                 .collect::<Result<_, _>>()?,
             SimMode::Analytical => plan
                 .launches
                 .par_iter()
                 .map(|l| {
                     let k = &plan.module.kernels[l.kernel];
-                    let counts = ptx_analysis::count_launch(k, l, true)?;
+                    let counts = ptx_analysis::count_launch_budgeted(k, l, true, budget)?;
                     let cycles = crate::analytical::estimate_launch(k, l, &counts, &self.dev)?;
                     Ok(LaunchSim {
                         cycles,
@@ -123,7 +137,11 @@ impl Simulator {
 
     /// Detailed simulation with per-(kernel, grid, args) memoization —
     /// repeated identical layers cost one simulation.
-    fn run_memoized(&self, plan: &LaunchPlan) -> Result<Vec<LaunchSim>, ExecError> {
+    fn run_memoized(
+        &self,
+        plan: &LaunchPlan,
+        budget: &ExecBudget,
+    ) -> Result<Vec<LaunchSim>, ExecError> {
         type Key = (usize, u32, Vec<u64>, u64, u64);
         let key_of = |l: &KernelLaunch| -> Key {
             (
@@ -158,7 +176,12 @@ impl Simulator {
                     bytes_read: *br,
                     bytes_written: *bw,
                 };
-                let sim = simulate_launch(&plan.module.kernels[*kidx], &launch, &self.dev)?;
+                let sim = simulate_launch_budgeted(
+                    &plan.module.kernels[*kidx],
+                    &launch,
+                    &self.dev,
+                    budget,
+                )?;
                 cache.lock().insert(id, sim);
                 Ok(())
             },

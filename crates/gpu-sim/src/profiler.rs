@@ -10,7 +10,7 @@ use crate::faults::{FaultInjector, FaultOutcome};
 use crate::machine::{SimMode, SimReport, Simulator};
 use crate::specs::DeviceSpec;
 use ptx::kernel::LaunchPlan;
-use ptx_analysis::ExecError;
+use ptx_analysis::{ExecBudget, ExecError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -70,8 +70,22 @@ pub fn profile_run(
     dev: &DeviceSpec,
     run: u32,
 ) -> Result<ProfileRecord, ExecError> {
+    profile_run_budgeted(plan, dev, run, &ExecBudget::default())
+}
+
+/// [`profile_run`] under an execution budget: the budget's cancellation
+/// token and step fuel bound the underlying detailed simulation, so a
+/// deadline-driven caller (the resilient estimation engine's detailed
+/// tier) can kill a wedged profile instead of waiting forever.
+pub fn profile_run_budgeted(
+    plan: &LaunchPlan,
+    dev: &DeviceSpec,
+    run: u32,
+    budget: &ExecBudget,
+) -> Result<ProfileRecord, ExecError> {
     let t0 = std::time::Instant::now();
-    let report: SimReport = Simulator::new(dev.clone(), SimMode::Detailed).simulate_plan(plan)?;
+    let report: SimReport =
+        Simulator::new(dev.clone(), SimMode::Detailed).simulate_plan_budgeted(plan, budget)?;
     let wall = t0.elapsed().as_secs_f64();
 
     let seed = hash_seed(&plan.model_name, &dev.name, run);

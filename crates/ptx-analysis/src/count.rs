@@ -95,17 +95,37 @@ pub fn count_launch_budgeted(
     }];
     let mut finals: Vec<(Rect, ThreadOutcome)> = Vec::new();
     let mut reps = 0u32;
+    // interpreter steps across all representative runs so far: lets a
+    // cancellation report where in the whole launch count it landed
+    let mut steps_done = 0u64;
     // safety valve: pathological kernels could split forever
     const MAX_PIECES: usize = 4096;
 
     while let Some(r) = work.pop() {
+        // nested-execution cancellation bound: besides the per-run check
+        // every CANCEL_CHECK_INTERVAL steps, a pending cancel is observed
+        // between rectangles, so the worst-case observation latency stays
+        // one interval regardless of how many representatives run
+        if budget.cancelled() {
+            return Err(ExecError::Cancelled {
+                kernel: kernel.name.clone(),
+                step: steps_done,
+            });
+        }
         if finals.len() + work.len() > MAX_PIECES {
             return Err(ExecError::SplitBudget {
                 limit: MAX_PIECES as u64,
                 kernel: kernel.name.clone(),
             });
         }
-        let outcome = machine.run(r.b0, r.t0)?;
+        let outcome = machine.run(r.b0, r.t0).map_err(|e| match e {
+            ExecError::Cancelled { kernel, step } => ExecError::Cancelled {
+                kernel,
+                step: steps_done + step,
+            },
+            other => other,
+        })?;
+        steps_done += outcome.count;
         reps += 1;
         // find one applicable split
         let mut split: Option<(bool, u64)> = None; // (is_block_dim, at)

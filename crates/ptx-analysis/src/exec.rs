@@ -27,7 +27,15 @@ use std::sync::Arc;
 
 /// Steps between cooperative-cancellation checks; amortizes the atomic
 /// load to noise on the interpreter hot loop.
-const CANCEL_CHECK_INTERVAL: u64 = 8192;
+///
+/// This is the executor's cancellation-latency contract: a tripped token
+/// is observed within at most `CANCEL_CHECK_INTERVAL` interpreter steps of
+/// any single representative-thread execution. The check also fires at
+/// step 0, so in *nested* execution (the counting layer re-running the
+/// machine once per grid rectangle, including slice mode) the bound holds
+/// across representative runs too — a fresh run observes a pending cancel
+/// before executing its first instruction.
+pub const CANCEL_CHECK_INTERVAL: u64 = 8192;
 
 /// Execution budget for the symbolic executor: step fuel plus an optional
 /// cooperative cancellation token shared across threads. Replaces the old
@@ -137,7 +145,10 @@ pub enum ExecError {
     /// Grid-splitting budget exhausted while counting the named kernel.
     SplitBudget { limit: u64, kernel: String },
     /// Execution cancelled via the [`ExecBudget`] cancellation token.
-    Cancelled { kernel: String },
+    /// `step` reports where the cancel landed: the interpreter step count
+    /// of the representative execution (or, from the counting layer, the
+    /// accumulated steps across all representative runs of the launch).
+    Cancelled { kernel: String, step: u64 },
     /// `ld.param` referenced an unknown parameter name.
     UnknownParam { name: String },
     /// Branch to an undefined label.
@@ -162,8 +173,8 @@ impl fmt::Display for ExecError {
                     "grid-split budget {limit} exhausted in kernel `{kernel}`"
                 )
             }
-            ExecError::Cancelled { kernel } => {
-                write!(f, "execution of kernel `{kernel}` cancelled")
+            ExecError::Cancelled { kernel, step } => {
+                write!(f, "execution of kernel `{kernel}` cancelled at step {step}")
             }
             ExecError::UnknownParam { name } => write!(f, "unknown param {name}"),
             ExecError::BadLabel { pc } => write!(f, "bad label at {pc}"),
@@ -324,6 +335,7 @@ impl Machine {
             if count.is_multiple_of(CANCEL_CHECK_INTERVAL) && self.budget.cancelled() {
                 return Err(ExecError::Cancelled {
                     kernel: self.kernel_name.clone(),
+                    step: count,
                 });
             }
             let inst = &self.instrs[pc];
@@ -1020,8 +1032,39 @@ mod tests {
         let m = Machine::new(&k, 1, &[]).with_budget(ExecBudget::default().with_cancel(token));
         assert!(matches!(
             m.run(0, 0),
-            Err(ExecError::Cancelled { kernel }) if kernel == "spin"
+            Err(ExecError::Cancelled { kernel, step: 0 }) if kernel == "spin"
         ));
+    }
+
+    #[test]
+    fn cancellation_observed_within_documented_interval() {
+        // cancel mid-flight: trip the token from another thread and check
+        // the reported step is a multiple of the documented interval
+        let mut kb = KernelBuilder::new("spin2", 32);
+        let head = kb.label();
+        kb.place_label(head);
+        let r = kb.r();
+        kb.mov(Type::U32, r, Operand::ImmI(1));
+        kb.bra_uni(head);
+        let k = kb.finish();
+        let token = Arc::new(AtomicBool::new(false));
+        let m = Machine::new(&k, 1, &[])
+            .with_budget(ExecBudget::default().with_cancel(Arc::clone(&token)));
+        let t = {
+            let token = Arc::clone(&token);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                token.store(true, Ordering::Relaxed);
+            })
+        };
+        match m.run(0, 0) {
+            Err(ExecError::Cancelled { kernel, step }) => {
+                assert_eq!(kernel, "spin2");
+                assert_eq!(step % CANCEL_CHECK_INTERVAL, 0, "step {step} off-interval");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        t.join().unwrap();
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub use count::{
     LaunchCount, PlanCount, WARP,
 };
 pub use depgraph::DepGraph;
-pub use exec::{Break, ExecBudget, ExecError, Machine, ThreadOutcome, Val, NCAT};
+pub use exec::{
+    Break, ExecBudget, ExecError, Machine, ThreadOutcome, Val, CANCEL_CHECK_INTERVAL, NCAT,
+};
 pub use slice::{branch_slice, slice_fraction};
 pub use stats::{kernel_stats, KernelStats};

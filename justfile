@@ -17,6 +17,13 @@ clippy:
 test:
     cargo test -q --workspace
 
+# Fault/chaos acceptance suites. Seeds are fixed in the test sources, so a
+# pass is reproducible byte-for-byte; `timeout` is the last-resort watchdog
+# should the deadline machinery itself wedge.
+chaos:
+    timeout 600 cargo test -q --test chaos_engine --test fault_tolerance
+    timeout 300 cargo test -q -p cnnperf-core --test breaker_props
+
 build:
     cargo build --release --workspace
 

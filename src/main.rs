@@ -12,7 +12,6 @@
 
 use cnnperf::prelude::*;
 use gpu_sim::{estimate_power, SimMode, Simulator};
-use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -28,6 +27,11 @@ fn usage() -> ExitCode {
            corpus [--strict] [--runs N] [--fault-profile none|light|harsh|k=v,..]\n\
                                          build the training corpus under the robust\n\
                                          measurement protocol and print its health report\n\
+           estimate <models> <devices|--all-devices> [--deadline-ms N] [--tiers t1,t2,..]\n\
+                    [--chaos none|k=v,..] [--queue-capacity N]\n\
+                                         deadline-bounded batch estimation through the\n\
+                                         tiered engine (detailed > analytical > regressor\n\
+                                         > stale-cache); models/devices comma-separated\n\
            ptx <model>                   print the generated PTX module\n\
            dot <model>                   print the model graph as Graphviz"
     );
@@ -68,25 +72,39 @@ fn regressor_of(flag: Option<&str>) -> RegressorKind {
     }
 }
 
-/// Load or build the full paper corpus, cached next to the bench harness's
-/// cache.
-fn corpus() -> Corpus {
+/// Location of the crash-safe corpus cache (shared with the bench
+/// harness; override with `CNNPERF_CORPUS`).
+fn corpus_cache_path() -> PathBuf {
+    if let Ok(p) = std::env::var("CNNPERF_CORPUS") {
+        return PathBuf::from(p);
+    }
     let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
-    let path = PathBuf::from(target).join("cnnperf-paper-corpus-v2.json");
-    if let Ok(text) = fs::read_to_string(&path) {
-        if let Ok(c) = serde_json::from_str::<Corpus>(&text) {
-            if c.dataset.feature_names == feature_names() {
-                return c;
-            }
+    PathBuf::from(target).join("cnnperf-paper-corpus-v2.json")
+}
+
+/// Load the corpus from the crash-safe cache without building on a miss.
+fn corpus_if_cached() -> Option<Corpus> {
+    match load_corpus(&corpus_cache_path()) {
+        Ok(c) if c.dataset.feature_names == feature_names() => Some(c),
+        Ok(_) => {
+            eprintln!("corpus cache stale (feature layout changed)");
+            None
         }
+        // Absent is a clean miss; Quarantined already warned on stderr
+        Err(_) => None,
+    }
+}
+
+/// Load or build the full paper corpus, cached crash-safely next to the
+/// bench harness's cache.
+fn corpus() -> Corpus {
+    if let Some(c) = corpus_if_cached() {
+        return c;
     }
     eprintln!("building training corpus (32 CNNs x 2 GPUs, ~1 min, cached afterwards)...");
     let c = build_paper_corpus().expect("corpus build");
-    if let Some(dir) = path.parent() {
-        let _ = fs::create_dir_all(dir);
-    }
-    if let Ok(json) = serde_json::to_string(&c) {
-        let _ = fs::write(&path, json);
+    if let Err(e) = store_corpus(&corpus_cache_path(), &c) {
+        eprintln!("warning: corpus cache write failed: {e}");
     }
     c
 }
@@ -291,6 +309,134 @@ fn cmd_corpus(args: &[&str]) -> ExitCode {
     }
 }
 
+fn cmd_estimate(args: &[&str]) -> ExitCode {
+    let mut config = EngineConfig::default();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut all_devices = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--all-devices" => all_devices = true,
+            "--deadline-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => config.deadline_ms = n,
+                _ => {
+                    eprintln!("--deadline-ms needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--tiers" => match it.next().map(|s| Tier::parse_ladder(s)) {
+                Some(Ok(tiers)) => config.tiers = tiers,
+                Some(Err(e)) => {
+                    eprintln!("bad --tiers: {e}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--tiers needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--chaos" => match it.next().map(|s| gpu_sim::ChaosProfile::parse(s)) {
+                Some(Ok(p)) => config.chaos = p,
+                Some(Err(e)) => {
+                    eprintln!("bad --chaos: {e}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--chaos needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--queue-capacity" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => config.queue_capacity = n,
+                _ => {
+                    eprintln!("--queue-capacity needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown estimate flag `{flag}`");
+                return ExitCode::from(2);
+            }
+            value => positional.push(value),
+        }
+    }
+    let (models_spec, devices_spec) = match (positional.first(), positional.get(1)) {
+        (Some(m), Some(d)) => (*m, Some(*d)),
+        (Some(m), None) if all_devices => (*m, None),
+        _ => {
+            eprintln!("estimate needs <models> and <devices> (or --all-devices)");
+            return ExitCode::from(2);
+        }
+    };
+    let models: Vec<String> = models_spec
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let devices: Vec<String> = if all_devices {
+        gpu_sim::all_devices()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect()
+    } else {
+        devices_spec
+            .unwrap_or_default()
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect()
+    };
+    let requests: Vec<(String, String)> = models
+        .iter()
+        .flat_map(|m| devices.iter().map(move |d| (m.clone(), d.clone())))
+        .collect();
+
+    let mut engine = ResilientEngine::new(config.clone());
+    // a cached corpus arms the regressor and stale-cache tiers; estimation
+    // is deadline-bounded, so a cache miss must not trigger a minute-long
+    // corpus build here — the tiers simply degrade
+    if let Some(corpus) = corpus_if_cached() {
+        engine.warm_from_corpus(&corpus);
+        engine = engine.with_predictor(PerformancePredictor::train(
+            &corpus.dataset,
+            RegressorKind::DecisionTree,
+            42,
+        ));
+        eprintln!(
+            "corpus cache armed regressor + stale-cache tiers ({} entries)",
+            engine.cache_len()
+        );
+    } else if config.tiers.contains(&Tier::Regressor) || config.tiers.contains(&Tier::StaleCache) {
+        eprintln!(
+            "no corpus cache: regressor/stale-cache tiers will degrade (run `cnnperf corpus` to arm them)"
+        );
+    }
+
+    println!(
+        "estimating {} request(s), deadline {} ms, tiers [{}]:",
+        requests.len(),
+        config.deadline_ms,
+        config
+            .tiers
+            .iter()
+            .map(|t| t.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let outcomes = engine.estimate_batch(&requests);
+    let mut served = 0;
+    for out in &outcomes {
+        if out.served() {
+            served += 1;
+        }
+        println!("  {} elapsed_ms={:.1}", out.canonical(), out.elapsed_ms);
+    }
+    println!("served {served}/{} within deadline", outcomes.len());
+    if served == outcomes.len() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter().map(|s| s.as_str());
@@ -325,6 +471,10 @@ fn main() -> ExitCode {
         Some("corpus") => {
             let rest: Vec<&str> = it.collect();
             return cmd_corpus(&rest);
+        }
+        Some("estimate") => {
+            let rest: Vec<&str> = it.collect();
+            return cmd_estimate(&rest);
         }
         Some("ptx") => match it.next() {
             Some(m) => {
