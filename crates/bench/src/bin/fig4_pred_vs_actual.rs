@@ -102,5 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nPaper's observation: \"all predictive models' predictions are close to each \
          other and do not differ significantly\" — spread between the four panels above: {spread:.2} pp."
     );
+    let sidecar = cnnperf_bench::write_stats_sidecar("fig4_pred_vs_actual");
+    eprintln!("[bench] metrics sidecar: {}", sidecar.display());
     Ok(())
 }

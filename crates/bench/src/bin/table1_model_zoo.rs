@@ -73,5 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          alexnet uses the original grouped two-tower weights (60,965,224) vs the paper's \
          cuda-convnet variant."
     );
+    let sidecar = cnnperf_bench::write_stats_sidecar("table1_model_zoo");
+    eprintln!("[bench] metrics sidecar: {}", sidecar.display());
     Ok(())
 }

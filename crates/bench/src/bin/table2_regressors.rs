@@ -84,5 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             worst.0, best.0
         );
     }
+    let sidecar = cnnperf_bench::write_stats_sidecar("table2_regressors");
+    eprintln!("[bench] metrics sidecar: {}", sidecar.display());
     Ok(())
 }

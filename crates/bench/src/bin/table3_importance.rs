@@ -66,5 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         perm.row(vec![name, format!("{delta:+.4}")]);
     }
     println!("\n{perm}");
+    let sidecar = cnnperf_bench::write_stats_sidecar("table3_importance");
+    eprintln!("[bench] metrics sidecar: {}", sidecar.display());
     Ok(())
 }

@@ -9,6 +9,11 @@
 //! flat in `n`, `T_measur` linear in `n`, speedup growing with `n` — is
 //! the reproduced claim.
 //!
+//! Both sides of the comparison are charged for PTX codegen: `t_dca`
+//! includes lowering by construction, and [`naive_profile_time`] starts
+//! its clock *before* lowering, so the reported speedups compare symmetric
+//! end-to-end paths rather than flattering the estimation side.
+//!
 //! ```text
 //! cargo run --release -p cnnperf-bench --bin table4_speedup
 //! ```
@@ -87,5 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         geo1.powf(1.0 / k),
         geo7.powf(1.0 / k)
     );
+    let sidecar = cnnperf_bench::write_stats_sidecar("table4_speedup");
+    eprintln!("[bench] metrics sidecar: {}", sidecar.display());
     Ok(())
 }

@@ -61,9 +61,36 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf 
     path
 }
 
+/// Write the global metrics snapshot next to a figure's CSV as
+/// `target/figures/<name>.stats.json` and return its path. Each
+/// regeneration binary calls this last, so every artifact ships with the
+/// pipeline counters (cells profiled, retries, memo hits, ...) that
+/// produced it — when a regenerated table looks off, the sidecar says
+/// how much work actually ran.
+pub fn write_stats_sidecar(name: &str) -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    let dir = PathBuf::from(target).join("figures");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.stats.json"));
+    let mut text = obs::global().snapshot().to_json();
+    text.push('\n');
+    let _ = fs::write(&path, text);
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_sidecar_is_single_line_json() {
+        obs::global().counter("bench.test.sidecar").inc();
+        let p = write_stats_sidecar("unit_test_sidecar");
+        let text = std::fs::read_to_string(&p).expect("written");
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("{\"schema\":1,"), "{text}");
+        assert!(text.contains("bench.test.sidecar"), "{text}");
+    }
 
     #[test]
     fn write_csv_produces_readable_file() {

@@ -21,6 +21,13 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+/// Corpus-cache traffic: `hits + misses == loads`; quarantines are the
+/// subset of misses where an invalid file was moved aside.
+static CACHE_HITS: obs::LazyCounter = obs::LazyCounter::new("corpus_cache.hits");
+static CACHE_MISSES: obs::LazyCounter = obs::LazyCounter::new("corpus_cache.misses");
+static CACHE_QUARANTINED: obs::LazyCounter = obs::LazyCounter::new("corpus_cache.quarantined");
+static CACHE_STORES: obs::LazyCounter = obs::LazyCounter::new("corpus_cache.stores");
+
 /// Bump when [`Corpus`] (or the envelope itself) changes shape; readers
 /// treat any other version as corrupt-for-our-purposes and quarantine it.
 pub const CORPUS_CACHE_SCHEMA: u32 = 1;
@@ -66,7 +73,10 @@ pub enum CacheMiss {
 pub fn load_corpus(path: &Path) -> Result<Corpus, CacheMiss> {
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
-        Err(_) => return Err(CacheMiss::Absent),
+        Err(_) => {
+            CACHE_MISSES.inc();
+            return Err(CacheMiss::Absent);
+        }
     };
     let reason = match serde_json::from_str::<CacheEnvelope>(&text) {
         Err(e) => format!("unparseable envelope: {e:?}"),
@@ -82,6 +92,7 @@ pub fn load_corpus(path: &Path) -> Result<Corpus, CacheMiss> {
                     env.checksum
                 )
             } else {
+                CACHE_HITS.inc();
                 return Ok(env.corpus);
             }
         }
@@ -98,6 +109,8 @@ pub fn load_corpus(path: &Path) -> Result<Corpus, CacheMiss> {
             path.display()
         ),
     }
+    CACHE_MISSES.inc();
+    CACHE_QUARANTINED.inc();
     Err(CacheMiss::Quarantined(reason))
 }
 
@@ -128,7 +141,10 @@ pub fn store_corpus(path: &Path, corpus: &Corpus) -> io::Result<()> {
     let tmp = path.with_file_name(tmp_name);
     fs::write(&tmp, json)?;
     match fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
+        Ok(()) => {
+            CACHE_STORES.inc();
+            Ok(())
+        }
         Err(e) => {
             let _ = fs::remove_file(&tmp);
             Err(e)

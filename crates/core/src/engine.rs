@@ -34,6 +34,67 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
+/// Requests entering the engine, shed ones included — the invariant
+/// `served + exhausted + overloaded == requests` holds per batch.
+static ENGINE_REQUESTS: obs::LazyCounter = obs::LazyCounter::new("engine.requests");
+static ENGINE_SERVED: obs::LazyCounter = obs::LazyCounter::new("engine.outcome.served");
+static ENGINE_EXHAUSTED: obs::LazyCounter = obs::LazyCounter::new("engine.outcome.exhausted");
+static ENGINE_OVERLOADED: obs::LazyCounter = obs::LazyCounter::new("engine.outcome.overloaded");
+/// Requests shed at admission (same events as `engine.outcome.overloaded`,
+/// kept separate so load-shedding is greppable on its own).
+static ENGINE_SHED: obs::LazyCounter = obs::LazyCounter::new("engine.shed");
+/// Stale-cache tier traffic; `lookups == hits + misses`.
+static ENGINE_CACHE_LOOKUPS: obs::LazyCounter = obs::LazyCounter::new("engine.cache.lookups");
+static ENGINE_CACHE_HITS: obs::LazyCounter = obs::LazyCounter::new("engine.cache.hits");
+static ENGINE_CACHE_MISSES: obs::LazyCounter = obs::LazyCounter::new("engine.cache.misses");
+/// Cache refreshes from live tier successes.
+static ENGINE_CACHE_STORES: obs::LazyCounter = obs::LazyCounter::new("engine.cache.stores");
+/// Cache entries seeded from a corpus.
+static ENGINE_CACHE_WARMED: obs::LazyCounter = obs::LazyCounter::new("engine.cache.warmed");
+/// End-to-end request wall time (duration histogram; count is
+/// deterministic, bucket occupancy is not).
+static ENGINE_REQUEST_US: obs::LazyHistogram = obs::LazyHistogram::new("engine.request_us");
+
+/// Bump `engine.tier.<tier>.<suffix>`. Per-request frequency, so the
+/// registry lookup (a mutex + BTreeMap probe) is fine here; the hot
+/// simulator loops use static [`obs::LazyCounter`]s instead.
+fn tier_count(tier: Tier, suffix: &str) {
+    obs::global()
+        .counter(&format!("engine.tier.{}.{suffix}", tier.name()))
+        .inc();
+}
+
+/// Bump the per-tier failure counter for a classified failure. Panic and
+/// error messages are collapsed to their kind so metric names stay a
+/// small, fixed set.
+fn tier_failure_count(tier: Tier, failure: &TierFailure) {
+    let label = match failure {
+        TierFailure::Timeout => "timeout",
+        TierFailure::Panic(_) => "panic",
+        TierFailure::Error(_) => "error",
+        TierFailure::BreakerOpen => "breaker-open",
+        TierFailure::CacheMiss => "cache-miss",
+        TierFailure::DeadlineSpent => "deadline-spent",
+    };
+    obs::global()
+        .counter(&format!("engine.tier.{}.failure.{label}", tier.name()))
+        .inc();
+}
+
+/// Record a breaker state transition as `engine.breaker.<tier>.to-<state>`.
+fn note_breaker_transition(tier: Tier, before: BreakerState, after: BreakerState) {
+    if before != after {
+        let state = match after {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        };
+        obs::global()
+            .counter(&format!("engine.breaker.{}.to-{state}", tier.name()))
+            .inc();
+    }
+}
+
 /// The estimation tiers, in descending fidelity (and cost) order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Tier {
@@ -259,6 +320,7 @@ impl ResilientEngine {
 
     /// Seed the stale-cache tier from a previously built corpus.
     pub fn warm_from_corpus(&mut self, corpus: &Corpus) {
+        ENGINE_CACHE_WARMED.add(corpus.samples.len() as u64);
         for s in &corpus.samples {
             self.cache.insert(
                 (s.model.clone(), s.device.clone()),
@@ -282,6 +344,8 @@ impl ResilientEngine {
     /// Estimate one (model, device) cell through the tier ladder.
     pub fn estimate(&mut self, model: &str, device: &str) -> EstimateOutcome {
         self.tick += 1;
+        ENGINE_REQUESTS.inc();
+        let _request_span = ENGINE_REQUEST_US.span();
         let tick = self.tick;
         let deadline = Deadline::in_ms(self.config.deadline_ms);
         let injector = ChaosInjector::new(self.config.chaos.clone());
@@ -292,8 +356,12 @@ impl ResilientEngine {
             // the stale cache is the in-process floor of the ladder: no
             // worker, no breaker, immune to chaos, effectively instant
             if tier == Tier::StaleCache {
+                tier_count(tier, "attempts");
+                ENGINE_CACHE_LOOKUPS.inc();
                 match self.cache.get(&(model.to_string(), device.to_string())) {
                     Some(&(ipc, latency_ms)) => {
+                        ENGINE_CACHE_HITS.inc();
+                        tier_count(tier, "success");
                         return self.outcome(
                             model,
                             device,
@@ -305,20 +373,20 @@ impl ResilientEngine {
                         );
                     }
                     None => {
-                        attempts.push(TierAttempt {
-                            tier,
-                            failure: TierFailure::CacheMiss,
-                        });
+                        ENGINE_CACHE_MISSES.inc();
+                        let failure = TierFailure::CacheMiss;
+                        tier_failure_count(tier, &failure);
+                        attempts.push(TierAttempt { tier, failure });
                         continue;
                     }
                 }
             }
 
             if deadline.expired() {
-                attempts.push(TierAttempt {
-                    tier,
-                    failure: TierFailure::DeadlineSpent,
-                });
+                let failure = TierFailure::DeadlineSpent;
+                tier_count(tier, "attempts");
+                tier_failure_count(tier, &failure);
+                attempts.push(TierAttempt { tier, failure });
                 continue;
             }
 
@@ -326,16 +394,20 @@ impl ResilientEngine {
                 .breakers
                 .entry(tier)
                 .or_insert_with(|| CircuitBreaker::new(self.config.breaker.clone()));
-            if !breaker.admit(tick) {
-                attempts.push(TierAttempt {
-                    tier,
-                    failure: TierFailure::BreakerOpen,
-                });
+            let state_before = breaker.state();
+            let admitted = breaker.admit(tick);
+            note_breaker_transition(tier, state_before, breaker.state());
+            tier_count(tier, "attempts");
+            if !admitted {
+                let failure = TierFailure::BreakerOpen;
+                tier_failure_count(tier, &failure);
+                attempts.push(TierAttempt { tier, failure });
                 continue;
             }
 
             let slice = deadline.tier_slice(tiers.len() - i);
             let fault = injector.tier_fault(model, device, tier.name());
+            let tier_start = std::time::Instant::now();
             let result = run_tier(
                 tier,
                 model,
@@ -345,14 +417,19 @@ impl ResilientEngine {
                 self.config.chaos.slow_ms,
                 slice,
             );
+            obs::global()
+                .histogram(&format!("engine.tier.{}.latency_us", tier.name()))
+                .record_duration(tier_start.elapsed());
             match result {
                 Ok((ipc, latency_ms)) => {
-                    self.breakers
-                        .get_mut(&tier)
-                        .expect("breaker exists")
-                        .record(tick, true);
+                    let breaker = self.breakers.get_mut(&tier).expect("breaker exists");
+                    let state_before = breaker.state();
+                    breaker.record(tick, true);
+                    note_breaker_transition(tier, state_before, breaker.state());
+                    tier_count(tier, "success");
                     self.cache
                         .insert((model.to_string(), device.to_string()), (ipc, latency_ms));
+                    ENGINE_CACHE_STORES.inc();
                     return self.outcome(
                         model,
                         device,
@@ -364,10 +441,11 @@ impl ResilientEngine {
                     );
                 }
                 Err(failure) => {
-                    self.breakers
-                        .get_mut(&tier)
-                        .expect("breaker exists")
-                        .record(tick, false);
+                    let breaker = self.breakers.get_mut(&tier).expect("breaker exists");
+                    let state_before = breaker.state();
+                    breaker.record(tick, false);
+                    note_breaker_transition(tier, state_before, breaker.state());
+                    tier_failure_count(tier, &failure);
                     attempts.push(TierAttempt { tier, failure });
                 }
             }
@@ -394,6 +472,9 @@ impl ResilientEngine {
             .enumerate()
             .map(|(i, (model, device))| {
                 if i >= self.config.queue_capacity {
+                    ENGINE_REQUESTS.inc();
+                    ENGINE_OVERLOADED.inc();
+                    ENGINE_SHED.inc();
                     EstimateOutcome {
                         model: model.clone(),
                         device: device.clone(),
@@ -421,6 +502,17 @@ impl ResilientEngine {
         attempts: Vec<TierAttempt>,
         deadline: &Deadline,
     ) -> EstimateOutcome {
+        match &kind {
+            OutcomeKind::Served { tier } => {
+                ENGINE_SERVED.inc();
+                obs::global()
+                    .counter(&format!("engine.outcome.served.{}", tier.name()))
+                    .inc();
+            }
+            OutcomeKind::Exhausted => ENGINE_EXHAUSTED.inc(),
+            // shed requests never reach here; counted in estimate_batch
+            OutcomeKind::Overloaded => ENGINE_OVERLOADED.inc(),
+        }
         EstimateOutcome {
             model: model.to_string(),
             device: device.to_string(),

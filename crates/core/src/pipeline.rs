@@ -26,6 +26,17 @@ use mlkit::Dataset;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+/// Corpus builds started.
+static CORPUS_BUILDS: obs::LazyCounter = obs::LazyCounter::new("corpus.builds");
+/// Per-cell outcomes of completed (non-strict-aborted) builds.
+static CORPUS_CELLS_OK: obs::LazyCounter = obs::LazyCounter::new("corpus.cells.ok");
+static CORPUS_CELLS_DEGRADED: obs::LazyCounter = obs::LazyCounter::new("corpus.cells.degraded");
+static CORPUS_CELLS_FAILED: obs::LazyCounter = obs::LazyCounter::new("corpus.cells.failed");
+/// Dataset rows emitted by completed builds.
+static CORPUS_ROWS: obs::LazyCounter = obs::LazyCounter::new("corpus.rows");
+/// Wall time of whole corpus builds, in microseconds.
+static CORPUS_BUILD_US: obs::LazyHistogram = obs::LazyHistogram::new("corpus.build_us");
+
 /// Metadata for one dataset row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SampleMeta {
@@ -207,6 +218,8 @@ pub fn build_corpus_robust(
         CnnProfile,
         Vec<(Vec<f64>, Result<RobustProfile, ProfileFault>)>,
     );
+    CORPUS_BUILDS.inc();
+    let _build_span = CORPUS_BUILD_US.span();
     let injector = FaultInjector::new(cfg.faults.clone());
     let per_model: Vec<Result<ModelRows, ProfileError>> = models
         .par_iter()
@@ -295,6 +308,17 @@ pub fn build_corpus_robust(
             }
         }
     }
+
+    // per-cell attempt accounting for the completed build; the underlying
+    // retry/hang/outlier event counters live in gpu-sim's `profile.*`
+    for cell in &cells {
+        match cell.status {
+            CellStatus::Ok => CORPUS_CELLS_OK.inc(),
+            CellStatus::Degraded { .. } => CORPUS_CELLS_DEGRADED.inc(),
+            CellStatus::Failed { .. } => CORPUS_CELLS_FAILED.inc(),
+        }
+    }
+    CORPUS_ROWS.add(samples.len() as u64);
 
     Ok((
         Corpus {

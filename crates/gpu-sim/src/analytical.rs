@@ -19,6 +19,15 @@ pub fn estimate_launch(
 ) -> Result<f64, ExecError> {
     let timing = timing_for(dev);
     let occ = occupancy(kernel, dev);
+    if !occ.feasible() {
+        return Err(ExecError::Unlaunchable {
+            kernel: kernel.name.clone(),
+            reason: format!(
+                "zero blocks fit on an SM of `{}` (limited by {:?})",
+                dev.name, occ.limiter
+            ),
+        });
+    }
     let active_sms = launch.blocks().min(dev.sm_count as u64).max(1) as f64;
 
     // warp-level issues per category (approximate: thread-level mix scaled

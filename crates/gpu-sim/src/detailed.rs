@@ -21,6 +21,17 @@ use ptx_analysis::{ExecBudget, ExecError, Machine};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Launches entering the detailed simulator.
+static SIM_LAUNCHES: obs::LazyCounter = obs::LazyCounter::new("sim.launches");
+/// Grid waves implied by the simulated launches.
+static SIM_WAVES: obs::LazyCounter = obs::LazyCounter::new("sim.waves");
+/// Warp-issue events popped by the event-driven wave loop.
+static SIM_EVENTS: obs::LazyCounter = obs::LazyCounter::new("sim.events");
+/// Wave simulations aborted by a tripped cancellation token.
+static SIM_CANCELLED: obs::LazyCounter = obs::LazyCounter::new("sim.cancelled");
+/// Launches rejected because zero blocks fit on an SM.
+static SIM_INFEASIBLE: obs::LazyCounter = obs::LazyCounter::new("sim.occupancy.infeasible");
+
 /// Scheduler events between cooperative-cancellation checks in the
 /// event-driven wave loop. This is the detailed simulator's documented
 /// cancellation-latency contract: once the [`ExecBudget`] token trips, the
@@ -77,6 +88,17 @@ pub fn simulate_launch_budgeted(
 ) -> Result<LaunchSim, ExecError> {
     let timing = timing_for(dev);
     let occ = occupancy(kernel, dev);
+    if !occ.feasible() {
+        SIM_INFEASIBLE.inc();
+        return Err(ExecError::Unlaunchable {
+            kernel: kernel.name.clone(),
+            reason: format!(
+                "zero blocks fit on an SM of `{}` (limited by {:?})",
+                dev.name, occ.limiter
+            ),
+        });
+    }
+    SIM_LAUNCHES.inc();
     let machine = Machine::new(kernel, launch.blocks(), &launch.args).with_budget(budget.clone());
     let (outcome, mut trace) = machine.run_traced(0, 0)?;
     let _ = outcome;
@@ -96,6 +118,7 @@ pub fn simulate_launch_budgeted(
     let warps_per_block = kernel.block_threads().div_ceil(32).max(1);
     let capacity_blocks = (dev.sm_count * occ.blocks_per_sm) as u64;
     let waves = blocks.div_ceil(capacity_blocks.max(1)).max(1);
+    SIM_WAVES.add(waves);
     let active_sms = blocks.min(dev.sm_count as u64) as u32;
 
     // blocks resident on the busiest SM during one wave
@@ -201,12 +224,15 @@ fn simulate_wave(
         events += 1;
         if events.is_multiple_of(SIM_CANCEL_CHECK_EVENTS) {
             if budget.cancelled() {
+                SIM_EVENTS.add(events);
+                SIM_CANCELLED.inc();
                 return Err(ExecError::Cancelled {
                     kernel: kernel_name.to_string(),
                     step: events,
                 });
             }
             if events > max_events {
+                SIM_EVENTS.add(events);
                 return Err(ExecError::StepLimit {
                     limit: max_events,
                     kernel: kernel_name.to_string(),
@@ -271,6 +297,7 @@ fn simulate_wave(
         }
     }
     finish = finish.max(issue_free).max(dram_free);
+    SIM_EVENTS.add(events);
     Ok(finish as f64 / FX)
 }
 
@@ -455,6 +482,23 @@ mod tests {
         match simulate_launch_budgeted(&k, &l, &gtx_1080_ti(), &budget) {
             Err(ExecError::StepLimit { .. }) => {}
             other => panic!("expected StepLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_kernel_is_rejected_not_simulated() {
+        // a block demanding more shared memory than the SM owns used to be
+        // silently simulated as one resident block; it must now surface as
+        // an explicit Unlaunchable error
+        let dev = gtx_1080_ti();
+        let mut kb = KernelBuilder::new("shared_hog", 64);
+        kb.shared(dev.shared_mem_per_sm_kb * 1024 + 1);
+        kb.ret();
+        let k = kb.finish();
+        let l = launch(&k, 1 << 12, vec![], 0, 0);
+        match simulate_launch(&k, &l, &dev) {
+            Err(ExecError::Unlaunchable { kernel, .. }) => assert_eq!(kernel, "shared_hog"),
+            other => panic!("expected Unlaunchable, got {other:?}"),
         }
     }
 

@@ -10,6 +10,11 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Launch simulations answered from the per-plan memo table.
+static SIM_MEMO_HITS: obs::LazyCounter = obs::LazyCounter::new("sim.memo.hits");
+/// Unique launch shapes actually simulated in memoized mode.
+static SIM_MEMO_MISSES: obs::LazyCounter = obs::LazyCounter::new("sim.memo.misses");
+
 /// Simulation fidelity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimMode {
@@ -165,6 +170,8 @@ impl Simulator {
                 ids.push(id);
             }
         }
+        SIM_MEMO_MISSES.add(keys.len() as u64);
+        SIM_MEMO_HITS.add((plan.launches.len() - keys.len()) as u64);
         let cache: Mutex<HashMap<usize, LaunchSim>> = Mutex::new(HashMap::new());
         keys.par_iter().enumerate().try_for_each(
             |(id, (kidx, grid, args, br, bw))| -> Result<(), ExecError> {

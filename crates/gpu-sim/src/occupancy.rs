@@ -9,12 +9,24 @@ use ptx::kernel::Kernel;
 /// Occupancy of one kernel on one device.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Occupancy {
+    /// Resident blocks per SM; **zero** means the kernel cannot launch at
+    /// all (a single block already exceeds the [`Limiter`] resource).
     pub blocks_per_sm: u32,
     pub warps_per_sm: u32,
     /// Fraction of the device's warp slots in use.
     pub occupancy: f64,
     /// Which resource bounds the result.
     pub limiter: Limiter,
+}
+
+impl Occupancy {
+    /// Whether at least one block fits on an SM. Callers must check this
+    /// before treating the kernel as resident; an infeasible kernel used
+    /// to be silently modeled as one block, skewing every downstream
+    /// cycle estimate.
+    pub fn feasible(&self) -> bool {
+        self.blocks_per_sm > 0
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +59,17 @@ pub fn occupancy(kernel: &Kernel, dev: &DeviceSpec) -> Occupancy {
     .min_by_key(|(b, _)| *b)
     .expect("non-empty");
 
-    let blocks = blocks.max(1); // a kernel that fits at all runs one block
+    // zero blocks means even one block overflows the limiting resource:
+    // report the infeasibility honestly instead of clamping to one
+    // resident block and silently mis-modeling an unlaunchable kernel
+    if blocks == 0 {
+        return Occupancy {
+            blocks_per_sm: 0,
+            warps_per_sm: 0,
+            occupancy: 0.0,
+            limiter,
+        };
+    }
     let warps = (blocks * warps_per_block).min(dev.max_warps_per_sm);
     Occupancy {
         blocks_per_sm: blocks,
@@ -114,6 +136,32 @@ mod tests {
         assert_eq!(o.limiter, Limiter::BlockCap);
         assert_eq!(o.blocks_per_sm, 32);
         assert_eq!(o.warps_per_sm, 32);
+    }
+
+    #[test]
+    fn oversubscribed_shared_memory_is_infeasible() {
+        // one block demands more shared memory than the whole SM owns:
+        // must be reported as zero resident blocks, not clamped to one
+        let dev = gtx_1080_ti();
+        let k = kernel_with(64, dev.shared_mem_per_sm_kb * 1024 + 1, 4);
+        let o = occupancy(&k, &dev);
+        assert!(!o.feasible());
+        assert_eq!(o.blocks_per_sm, 0);
+        assert_eq!(o.warps_per_sm, 0);
+        assert_eq!(o.occupancy, 0.0);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn oversubscribed_registers_are_infeasible() {
+        // a single block's register file demand exceeds the SM's budget
+        let dev = gtx_1080_ti();
+        let regs_per_thread = dev.registers_per_sm / 1024 + 1;
+        let k = kernel_with(1024, 0, regs_per_thread);
+        let o = occupancy(&k, &dev);
+        assert!(!o.feasible());
+        assert_eq!(o.blocks_per_sm, 0);
+        assert_eq!(o.limiter, Limiter::Registers);
     }
 
     #[test]

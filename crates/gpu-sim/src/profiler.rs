@@ -14,6 +14,23 @@ use ptx_analysis::{ExecBudget, ExecError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Robustly profiled (model, device) cells entered.
+static PROFILE_CELLS: obs::LazyCounter = obs::LazyCounter::new("profile.cells");
+/// Cells where every run exhausted its retry budget (`NoValidRuns`).
+static PROFILE_CELLS_FAILED: obs::LazyCounter = obs::LazyCounter::new("profile.cells.failed");
+/// Fault-injector verdicts, by kind.
+static PROFILE_FAULT_CLEAN: obs::LazyCounter = obs::LazyCounter::new("profile.fault.clean");
+static PROFILE_FAULT_TRANSIENT: obs::LazyCounter = obs::LazyCounter::new("profile.fault.transient");
+static PROFILE_FAULT_HANG: obs::LazyCounter = obs::LazyCounter::new("profile.fault.hang");
+static PROFILE_FAULT_OUTLIER: obs::LazyCounter = obs::LazyCounter::new("profile.fault.outlier");
+/// Runs dropped after exhausting the per-run retry budget.
+static PROFILE_FAILED_RUNS: obs::LazyCounter = obs::LazyCounter::new("profile.failed_runs");
+/// Measurements rejected by the median/MAD outlier filter.
+static PROFILE_OUTLIERS_REJECTED: obs::LazyCounter =
+    obs::LazyCounter::new("profile.outliers.rejected");
+/// Wall time of whole robust-profiling cells, in microseconds.
+static PROFILE_CELL_US: obs::LazyHistogram = obs::LazyHistogram::new("profile.cell_us");
+
 /// Relative standard deviation of the measurement jitter.
 const JITTER_REL: f64 = 0.015;
 
@@ -414,6 +431,8 @@ pub fn profile_robust(
 ) -> Result<RobustProfile, ProfileFault> {
     assert!(runs >= 1);
     assert!(policy.max_attempts >= 1);
+    PROFILE_CELLS.inc();
+    let _cell_span = PROFILE_CELL_US.span();
     let t0 = std::time::Instant::now();
     let report: SimReport = Simulator::new(dev.clone(), SimMode::Detailed)
         .simulate_plan(plan)
@@ -428,6 +447,12 @@ pub fn profile_robust(
         let mut measured = false;
         for attempt in 0..policy.max_attempts {
             let outcome = injector.outcome(&plan.model_name, &dev.name, run, attempt);
+            match outcome {
+                FaultOutcome::Clean => PROFILE_FAULT_CLEAN.inc(),
+                FaultOutcome::Transient => PROFILE_FAULT_TRANSIENT.inc(),
+                FaultOutcome::Hang => PROFILE_FAULT_HANG.inc(),
+                FaultOutcome::Outlier(_) => PROFILE_FAULT_OUTLIER.inc(),
+            }
             let scale = match outcome {
                 FaultOutcome::Transient | FaultOutcome::Hang => {
                     if matches!(outcome, FaultOutcome::Hang) {
@@ -467,7 +492,9 @@ pub fn profile_robust(
         }
     }
 
+    PROFILE_FAILED_RUNS.add(failed_runs as u64);
     if records.is_empty() {
+        PROFILE_CELLS_FAILED.inc();
         return Err(ProfileFault::NoValidRuns {
             model: plan.model_name.clone(),
             device: dev.name.clone(),
@@ -478,6 +505,7 @@ pub fn profile_robust(
     let ipcs: Vec<f64> = records.iter().map(|r| r.ipc).collect();
     let filter = robust_filter(&ipcs, MAD_K);
     let rejected_outliers = filter.keep.iter().filter(|&&k| !k).count() as u32;
+    PROFILE_OUTLIERS_REJECTED.add(rejected_outliers as u64);
     let retained: Vec<ProfileRecord> = records
         .into_iter()
         .zip(&filter.keep)

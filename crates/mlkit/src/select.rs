@@ -8,6 +8,20 @@ use crate::metrics;
 use crate::model::RegressorKind;
 use serde::{Deserialize, Serialize};
 
+/// Sort `(name, score)` pairs by score descending with NaN ranked *worst*
+/// (last). A plain `total_cmp` descending sort puts positive NaN above
+/// `+inf`, so a single undefined score (zero-variance fold, empty split)
+/// would silently win every ranking; every scorer in this module sorts
+/// through here instead.
+pub fn sort_scores_desc(scores: &mut [(String, f64)]) {
+    scores.sort_by(|a, b| match (a.1.is_nan(), b.1.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater, // NaN sinks to the end
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.1.total_cmp(&a.1),
+    });
+}
+
 /// Absolute Pearson correlation of each feature with the target, sorted
 /// descending.
 pub fn correlation_ranking(data: &Dataset) -> Vec<(String, f64)> {
@@ -36,7 +50,7 @@ pub fn correlation_ranking(data: &Dataset) -> Vec<(String, f64)> {
         };
         out.push((data.feature_names[f].clone(), r));
     }
-    out.sort_by(|a, b| b.1.total_cmp(&a.1));
+    sort_scores_desc(&mut out);
     out
 }
 
@@ -87,7 +101,12 @@ pub fn forward_select(
             let sub = project(data, &trial);
             let (train, test) = sub.split(0.7, seed);
             let model = kind.fit(&train, seed);
-            let mape = metrics::mape(&test.y, &model.predict(&test));
+            // mape() is NaN when every target in the fold is ~0; NaN fails
+            // every `<` comparison, so left raw it could never be *beaten*
+            // once stored as the incumbent. Rank it as the worst possible
+            // score instead.
+            let raw = metrics::mape(&test.y, &model.predict(&test));
+            let mape = if raw.is_nan() { f64::INFINITY } else { raw };
             if best.as_ref().map(|(_, m)| mape < *m).unwrap_or(true) {
                 best = Some((cand.clone(), mape));
             }
@@ -160,6 +179,33 @@ mod tests {
     }
 
     #[test]
+    fn nan_scores_sort_last_not_first() {
+        let mut scores = vec![
+            ("undefined".into(), f64::NAN),
+            ("weak".into(), 0.1),
+            ("also-undefined".into(), f64::NAN),
+            ("strong".into(), 0.9),
+        ];
+        sort_scores_desc(&mut scores);
+        assert_eq!(scores[0].0, "strong");
+        assert_eq!(scores[1].0, "weak");
+        assert!(scores[2].1.is_nan() && scores[3].1.is_nan(), "{scores:?}");
+    }
+
+    #[test]
+    fn forward_selection_on_all_zero_targets_selects_nothing() {
+        // Every hold-out MAPE is undefined (all targets ~0); the greedy
+        // loop must terminate with no steps instead of latching onto a
+        // NaN incumbent that nothing can beat.
+        let mut d = Dataset::new(vec!["f0".into(), "f1".into()]);
+        for i in 0..60 {
+            d.push(format!("r{i}"), vec![i as f64, (i % 7) as f64], 0.0);
+        }
+        let steps = forward_select(&d, RegressorKind::DecisionTree, 2, 42);
+        assert!(steps.is_empty(), "{steps:?}");
+    }
+
+    #[test]
     fn constant_feature_has_zero_correlation() {
         let mut d = Dataset::new(vec!["const".into()]);
         for i in 0..10 {
@@ -197,7 +243,7 @@ pub fn permutation_importance(
         let degraded = metrics::rmse(&data.y, &shuffled_preds);
         out.push((data.feature_names[f].clone(), degraded - baseline));
     }
-    out.sort_by(|a, b| b.1.total_cmp(&a.1));
+    sort_scores_desc(&mut out);
     out
 }
 

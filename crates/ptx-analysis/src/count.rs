@@ -18,6 +18,13 @@ use std::collections::HashMap;
 /// Warp width of every modeled GPU.
 pub const WARP: u32 = 32;
 
+/// Launches counted to completion.
+static COUNT_LAUNCHES: obs::LazyCounter = obs::LazyCounter::new("ptx.count.launches");
+/// Representative-thread executions spent across counted launches.
+static COUNT_REPS: obs::LazyCounter = obs::LazyCounter::new("ptx.count.representatives");
+/// Uniform grid rectangles the counted launches decomposed into.
+static COUNT_PIECES: obs::LazyCounter = obs::LazyCounter::new("ptx.count.pieces");
+
 /// Exact instruction statistics for one kernel launch.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LaunchCount {
@@ -198,6 +205,9 @@ pub fn count_launch_budgeted(
 
     let warp_issues = warp_issue_total(&finals, nblocks, ntid);
 
+    COUNT_LAUNCHES.inc();
+    COUNT_REPS.add(reps as u64);
+    COUNT_PIECES.add(finals.len() as u64);
     Ok(LaunchCount {
         threads: nblocks * ntid as u64,
         thread_instructions,

@@ -25,6 +25,16 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+/// Completed representative-thread executions.
+static EXEC_RUNS: obs::LazyCounter = obs::LazyCounter::new("ptx.exec.runs");
+/// Instructions executed by completed representative threads.
+static EXEC_STEPS: obs::LazyCounter = obs::LazyCounter::new("ptx.exec.steps");
+/// Cooperative cancellation checks performed (one per
+/// [`CANCEL_CHECK_INTERVAL`] interpreter steps).
+static EXEC_CANCEL_CHECKS: obs::LazyCounter = obs::LazyCounter::new("ptx.exec.cancel_checks");
+/// Executions actually aborted by a tripped cancellation token.
+static EXEC_CANCELLED: obs::LazyCounter = obs::LazyCounter::new("ptx.exec.cancelled");
+
 /// Steps between cooperative-cancellation checks; amortizes the atomic
 /// load to noise on the interpreter hot loop.
 ///
@@ -153,6 +163,10 @@ pub enum ExecError {
     UnknownParam { name: String },
     /// Branch to an undefined label.
     BadLabel { pc: usize },
+    /// The launch configuration can never become resident on the target
+    /// device (e.g. per-block shared memory exceeding the SM budget):
+    /// zero blocks fit, so there is nothing meaningful to model.
+    Unlaunchable { kernel: String, reason: String },
 }
 
 impl fmt::Display for ExecError {
@@ -178,6 +192,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::UnknownParam { name } => write!(f, "unknown param {name}"),
             ExecError::BadLabel { pc } => write!(f, "bad label at {pc}"),
+            ExecError::Unlaunchable { kernel, reason } => {
+                write!(f, "kernel `{kernel}` is unlaunchable: {reason}")
+            }
         }
     }
 }
@@ -332,11 +349,15 @@ impl Machine {
                     kernel: self.kernel_name.clone(),
                 });
             }
-            if count.is_multiple_of(CANCEL_CHECK_INTERVAL) && self.budget.cancelled() {
-                return Err(ExecError::Cancelled {
-                    kernel: self.kernel_name.clone(),
-                    step: count,
-                });
+            if count.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                EXEC_CANCEL_CHECKS.inc();
+                if self.budget.cancelled() {
+                    EXEC_CANCELLED.inc();
+                    return Err(ExecError::Cancelled {
+                        kernel: self.kernel_name.clone(),
+                        step: count,
+                    });
+                }
             }
             let inst = &self.instrs[pc];
             count += 1;
@@ -409,6 +430,8 @@ impl Machine {
             Break::Tau(v) | Break::Tid(v) | Break::Block(v) => *v,
         });
         breaks.dedup();
+        EXEC_RUNS.inc();
+        EXEC_STEPS.add(count);
         Ok(ThreadOutcome {
             count,
             by_cat,

@@ -6,6 +6,12 @@ use crate::depgraph::DepGraph;
 use ptx::kernel::Kernel;
 use std::collections::HashSet;
 
+/// Branch slices computed.
+static SLICE_COMPUTED: obs::LazyCounter = obs::LazyCounter::new("ptx.slice.computed");
+/// Distribution of slice sizes (instructions per slice) — a value
+/// histogram, fully deterministic.
+static SLICE_SIZE: obs::LazyHistogram = obs::LazyHistogram::new("ptx.slice.size");
+
 /// Instruction indices (label-free numbering) forming the backward slice of
 /// all branch predicates, loop state included.
 pub fn branch_slice(kernel: &Kernel) -> HashSet<usize> {
@@ -39,6 +45,8 @@ pub fn branch_slice(kernel: &Kernel) -> HashSet<usize> {
             slice.extend(g.backward_closure(&[e]));
         }
     }
+    SLICE_COMPUTED.inc();
+    SLICE_SIZE.record(slice.len() as u64);
     slice
 }
 

@@ -38,3 +38,12 @@ tables:
 # Robust corpus build under the harsh fault preset, with health report.
 corpus-harsh:
     cargo run --release -- corpus --runs 5 --fault-profile harsh
+
+# End-to-end observability smoke: run a small estimation batch with
+# `--stats json`, then validate the snapshot's schema and counter
+# invariants with `stats-check`.
+stats-smoke:
+    mkdir -p target
+    cargo run --release -- estimate "alexnet,mobilenet" "GTX 1080 Ti,V100S" \
+        --tiers analytical --deadline-ms 60000 --stats json > target/stats-smoke.out
+    cargo run --release -- stats-check target/stats-smoke.out

@@ -25,13 +25,16 @@ fn usage() -> ExitCode {
            predict <model> [<device>|--all-devices] [--regressor dt|knn|rf|xgb|lr]\n\
            rank <model>                  rank all devices by predicted IPC\n\
            corpus [--strict] [--runs N] [--fault-profile none|light|harsh|k=v,..]\n\
-                                         build the training corpus under the robust\n\
+                  [--stats json|prom]    build the training corpus under the robust\n\
                                          measurement protocol and print its health report\n\
            estimate <models> <devices|--all-devices> [--deadline-ms N] [--tiers t1,t2,..]\n\
-                    [--chaos none|k=v,..] [--queue-capacity N]\n\
+                    [--chaos none|k=v,..] [--queue-capacity N] [--stats json|prom]\n\
                                          deadline-bounded batch estimation through the\n\
                                          tiered engine (detailed > analytical > regressor\n\
                                          > stale-cache); models/devices comma-separated\n\
+           stats-check <file>            validate the metrics snapshot emitted by\n\
+                                         `--stats json` (last JSON line of <file>):\n\
+                                         schema, shape, and counter invariants\n\
            ptx <model>                   print the generated PTX module\n\
            dot <model>                   print the model graph as Graphviz"
     );
@@ -69,6 +72,35 @@ fn regressor_of(flag: Option<&str>) -> RegressorKind {
             eprintln!("unknown regressor '{other}' (dt|knn|rf|xgb|lr)");
             std::process::exit(2);
         }
+    }
+}
+
+/// Output format for the end-of-run metrics snapshot (`--stats`).
+#[derive(Clone, Copy)]
+enum StatsFormat {
+    Json,
+    Prom,
+}
+
+impl StatsFormat {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "json" => Some(StatsFormat::Json),
+            "prom" => Some(StatsFormat::Prom),
+            _ => None,
+        }
+    }
+}
+
+/// Emit the global metrics snapshot to stdout. The JSON form is a single
+/// line (always the *last* stdout line of the command) so scripts and
+/// `stats-check` can grab it without parsing the human-readable report
+/// above it.
+fn emit_stats(fmt: StatsFormat) {
+    let snap = obs::global().snapshot();
+    match fmt {
+        StatsFormat::Json => println!("{}", snap.to_json()),
+        StatsFormat::Prom => print!("{}", snap.to_prometheus()),
     }
 }
 
@@ -228,10 +260,18 @@ fn cmd_rank(name: &str) {
 
 fn cmd_corpus(args: &[&str]) -> ExitCode {
     let mut cfg = RobustConfig::default();
+    let mut stats: Option<StatsFormat> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match *arg {
             "--strict" => cfg.strict = true,
+            "--stats" => match it.next().copied().and_then(StatsFormat::parse) {
+                Some(f) => stats = Some(f),
+                None => {
+                    eprintln!("--stats needs `json` or `prom`");
+                    return ExitCode::from(2);
+                }
+            },
             "--runs" => match it.next().map(|v| v.parse::<u32>()) {
                 Some(Ok(n)) if n >= 1 => cfg.runs = n,
                 _ => {
@@ -262,7 +302,7 @@ fn cmd_corpus(args: &[&str]) -> ExitCode {
         "building corpus (32 CNNs x 2 GPUs, {} run(s)/cell, strict={}) ...",
         cfg.runs, cfg.strict
     );
-    match build_paper_corpus_robust(&cfg) {
+    let code = match build_paper_corpus_robust(&cfg) {
         Ok((corpus, report)) => {
             println!(
                 "corpus: {} rows, {} models",
@@ -306,17 +346,29 @@ fn cmd_corpus(args: &[&str]) -> ExitCode {
             );
             ExitCode::FAILURE
         }
+    };
+    if let Some(fmt) = stats {
+        emit_stats(fmt);
     }
+    code
 }
 
 fn cmd_estimate(args: &[&str]) -> ExitCode {
     let mut config = EngineConfig::default();
     let mut positional: Vec<&str> = Vec::new();
     let mut all_devices = false;
+    let mut stats: Option<StatsFormat> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match *arg {
             "--all-devices" => all_devices = true,
+            "--stats" => match it.next().copied().and_then(StatsFormat::parse) {
+                Some(f) => stats = Some(f),
+                None => {
+                    eprintln!("--stats needs `json` or `prom`");
+                    return ExitCode::from(2);
+                }
+            },
             "--deadline-ms" => match it.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(n)) if n >= 1 => config.deadline_ms = n,
                 _ => {
@@ -430,11 +482,134 @@ fn cmd_estimate(args: &[&str]) -> ExitCode {
         println!("  {} elapsed_ms={:.1}", out.canonical(), out.elapsed_ms);
     }
     println!("served {served}/{} within deadline", outcomes.len());
+    if let Some(fmt) = stats {
+        emit_stats(fmt);
+    }
     if served == outcomes.len() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Parse a non-negative integer out of a snapshot `Value`.
+fn stat_u64(v: &serde_json::Value) -> Option<u64> {
+    match v {
+        serde_json::Value::Int(i) if *i >= 0 => Some(*i as u64),
+        _ => None,
+    }
+}
+
+/// Validate a `--stats json` snapshot: find the last JSON line of `file`,
+/// check the schema version and overall shape, and enforce the counter
+/// invariants the instrumentation promises (tier outcomes sum to requests,
+/// cache hits + misses == lookups). Exits non-zero with a reason on any
+/// violation, so CI can gate on it.
+fn cmd_stats_check(file: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("stats-check: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(line) = text.lines().rev().find(|l| l.trim_start().starts_with('{')) else {
+        eprintln!("stats-check: no JSON line found in {file}");
+        return ExitCode::FAILURE;
+    };
+    let snap = match serde_json::parse(line.trim()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("stats-check: snapshot line is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match snap.get("schema").and_then(stat_u64) {
+        Some(1) => {}
+        other => {
+            eprintln!("stats-check: bad schema version {other:?} (want 1)");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(serde_json::Value::Obj(counters)) = snap.get("counters") else {
+        eprintln!("stats-check: `counters` object missing");
+        return ExitCode::FAILURE;
+    };
+    let Some(serde_json::Value::Obj(histograms)) = snap.get("histograms") else {
+        eprintln!("stats-check: `histograms` object missing");
+        return ExitCode::FAILURE;
+    };
+    let counter = |name: &str| -> Option<u64> {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| stat_u64(v))
+    };
+    let mut failures = 0u32;
+    fn check(failures: &mut u32, label: &str, lhs: u64, rhs: u64) {
+        if lhs != rhs {
+            eprintln!("stats-check: invariant violated: {label}: {lhs} != {rhs}");
+            *failures += 1;
+        }
+    }
+    if let Some(requests) = counter("engine.requests") {
+        let outcomes = counter("engine.outcome.served").unwrap_or(0)
+            + counter("engine.outcome.exhausted").unwrap_or(0)
+            + counter("engine.outcome.overloaded").unwrap_or(0);
+        check(
+            &mut failures,
+            "served+exhausted+overloaded == engine.requests",
+            outcomes,
+            requests,
+        );
+    }
+    if let Some(lookups) = counter("engine.cache.lookups") {
+        let traffic =
+            counter("engine.cache.hits").unwrap_or(0) + counter("engine.cache.misses").unwrap_or(0);
+        check(
+            &mut failures,
+            "hits+misses == engine.cache.lookups",
+            traffic,
+            lookups,
+        );
+    }
+    for (name, v) in histograms {
+        let (count, sum) = (
+            v.get("count").and_then(stat_u64),
+            v.get("sum").and_then(stat_u64),
+        );
+        if count.is_none() || sum.is_none() {
+            eprintln!("stats-check: histogram `{name}` missing count/sum");
+            failures += 1;
+            continue;
+        }
+        let bucket_total: u64 = match v.get("buckets") {
+            Some(serde_json::Value::Obj(buckets)) => {
+                buckets.iter().filter_map(|(_, c)| stat_u64(c)).sum()
+            }
+            _ => {
+                eprintln!("stats-check: histogram `{name}` missing buckets");
+                failures += 1;
+                continue;
+            }
+        };
+        check(
+            &mut failures,
+            &format!("histogram `{name}` bucket sum == count"),
+            bucket_total,
+            count.unwrap_or(0),
+        );
+    }
+    if failures > 0 {
+        eprintln!("stats-check: {failures} failure(s) in {file}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "stats OK: {} counters, {} histograms",
+        counters.len(),
+        histograms.len()
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -476,6 +651,10 @@ fn main() -> ExitCode {
             let rest: Vec<&str> = it.collect();
             return cmd_estimate(&rest);
         }
+        Some("stats-check") => match it.next() {
+            Some(f) => return cmd_stats_check(f),
+            None => return usage(),
+        },
         Some("ptx") => match it.next() {
             Some(m) => {
                 let model = model_or_exit(m);
