@@ -1,14 +1,24 @@
 //! Ablation benches for the dynamic code analysis (paper Section IV-A):
 //!
 //! - interval-splitting representative execution vs per-thread brute force
-//!   (the reason the DCA outruns simulators), and
-//! - slice-mode evaluation (`G_v*`) vs full-value evaluation.
+//!   (the reason the DCA outruns simulators),
+//! - slice-mode evaluation (`G_v*`) vs full-value evaluation, and
+//! - dense-program decode reuse: decoding a kernel once and sharing the
+//!   [`DenseProgram`] across launches vs re-decoding per count.
+//!
+//! Besides the criterion groups, the harness emits a BENCH json artifact
+//! (`target/figures/dca_counting.bench.json`) quantifying the decode-reuse
+//! win, plus the usual obs stats sidecar.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use ptx::kernel::KernelLaunch;
-use ptx_analysis::{count_launch, count_launch_bruteforce, count_plan};
+use ptx_analysis::{
+    branch_slice, count_launch, count_launch_bruteforce, count_launch_prepared, count_plan,
+    DenseProgram, ExecBudget,
+};
 use ptx_codegen::Template;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn launch_for(kernel: &ptx::kernel::Kernel, threads: u64, args: Vec<u64>) -> KernelLaunch {
     KernelLaunch {
@@ -74,10 +84,113 @@ fn bench_plan_counting(c: &mut Criterion) {
     });
 }
 
+/// Per-count kernel decode vs a shared pre-decoded [`DenseProgram`]: the
+/// prepared path is what `count_plan` runs for every launch of a kernel
+/// after the first, and what the grid-rectangle re-runs inside one count
+/// always shared.
+fn bench_decode_reuse(c: &mut Criterion) {
+    let kernel = Template::GemmTiled.build();
+    let launch = KernelLaunch {
+        kernel: 0,
+        tag: "gemm".into(),
+        grid: (256, 1, 1),
+        args: vec![0x1000, 0x2000, 0x3000, 256, 256, 1024, 64, 0, 0],
+        bytes_read: 0,
+        bytes_written: 0,
+    };
+    let budget = ExecBudget::default();
+    let program = Arc::new(DenseProgram::decode(&kernel));
+    let slice = branch_slice(&kernel);
+
+    let mut group = c.benchmark_group("counting/gemm_decode_reuse");
+    group.bench_function("decode_per_count", |b| {
+        b.iter(|| black_box(count_launch(&kernel, &launch, true).unwrap()))
+    });
+    group.bench_function("shared_dense_program", |b| {
+        b.iter(|| {
+            black_box(count_launch_prepared(&program, Some(&slice), &launch, &budget).unwrap())
+        })
+    });
+    group.bench_function("decode_only", |b| {
+        b.iter(|| black_box(DenseProgram::decode(&kernel)))
+    });
+    group.finish();
+}
+
+/// Instant-based measurement behind the BENCH json artifact: the same
+/// decode-per-count vs shared-program comparison as the criterion group,
+/// plus the decode counter deltas proving the reuse.
+fn emit_decode_reuse_artifact() {
+    let kernel = Template::GemmTiled.build();
+    let launch = KernelLaunch {
+        kernel: 0,
+        tag: "gemm".into(),
+        grid: (256, 1, 1),
+        args: vec![0x1000, 0x2000, 0x3000, 256, 256, 1024, 64, 0, 0],
+        bytes_read: 0,
+        bytes_written: 0,
+    };
+    let budget = ExecBudget::default();
+    const ITERS: u32 = 50;
+
+    let decodes = || obs::global().snapshot().counter("ptx.exec.decodes");
+
+    let d0 = decodes();
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        black_box(count_launch(&kernel, &launch, true).unwrap());
+    }
+    let per_count_s = t0.elapsed().as_secs_f64();
+    let per_count_decodes = decodes() - d0;
+
+    let d1 = decodes();
+    let t1 = std::time::Instant::now();
+    let program = Arc::new(DenseProgram::decode(&kernel));
+    let slice = branch_slice(&kernel);
+    for _ in 0..ITERS {
+        black_box(count_launch_prepared(&program, Some(&slice), &launch, &budget).unwrap());
+    }
+    let shared_s = t1.elapsed().as_secs_f64();
+    let shared_decodes = decodes() - d1;
+
+    let speedup = per_count_s / shared_s.max(1e-12);
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"dca_decode_reuse\",\"kernel\":\"gemm_tiled\",",
+            "\"iterations\":{iters},",
+            "\"decode_per_count\":{{\"total_seconds\":{a:.6},\"decodes\":{ad}}},",
+            "\"shared_dense_program\":{{\"total_seconds\":{b:.6},\"decodes\":{bd}}},",
+            "\"speedup\":{s:.4}}}"
+        ),
+        iters = ITERS,
+        a = per_count_s,
+        ad = per_count_decodes,
+        b = shared_s,
+        bd = shared_decodes,
+        s = speedup,
+    );
+    let dir = cnnperf_bench::figures_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("dca_counting.bench.json");
+    let _ = std::fs::write(&path, format!("{json}\n"));
+    eprintln!(
+        "BENCH dca_decode_reuse: per-count {per_count_s:.3}s ({per_count_decodes} decodes) \
+         vs shared {shared_s:.3}s ({shared_decodes} decodes), {speedup:.2}x -> {}",
+        path.display()
+    );
+    let sidecar = cnnperf_bench::write_stats_sidecar("dca_counting");
+    eprintln!("BENCH stats sidecar: {}", sidecar.display());
+}
+
 criterion_group!(
     benches,
     bench_splitting_vs_bruteforce,
     bench_slice_ablation,
-    bench_plan_counting
+    bench_plan_counting,
+    bench_decode_reuse
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_decode_reuse_artifact();
+}

@@ -44,11 +44,26 @@ pub fn corpus_cached() -> Result<Corpus, cnnperf_core::ProfileError> {
     Ok(corpus)
 }
 
+/// The `target/figures/` artifact directory, anchored at the *workspace*
+/// target dir regardless of the current working directory. Regen bins run
+/// from the repo root, but `cargo bench` executes with cwd = the package
+/// dir — a bare relative `target/` would scatter artifacts under
+/// `crates/bench/target/`.
+pub fn figures_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        });
+    target.join("figures")
+}
+
 /// Write a CSV artifact under `target/figures/` (the raw series behind a
 /// regenerated figure) and return its path.
 pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
-    let dir = PathBuf::from(target).join("figures");
+    let dir = figures_dir();
     let _ = fs::create_dir_all(&dir);
     let path = dir.join(format!("{name}.csv"));
     let mut text = headers.join(",");
@@ -68,8 +83,7 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf 
 /// produced it — when a regenerated table looks off, the sidecar says
 /// how much work actually ran.
 pub fn write_stats_sidecar(name: &str) -> PathBuf {
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
-    let dir = PathBuf::from(target).join("figures");
+    let dir = figures_dir();
     let _ = fs::create_dir_all(&dir);
     let path = dir.join(format!("{name}.stats.json"));
     let mut text = obs::global().snapshot().to_json();

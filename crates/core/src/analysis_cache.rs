@@ -1,0 +1,236 @@
+//! Process-wide memoization of the static + dynamic model analysis.
+//!
+//! The paper's speed argument (Table IV) rests on the dynamic code
+//! analysis being paid **once per model**: the executed-instruction count
+//! is GPU-independent, so a DSE sweep over `n` devices costs
+//! `t_dca + n * t_pm`, not `n * t_dca`. Before this cache the repo
+//! undercut that — every estimation request, every corpus cell and every
+//! DSE candidate re-lowered and re-executed the DCA from scratch.
+//!
+//! [`analyze_cached`] keys on `(model content hash, sm target)` — the same
+//! FNV-1a envelope hashing as the on-disk corpus cache ([`crate::cache`])
+//! — and stores the complete [`profile_model`](crate::features::profile_model)
+//! output behind an `Arc`, so the ResilientEngine's detailed/analytical
+//! tiers, `build_corpus_robust` and DSE sweeps all share one analysis per
+//! model. The cache is bounded (LRU over a logical access stamp) and only
+//! successful analyses are stored; failures propagate uncached.
+//!
+//! Traffic is observable via the `analysis.cache.{lookups,hits,misses,
+//! evictions}` counters, which satisfy `hits + misses == lookups` (checked
+//! by the CLI `stats-check` validator). The analysis itself runs *outside*
+//! the cache lock: a slow DCA never blocks concurrent lookups of other
+//! models.
+
+use crate::features::{profile_model_with_target, CnnProfile, ProfileError};
+use cnn_ir::{ModelGraph, ModelSummary};
+use ptx::kernel::LaunchPlan;
+use ptx_analysis::{ExecBudget, PlanCount};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache probes.
+static CACHE_LOOKUPS: obs::LazyCounter = obs::LazyCounter::new("analysis.cache.lookups");
+/// Probes answered from the cache.
+static CACHE_HITS: obs::LazyCounter = obs::LazyCounter::new("analysis.cache.hits");
+/// Probes that ran the full analysis.
+static CACHE_MISSES: obs::LazyCounter = obs::LazyCounter::new("analysis.cache.misses");
+/// Entries displaced by the LRU bound.
+static CACHE_EVICTIONS: obs::LazyCounter = obs::LazyCounter::new("analysis.cache.evictions");
+
+/// Maximum cached analyses. Each entry holds a lowered plan plus counts
+/// (tens of kilobytes); 64 comfortably covers the 32-model zoo at two
+/// lowering targets.
+pub const ANALYSIS_CACHE_CAPACITY: usize = 64;
+
+/// The complete output of one model analysis: everything
+/// [`crate::features::profile_model`] returns, cached as a unit.
+#[derive(Debug, Clone)]
+pub struct AnalyzedModel {
+    pub profile: CnnProfile,
+    pub plan: LaunchPlan,
+    pub counts: PlanCount,
+    pub summary: ModelSummary,
+}
+
+struct Entry {
+    value: Arc<AnalyzedModel>,
+    /// Logical last-access stamp for LRU eviction.
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<(u64, String), Entry>,
+    tick: u64,
+}
+
+fn cache() -> &'static Mutex<Inner> {
+    static CACHE: OnceLock<Mutex<Inner>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Inner::default()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Inner> {
+    // a panicked analysis thread cannot corrupt the map (inserts are
+    // atomic), so a poisoned lock is safe to keep using
+    cache().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// FNV-1a, mirroring the on-disk corpus cache's envelope hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Content hash of a model graph: FNV-1a over its canonical JSON
+/// serialization, so structurally identical graphs share a cache line and
+/// any topology/weight-shape change misses.
+pub fn model_content_hash(model: &ModelGraph) -> u64 {
+    let json = serde_json::to_string(model).unwrap_or_default();
+    fnv1a(json.as_bytes())
+}
+
+/// Analyze `model` lowered for `target`, memoized process-wide. On a hit
+/// the budget is irrelevant (the work is already done); on a miss the full
+/// analysis runs under `budget` outside the cache lock, and only success
+/// is stored.
+pub fn analyze_cached(
+    model: &ModelGraph,
+    target: &str,
+    budget: &ExecBudget,
+) -> Result<Arc<AnalyzedModel>, ProfileError> {
+    let key = (model_content_hash(model), target.to_string());
+    CACHE_LOOKUPS.inc();
+    {
+        let mut inner = lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.map.get_mut(&key) {
+            e.stamp = tick;
+            CACHE_HITS.inc();
+            return Ok(Arc::clone(&e.value));
+        }
+    }
+    CACHE_MISSES.inc();
+
+    let (profile, plan, counts, summary) = profile_model_with_target(model, target, budget)?;
+    let value = Arc::new(AnalyzedModel {
+        profile,
+        plan,
+        counts,
+        summary,
+    });
+
+    let mut inner = lock();
+    inner.tick += 1;
+    let tick = inner.tick;
+    if inner.map.len() >= ANALYSIS_CACHE_CAPACITY && !inner.map.contains_key(&key) {
+        if let Some(victim) = inner
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(k, _)| k.clone())
+        {
+            inner.map.remove(&victim);
+            CACHE_EVICTIONS.inc();
+        }
+    }
+    inner.map.insert(
+        key,
+        Entry {
+            value: Arc::clone(&value),
+            stamp: tick,
+        },
+    );
+    Ok(value)
+}
+
+/// [`analyze_cached`] at the device-independent default target — the
+/// memoized equivalent of [`crate::features::profile_model`].
+pub fn profile_model_cached(model: &ModelGraph) -> Result<Arc<AnalyzedModel>, ProfileError> {
+    analyze_cached(
+        model,
+        crate::features::DEFAULT_SM_TARGET,
+        &ExecBudget::default(),
+    )
+}
+
+/// [`profile_model_cached`] under an explicit execution budget.
+pub fn profile_model_cached_budgeted(
+    model: &ModelGraph,
+    budget: &ExecBudget,
+) -> Result<Arc<AnalyzedModel>, ProfileError> {
+    analyze_cached(model, crate::features::DEFAULT_SM_TARGET, budget)
+}
+
+/// Point-in-time cache occupancy: `(entries, capacity)`. Traffic counters
+/// live in the obs registry (`analysis.cache.*`).
+pub fn cache_stats() -> (usize, usize) {
+    (lock().map.len(), ANALYSIS_CACHE_CAPACITY)
+}
+
+/// Non-counting lookup for tests and diagnostics: returns the cached
+/// analysis if present without touching the traffic counters or the LRU
+/// stamp (so `hits + misses == lookups` stays exact).
+pub fn peek_cached(model: &ModelGraph, target: &str) -> Option<Arc<AnalyzedModel>> {
+    let key = (model_content_hash(model), target.to_string());
+    lock().map.get(&key).map(|e| Arc::clone(&e.value))
+}
+
+/// Drop every cached analysis (test isolation; traffic counters are not
+/// reset, preserving the `hits + misses == lookups` invariant).
+pub fn clear_analysis_cache() {
+    lock().map.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        let a = cnn_ir::zoo::build("mobilenet").unwrap();
+        let b = cnn_ir::zoo::build("mobilenet").unwrap();
+        let c = cnn_ir::zoo::build("alexnet").unwrap();
+        assert_eq!(model_content_hash(&a), model_content_hash(&b));
+        assert_ne!(model_content_hash(&a), model_content_hash(&c));
+    }
+
+    #[test]
+    fn cached_analysis_matches_uncached() {
+        let model = cnn_ir::zoo::build("mobilenet").unwrap();
+        let cached = profile_model_cached(&model).unwrap();
+        let (profile, plan, counts, summary) = crate::features::profile_model(&model).unwrap();
+        assert_eq!(cached.profile.ptx_instructions, profile.ptx_instructions);
+        assert_eq!(cached.profile.trainable_params, profile.trainable_params);
+        assert_eq!(
+            cached.counts.thread_instructions,
+            counts.thread_instructions
+        );
+        assert_eq!(cached.counts.warp_issues, counts.warp_issues);
+        assert_eq!(cached.plan.launches.len(), plan.launches.len());
+        assert_eq!(cached.summary.neurons, summary.neurons);
+    }
+
+    #[test]
+    fn target_is_part_of_the_key() {
+        let model = cnn_ir::zoo::build("mobilenet").unwrap();
+        let a = analyze_cached(&model, "sm_61", &ExecBudget::default()).unwrap();
+        let b = analyze_cached(&model, "sm_70", &ExecBudget::default()).unwrap();
+        assert_eq!(a.plan.module.target, "sm_61");
+        assert_eq!(b.plan.module.target, "sm_70");
+        // counts are target-independent even though the plans differ
+        assert_eq!(a.counts.thread_instructions, b.counts.thread_instructions);
+    }
+
+    #[test]
+    fn repeated_analysis_returns_the_same_arc() {
+        let model = cnn_ir::zoo::build("mobilenet").unwrap();
+        let a = profile_model_cached(&model).unwrap();
+        let b = profile_model_cached(&model).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+    }
+}

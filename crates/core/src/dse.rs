@@ -3,7 +3,7 @@
 //! time of the estimation path against naive per-device profiling
 //! (Table IV's `T_est = t_dca + n * t_pm` vs `T_measur = t_p * n`).
 
-use crate::features::{profile_model, CnnProfile, ProfileError};
+use crate::features::{CnnProfile, ProfileError};
 use crate::model::PerformancePredictor;
 use cnn_ir::ModelGraph;
 use gpu_sim::{DeviceSpec, SimMode, Simulator};
@@ -30,14 +30,17 @@ pub struct DseOutcome {
     pub t_est: f64,
 }
 
-/// Run the proposed approach: analyze once, predict per device.
+/// Run the proposed approach: analyze once, predict per device. The
+/// analysis is served from the process-wide [`crate::analysis_cache`], so
+/// repeated sweeps (and sweeps following an `estimate` of the same model)
+/// skip straight to prediction.
 pub fn rank_devices(
     predictor: &PerformancePredictor,
     model: &ModelGraph,
     devices: &[DeviceSpec],
 ) -> Result<DseOutcome, ProfileError> {
-    let (profile, _plan, _counts, _summary) = profile_model(model)?;
-    rank_devices_profiled(predictor, &profile, devices)
+    let analyzed = crate::analysis_cache::profile_model_cached(model)?;
+    rank_devices_profiled(predictor, &analyzed.profile, devices)
 }
 
 /// Same, reusing an existing profile (no re-analysis).

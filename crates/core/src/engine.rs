@@ -21,7 +21,6 @@
 //! request returns a classified [`EstimateOutcome`] within deadline + ε,
 //! no matter which tiers hang, panic, or crawl.
 
-use crate::features::profile_model_budgeted;
 use crate::model::PerformancePredictor;
 use crate::pipeline::Corpus;
 use crate::resilience::{BreakerConfig, BreakerState, CircuitBreaker, Deadline};
@@ -627,22 +626,26 @@ fn tier_work(
     let budget = ExecBudget::default().with_cancel(cancel.clone());
     match tier {
         Tier::Detailed | Tier::Analytical => {
-            let plan = ptx_codegen::lower(&graph, "sm_61").map_err(|e| e.to_string())?;
+            // lower for the *request's* device (a hardcoded "sm_61" here
+            // used to mis-stamp V100S/A100 plans) and reuse the memoized
+            // analysis across requests and devices sharing a target
+            let analyzed = crate::analysis_cache::analyze_cached(&graph, &dev.sm_target(), &budget)
+                .map_err(|e| e.to_string())?;
             let mode = if tier == Tier::Detailed {
                 SimMode::Detailed
             } else {
                 SimMode::Analytical
             };
             let report = Simulator::new(dev, mode)
-                .simulate_plan_budgeted(&plan, &budget)
+                .simulate_plan_budgeted(&analyzed.plan, &budget)
                 .map_err(|e| e.to_string())?;
             Ok((report.ipc, Some(report.latency_ms)))
         }
         Tier::Regressor => {
             let predictor = predictor.ok_or("no trained predictor attached")?;
-            let (profile, _, _, _) =
-                profile_model_budgeted(&graph, &budget).map_err(|e| e.to_string())?;
-            Ok((predictor.predict(&profile, &dev), None))
+            let analyzed = crate::analysis_cache::profile_model_cached_budgeted(&graph, &budget)
+                .map_err(|e| e.to_string())?;
+            Ok((predictor.predict(&analyzed.profile, &dev), None))
         }
         Tier::StaleCache => unreachable!("stale cache is served inline by the engine"),
     }
@@ -693,6 +696,32 @@ mod tests {
             }
         );
         assert_eq!(hit.ipc, out.ipc);
+    }
+
+    #[test]
+    fn simulation_tiers_lower_for_the_request_device() {
+        // regression: the detailed/analytical tiers used to lower with a
+        // hardcoded "sm_61" even when the request targeted an sm_70 device
+        let mut engine = ResilientEngine::new(EngineConfig {
+            deadline_ms: 60_000,
+            tiers: vec![Tier::Analytical],
+            ..EngineConfig::default()
+        });
+        let out = engine.estimate("mobilenet", "V100S");
+        assert_eq!(
+            out.kind,
+            OutcomeKind::Served {
+                tier: Tier::Analytical
+            },
+            "path: {:?}",
+            out.attempts
+        );
+        let dev = gpu_sim::device_by_name("V100S").unwrap();
+        assert_eq!(dev.sm_target(), "sm_70");
+        let graph = cnn_ir::zoo::build_any("mobilenet").unwrap();
+        let analyzed = crate::analysis_cache::peek_cached(&graph, &dev.sm_target())
+            .expect("the tier must have populated the analysis cache for sm_70");
+        assert_eq!(analyzed.plan.module.target, dev.sm_target());
     }
 
     #[test]

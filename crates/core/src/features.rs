@@ -103,9 +103,25 @@ pub fn profile_model_budgeted(
     model: &ModelGraph,
     budget: &ptx_analysis::ExecBudget,
 ) -> Result<(CnnProfile, LaunchPlan, PlanCount, ModelSummary), ProfileError> {
+    profile_model_with_target(model, DEFAULT_SM_TARGET, budget)
+}
+
+/// Default PTX lowering target for device-independent profiling (the
+/// instruction count is target-independent; the target only stamps the
+/// emitted module).
+pub const DEFAULT_SM_TARGET: &str = "sm_61";
+
+/// [`profile_model_budgeted`] with an explicit `sm_*` lowering target, so
+/// device-specific callers (the estimation engine's detailed tier) get a
+/// plan stamped for the request's device instead of a hardcoded one.
+pub fn profile_model_with_target(
+    model: &ModelGraph,
+    target: &str,
+    budget: &ptx_analysis::ExecBudget,
+) -> Result<(CnnProfile, LaunchPlan, PlanCount, ModelSummary), ProfileError> {
     let summary = cnn_ir::analyze(model)?;
     let t0 = std::time::Instant::now();
-    let plan = ptx_codegen::lower(model, "sm_61")?;
+    let plan = ptx_codegen::lower(model, target)?;
     let counts = ptx_analysis::count_plan_budgeted(&plan, true, budget)?;
     let dca_seconds = t0.elapsed().as_secs_f64();
     let profile = CnnProfile {

@@ -25,6 +25,7 @@
 //! println!("MAPE {:.2}%  R2 {:.2}", scores.mape, scores.r2);
 //! ```
 
+pub mod analysis_cache;
 pub mod cache;
 pub mod dse;
 pub mod engine;
@@ -34,13 +35,18 @@ pub mod pipeline;
 pub mod report;
 pub mod resilience;
 
+pub use analysis_cache::{
+    analyze_cached, cache_stats, clear_analysis_cache, model_content_hash, peek_cached,
+    profile_model_cached, profile_model_cached_budgeted, AnalyzedModel, ANALYSIS_CACHE_CAPACITY,
+};
 pub use cache::{load_corpus, store_corpus, CacheMiss, CORPUS_CACHE_SCHEMA};
 pub use dse::{naive_profile_time, rank_devices, rank_devices_profiled, DseOutcome};
 pub use engine::{
     EngineConfig, EstimateOutcome, OutcomeKind, ResilientEngine, Tier, TierAttempt, TierFailure,
 };
 pub use features::{
-    feature_names, feature_row, profile_model, profile_model_budgeted, CnnProfile, ProfileError,
+    feature_names, feature_row, profile_model, profile_model_budgeted, profile_model_with_target,
+    CnnProfile, ProfileError, DEFAULT_SM_TARGET,
 };
 pub use model::{compare_regressors, PerformancePredictor, RegressorComparison};
 pub use pipeline::{
@@ -51,6 +57,7 @@ pub use resilience::{BreakerConfig, BreakerState, CircuitBreaker, Deadline};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
+    pub use crate::analysis_cache::{analyze_cached, profile_model_cached, AnalyzedModel};
     pub use crate::cache::{load_corpus, store_corpus, CacheMiss};
     pub use crate::dse::{naive_profile_time, rank_devices, rank_devices_profiled};
     pub use crate::engine::{

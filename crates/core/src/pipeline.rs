@@ -16,7 +16,7 @@
 //!   `Failed` and simply missing from the dataset. `strict` mode restores
 //!   fail-fast semantics under the same measurement protocol.
 
-use crate::features::{feature_names, feature_row, profile_model, CnnProfile, ProfileError};
+use crate::features::{feature_names, feature_row, CnnProfile, ProfileError};
 use cnn_ir::ModelGraph;
 use gpu_sim::{
     profile_robust, DeviceSpec, FaultInjector, FaultProfile, ProfileFault, RetryPolicy,
@@ -224,10 +224,13 @@ pub fn build_corpus_robust(
     let per_model: Vec<Result<ModelRows, ProfileError>> = models
         .par_iter()
         .map(|m| {
-            let (profile, plan, _counts, _summary) = profile_model(m)?;
+            // memoized: rebuilding a corpus (or building after estimate/dse
+            // touched the same models) reuses each model's analysis
+            let analyzed = crate::analysis_cache::profile_model_cached(m)?;
+            let profile = analyzed.profile.clone();
             let mut rows = Vec::with_capacity(devices.len());
             for dev in devices {
-                let rp = profile_robust(&plan, dev, cfg.runs, &cfg.retry, &injector);
+                let rp = profile_robust(&analyzed.plan, dev, cfg.runs, &cfg.retry, &injector);
                 rows.push((feature_row(&profile, dev), rp));
             }
             Ok((profile, rows))

@@ -18,7 +18,14 @@ pub struct MeanStd {
 
 fn mean_std(vals: &[f64]) -> MeanStd {
     let finite: Vec<f64> = vals.iter().copied().filter(|v| v.is_finite()).collect();
-    let n = finite.len().max(1) as f64;
+    if finite.is_empty() {
+        // no finite values: report NaN rather than a fake 0.0 score
+        return MeanStd {
+            mean: f64::NAN,
+            std: f64::NAN,
+        };
+    }
+    let n = finite.len() as f64;
     let mean = finite.iter().sum::<f64>() / n;
     let var = finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
     MeanStd {
@@ -124,6 +131,17 @@ mod tests {
     fn mean_std_ignores_nan() {
         let ms = mean_std(&[1.0, f64::NAN, 3.0]);
         assert_eq!(ms.mean, 2.0);
+    }
+
+    #[test]
+    fn mean_std_of_all_nan_is_nan_not_zero() {
+        // an all-NaN metric vector must not masquerade as a perfect 0.0
+        let ms = mean_std(&[f64::NAN, f64::NAN, f64::INFINITY]);
+        assert!(ms.mean.is_nan());
+        assert!(ms.std.is_nan());
+        let empty = mean_std(&[]);
+        assert!(empty.mean.is_nan());
+        assert!(empty.std.is_nan());
     }
 
     #[test]

@@ -63,9 +63,17 @@ impl KnnRegressor {
         match self.params.weights {
             KnnWeights::Uniform => neigh.iter().map(|(_, y)| y).sum::<f64>() / k as f64,
             KnnWeights::Distance => {
-                // exact hit short-circuits (infinite weight)
-                if let Some((_, y)) = neigh.iter().find(|(d, _)| *d < 1e-12) {
-                    return *y;
+                // exact hits short-circuit (infinite weight); with duplicate
+                // training points at the query's coordinates, average *all*
+                // coincident targets (scikit-learn parity) instead of
+                // returning whichever sorted first
+                let exact: Vec<f64> = neigh
+                    .iter()
+                    .filter(|(d, _)| *d < 1e-12)
+                    .map(|(_, y)| *y)
+                    .collect();
+                if !exact.is_empty() {
+                    return exact.iter().sum::<f64>() / exact.len() as f64;
                 }
                 let wsum: f64 = neigh.iter().map(|(d, _)| 1.0 / d).sum();
                 neigh.iter().map(|(d, y)| y / d).sum::<f64>() / wsum
@@ -101,6 +109,26 @@ mod tests {
             },
         );
         assert_eq!(m.predict_row(&[5.0]), 25.0);
+    }
+
+    #[test]
+    fn coincident_training_points_average_their_targets() {
+        // two rows at the same coordinates with different targets: a
+        // distance-weighted query at that point must average both
+        // (scikit-learn parity), not return whichever happened to sort
+        // first
+        let mut d = Dataset::new(vec!["a".into()]);
+        d.push("dup0", vec![5.0], 10.0);
+        d.push("dup1", vec![5.0], 30.0);
+        d.push("far", vec![100.0], 999.0);
+        let m = KnnRegressor::fit(
+            &d,
+            KnnParams {
+                k: 3,
+                weights: KnnWeights::Distance,
+            },
+        );
+        assert_eq!(m.predict_row(&[5.0]), 20.0);
     }
 
     #[test]

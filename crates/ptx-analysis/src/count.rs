@@ -8,12 +8,13 @@
 //! rectangle's area. Typical CNN kernels need fewer than ten representative
 //! executions per launch regardless of grid size.
 
-use crate::exec::{Break, ExecBudget, ExecError, Machine, ThreadOutcome, NCAT};
+use crate::exec::{Break, DenseProgram, ExecBudget, ExecError, Machine, ThreadOutcome, NCAT};
 use crate::slice::branch_slice;
 use ptx::kernel::{Kernel, KernelLaunch, LaunchPlan};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Warp width of every modeled GPU.
 pub const WARP: u32 = 32;
@@ -87,11 +88,27 @@ pub fn count_launch_budgeted(
     use_slice: bool,
     budget: &ExecBudget,
 ) -> Result<LaunchCount, ExecError> {
+    let program = Arc::new(DenseProgram::decode(kernel));
+    let slice = use_slice.then(|| branch_slice(kernel));
+    count_launch_prepared(&program, slice.as_ref(), launch, budget)
+}
+
+/// [`count_launch_budgeted`] over an already-decoded kernel. The counting
+/// layer's grid-rectangle re-runs all execute the shared [`DenseProgram`];
+/// [`count_plan_budgeted`] uses this to decode (and slice) each kernel of a
+/// plan exactly once across all of its launches.
+pub fn count_launch_prepared(
+    program: &Arc<DenseProgram>,
+    slice: Option<&HashSet<usize>>,
+    launch: &KernelLaunch,
+    budget: &ExecBudget,
+) -> Result<LaunchCount, ExecError> {
     let nblocks = launch.blocks();
-    let ntid = kernel.block_threads();
-    let mut machine = Machine::new(kernel, nblocks, &launch.args).with_budget(budget.clone());
-    if use_slice {
-        machine = machine.with_slice(branch_slice(kernel));
+    let ntid = program.ntid();
+    let mut machine = Machine::from_program(Arc::clone(program), nblocks, &launch.args)
+        .with_budget(budget.clone());
+    if let Some(s) = slice {
+        machine = machine.with_slice(s.clone());
     }
 
     let mut work = vec![Rect {
@@ -115,14 +132,14 @@ pub fn count_launch_budgeted(
         // one interval regardless of how many representatives run
         if budget.cancelled() {
             return Err(ExecError::Cancelled {
-                kernel: kernel.name.clone(),
+                kernel: program.kernel_name().to_string(),
                 step: steps_done,
             });
         }
         if finals.len() + work.len() > MAX_PIECES {
             return Err(ExecError::SplitBudget {
                 limit: MAX_PIECES as u64,
-                kernel: kernel.name.clone(),
+                kernel: program.kernel_name().to_string(),
             });
         }
         let outcome = machine.run(r.b0, r.t0).map_err(|e| match e {
@@ -339,6 +356,19 @@ pub fn count_plan_budgeted(
         key_of.push(id);
     }
 
+    // decode (and slice) each referenced kernel exactly once; every unique
+    // launch of that kernel shares the dense program
+    let mut prepared: HashMap<usize, (Arc<DenseProgram>, Option<HashSet<usize>>)> = HashMap::new();
+    for (kidx, _, _) in &keys {
+        prepared.entry(*kidx).or_insert_with(|| {
+            let kernel = &plan.module.kernels[*kidx];
+            (
+                Arc::new(DenseProgram::decode(kernel)),
+                use_slice.then(|| branch_slice(kernel)),
+            )
+        });
+    }
+
     let uniques: Result<Vec<LaunchCount>, ExecError> = keys
         .par_iter()
         .map(|(kidx, grid, args)| {
@@ -350,7 +380,8 @@ pub fn count_plan_budgeted(
                 bytes_read: 0,
                 bytes_written: 0,
             };
-            count_launch_budgeted(&plan.module.kernels[*kidx], &launch, use_slice, budget)
+            let (program, slice) = &prepared[kidx];
+            count_launch_prepared(program, slice.as_ref(), &launch, budget)
         })
         .collect();
     let uniques = uniques?;

@@ -13,6 +13,35 @@ use ptx::kernel::Kernel;
 use ptx::types::Reg;
 use std::collections::{HashMap, HashSet};
 
+/// Dense register numbering for the reaching-definitions pass: every
+/// register mentioned by the kernel gets a contiguous slot (first-appearance
+/// order), so per-block reach sets become flat `Vec`s indexed by slot
+/// instead of `HashMap<Reg, _>` probes in the fixpoint loop.
+struct RegSlots {
+    map: HashMap<Reg, usize>,
+}
+
+impl RegSlots {
+    fn build(instrs: &[ptx::inst::Instruction]) -> Self {
+        let mut map = HashMap::new();
+        for i in instrs {
+            for r in i.srcs().into_iter().chain(i.dst()) {
+                let next = map.len();
+                map.entry(r).or_insert(next);
+            }
+        }
+        Self { map }
+    }
+
+    fn get(&self, r: Reg) -> Option<usize> {
+        self.map.get(&r).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// Data-dependency graph over the instructions of one kernel.
 #[derive(Debug)]
 pub struct DepGraph {
@@ -35,22 +64,24 @@ impl DepGraph {
             })
             .collect();
         let cfg = Cfg::build(kernel);
+        let slots = RegSlots::build(&instrs);
 
         // per-block gen sets (last def of each reg in the block) and the
-        // set of (reg -> defs) reaching each block entry, iterated to
-        // fixpoint
+        // set of (slot -> defs) reaching each block entry, iterated to
+        // fixpoint over flat slot-indexed vectors
         let nblocks = cfg.blocks.len();
-        let mut reach_in: Vec<HashMap<Reg, HashSet<usize>>> = vec![HashMap::new(); nblocks];
+        let empty: Vec<HashSet<usize>> = vec![HashSet::new(); slots.len()];
+        let mut reach_in: Vec<Vec<HashSet<usize>>> = vec![empty.clone(); nblocks];
         let mut changed = true;
         while changed {
             changed = false;
             for b in 0..nblocks {
                 // in = union of predecessors' out
-                let mut inset: HashMap<Reg, HashSet<usize>> = HashMap::new();
+                let mut inset = empty.clone();
                 for &p in &cfg.preds[b] {
-                    let out = block_out(&cfg, p, &reach_in[p], &instrs);
-                    for (r, defs) in out {
-                        inset.entry(r).or_default().extend(defs);
+                    let out = block_out(&cfg, p, &reach_in[p], &instrs, &slots);
+                    for (slot, defs) in out.into_iter().enumerate() {
+                        inset[slot].extend(defs);
                     }
                 }
                 if inset != reach_in[b] {
@@ -63,11 +94,11 @@ impl DepGraph {
         // second pass: record edges
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); instrs.len()];
         for (reach, block) in reach_in.iter().zip(&cfg.blocks) {
-            let mut live: HashMap<Reg, HashSet<usize>> = reach.clone();
+            let mut live: Vec<HashSet<usize>> = reach.clone();
             for &i in block {
                 for src in instrs[i].srcs() {
-                    if let Some(defs) = live.get(&src) {
-                        for &d in defs {
+                    if let Some(slot) = slots.get(src) {
+                        for &d in &live[slot] {
                             if !edges[i].contains(&d) {
                                 edges[i].push(d);
                             }
@@ -75,7 +106,9 @@ impl DepGraph {
                     }
                 }
                 if let Some(d) = instrs[i].dst() {
-                    live.insert(d, HashSet::from([i]));
+                    if let Some(slot) = slots.get(d) {
+                        live[slot] = HashSet::from([i]);
+                    }
                 }
             }
         }
@@ -117,17 +150,21 @@ impl DepGraph {
     }
 }
 
-/// Compute the reaching-definitions out-set of block `b` given its in-set.
+/// Compute the reaching-definitions out-set of block `b` given its in-set
+/// (both flat slot-indexed vectors).
 fn block_out(
     cfg: &Cfg,
     b: usize,
-    inset: &HashMap<Reg, HashSet<usize>>,
+    inset: &[HashSet<usize>],
     instrs: &[ptx::inst::Instruction],
-) -> HashMap<Reg, HashSet<usize>> {
-    let mut out = inset.clone();
+    slots: &RegSlots,
+) -> Vec<HashSet<usize>> {
+    let mut out = inset.to_vec();
     for &i in &cfg.blocks[b] {
         if let Some(d) = instrs[i].dst() {
-            out.insert(d, HashSet::from([i]));
+            if let Some(slot) = slots.get(d) {
+                out[slot] = HashSet::from([i]);
+            }
         }
     }
     out

@@ -16,10 +16,23 @@
 //! the branch predicates (computed via [`crate::depgraph`]) and merely
 //! counts everything else — the paper's core trick for outrunning
 //! simulators.
+//!
+//! # Dense decoding
+//!
+//! A kernel is decoded exactly once into a [`DenseProgram`]: virtual
+//! registers become contiguous `u32` slots, labels become resolved `pc`
+//! values, `ld.param` names become parameter-slot indices, and special
+//! registers fold into immediate affine forms. The per-step register file
+//! is then a flat `Vec<Val>` (plus a `Vec<Option<PredInfo>>` for
+//! predicates) instead of `HashMap` probes per operand, and the counting
+//! layer's per-grid-rectangle re-runs share the decoded program instead of
+//! re-resolving operands every time. The decode is a pure re-encoding: the
+//! interpreter's observable behaviour (counts, category mixes, breakpoints
+//! and errors) is bit-identical to the original map-based machine.
 
 use ptx::inst::{AddrBase, BodyElem, Category, Instruction, Op, Operand};
 use ptx::kernel::Kernel;
-use ptx::types::{BinOp, CmpOp, Reg, Space, SpecialReg, Type, UnOp};
+use ptx::types::{BinOp, CmpOp, Reg, RegClass, Space, SpecialReg, Type, UnOp};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,6 +47,9 @@ static EXEC_STEPS: obs::LazyCounter = obs::LazyCounter::new("ptx.exec.steps");
 static EXEC_CANCEL_CHECKS: obs::LazyCounter = obs::LazyCounter::new("ptx.exec.cancel_checks");
 /// Executions actually aborted by a tripped cancellation token.
 static EXEC_CANCELLED: obs::LazyCounter = obs::LazyCounter::new("ptx.exec.cancelled");
+/// Kernels decoded into dense programs (once per prepared kernel, not per
+/// representative run).
+static EXEC_DECODES: obs::LazyCounter = obs::LazyCounter::new("ptx.exec.decodes");
 
 /// Steps between cooperative-cancellation checks; amortizes the atomic
 /// load to noise on the interpreter hot loop.
@@ -44,7 +60,8 @@ static EXEC_CANCELLED: obs::LazyCounter = obs::LazyCounter::new("ptx.exec.cancel
 /// step 0, so in *nested* execution (the counting layer re-running the
 /// machine once per grid rectangle, including slice mode) the bound holds
 /// across representative runs too — a fresh run observes a pending cancel
-/// before executing its first instruction.
+/// before executing its first instruction. The dense-program decode did
+/// not change this contract: the check sits on the same per-step loop.
 pub const CANCEL_CHECK_INTERVAL: u64 = 8192;
 
 /// Execution budget for the symbolic executor: step fuel plus an optional
@@ -221,51 +238,360 @@ struct PredInfo {
     lin: Option<(CmpOp, Val)>,
 }
 
-/// A prepared kernel ready for repeated thread execution.
+const PRED_UNSET: PredInfo = PredInfo {
+    truth: None,
+    lin: None,
+};
+
+/// A decoded operand: either a dense register slot or an immediate value
+/// resolved at decode time (integer/float immediates and all special
+/// registers except `%nctaid.x`, which is a launch property).
+#[derive(Debug, Clone, Copy)]
+enum DOperand {
+    /// Dense value-register slot.
+    Slot(u32),
+    /// Decode-time constant (immediates, `%tid.x`/`%ctaid.x` affine forms,
+    /// `%ntid.x` and the y-dimension constants).
+    Val(Val),
+    /// `%nctaid.x`: resolved from the launch at run time.
+    NCtaId,
+}
+
+/// Off-slice destination of an instruction, mirroring the original
+/// machine's `inst.dst()` + register-class dispatch: predicate-class
+/// destinations poison predicate state, everything else poisons the value
+/// file.
+#[derive(Debug, Clone, Copy)]
+enum OffDst {
+    None,
+    Value(u32),
+    Pred(u32),
+}
+
+/// A decoded instruction operation over dense slots.
+#[derive(Debug, Clone)]
+enum DOp {
+    /// Write `src` to a value slot (`mov`, non-param `ld`).
+    Set {
+        dst: u32,
+        src: DOperand,
+    },
+    /// `mov` into a predicate register: copy predicate state when the
+    /// source is a register with known predicate state (the original
+    /// machine ignores immediates and never-defined sources).
+    MovPred {
+        dst: u32,
+        src: Option<u32>,
+    },
+    /// `ld.param` with a resolved parameter slot; the argument value is
+    /// looked up at run time (launches share the decoded program).
+    LdParam {
+        dst: u32,
+        pslot: u32,
+    },
+    /// `ld.param` that can never resolve (unknown name or register-based
+    /// address): errors when evaluated, opaque when off-slice.
+    ParamErr {
+        name: Box<str>,
+    },
+    Bin {
+        op: BinOp,
+        t: Type,
+        dst: u32,
+        a: DOperand,
+        b: DOperand,
+    },
+    Un {
+        op: UnOp,
+        dst: u32,
+        a: DOperand,
+    },
+    Mad {
+        t: Type,
+        dst: u32,
+        a: DOperand,
+        b: DOperand,
+        c: DOperand,
+    },
+    Cvt {
+        to: Type,
+        from: Type,
+        dst: u32,
+        src: DOperand,
+    },
+    Setp {
+        cmp: CmpOp,
+        t: Type,
+        dst: u32,
+        a: DOperand,
+        b: DOperand,
+    },
+    Selp {
+        dst: u32,
+        a: DOperand,
+        b: DOperand,
+        p: u32,
+    },
+    /// Branch with the label already resolved to a `pc` (`None` = the
+    /// label is undefined and taking the branch is [`ExecError::BadLabel`]).
+    Bra {
+        target: Option<u32>,
+    },
+    /// `st` / `bar`: counted, no value semantics.
+    Nop,
+    Ret,
+}
+
+/// One decoded instruction: operation, guard (dense predicate slot),
+/// pre-computed category and off-slice destination.
+#[derive(Debug, Clone)]
+struct DInst {
+    op: DOp,
+    guard: Option<(u32, bool)>,
+    cat: Category,
+    cat_idx: u8,
+    off_dst: OffDst,
+}
+
+/// Deterministic dense-slot allocator: registers get contiguous indices in
+/// first-appearance order, exactly mirroring the original `HashMap<Reg, _>`
+/// keying (value and predicate files are separate namespaces, as before).
+#[derive(Default)]
+struct SlotAlloc {
+    map: HashMap<Reg, u32>,
+}
+
+impl SlotAlloc {
+    fn get(&mut self, r: Reg) -> u32 {
+        let next = self.map.len() as u32;
+        *self.map.entry(r).or_insert(next)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A kernel pre-decoded for repeated representative-thread execution:
+/// dense register slots, resolved branch targets, parameter-slot indices
+/// and folded special registers. Launch-independent, so the counting layer
+/// decodes each kernel exactly once and shares the program across all of
+/// its launches (and all grid-rectangle re-runs within a launch).
+pub struct DenseProgram {
+    prog: Vec<DInst>,
+    /// Parameter slot -> name, for `UnknownParam` attribution.
+    param_names: Vec<String>,
+    nregs: usize,
+    npreds: usize,
+    ntid: u32,
+    kernel_name: String,
+}
+
+impl DenseProgram {
+    /// Decode `kernel` into a dense program. The decode is deterministic
+    /// and behaviour-preserving; see the module docs.
+    pub fn decode(kernel: &Kernel) -> Self {
+        EXEC_DECODES.inc();
+        let mut instrs: Vec<&Instruction> = Vec::with_capacity(kernel.num_instructions());
+        let mut label_at: HashMap<u32, u32> = HashMap::new();
+        for e in &kernel.body {
+            match e {
+                BodyElem::Label(l) => {
+                    label_at.insert(*l, instrs.len() as u32);
+                }
+                BodyElem::Inst(i) => instrs.push(i),
+            }
+        }
+        let param_names: Vec<String> = kernel.params.iter().map(|p| p.name.clone()).collect();
+        let param_index: HashMap<&str, u32> = param_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i as u32))
+            .collect();
+        let ntid = kernel.block_threads();
+
+        let mut vals = SlotAlloc::default();
+        let mut preds = SlotAlloc::default();
+        let operand = |vals: &mut SlotAlloc, o: &Operand| -> DOperand {
+            match o {
+                Operand::Reg(r) => DOperand::Slot(vals.get(*r)),
+                Operand::ImmI(v) => DOperand::Val(Val::cnst(*v as i128)),
+                Operand::ImmF(v) => DOperand::Val(Val::F32(*v)),
+                Operand::Special(s) => DOperand::Val(match s {
+                    SpecialReg::TidX => Val::Lin { ct: 0, td: 1, b: 0 },
+                    SpecialReg::CtaIdX => Val::Lin { ct: 1, td: 0, b: 0 },
+                    SpecialReg::NTidX => Val::cnst(ntid as i128),
+                    SpecialReg::NCtaIdX => return DOperand::NCtaId,
+                    SpecialReg::TidY | SpecialReg::CtaIdY => Val::cnst(0),
+                    SpecialReg::NTidY | SpecialReg::NCtaIdY => Val::cnst(1),
+                }),
+            }
+        };
+
+        let mut prog = Vec::with_capacity(instrs.len());
+        for inst in &instrs {
+            let op = match &inst.op {
+                Op::Mov { dst, src, .. } => {
+                    if dst.class == RegClass::P {
+                        let src = match src {
+                            Operand::Reg(r) => Some(preds.get(*r)),
+                            _ => None,
+                        };
+                        DOp::MovPred {
+                            dst: preds.get(*dst),
+                            src,
+                        }
+                    } else {
+                        DOp::Set {
+                            dst: vals.get(*dst),
+                            src: operand(&mut vals, src),
+                        }
+                    }
+                }
+                Op::Ld {
+                    space, dst, addr, ..
+                } => match space {
+                    Space::Param => match &addr.base {
+                        AddrBase::Param(name) => match param_index.get(name.as_str()) {
+                            Some(&pslot) => DOp::LdParam {
+                                dst: vals.get(*dst),
+                                pslot,
+                            },
+                            None => DOp::ParamErr {
+                                name: name.as_str().into(),
+                            },
+                        },
+                        AddrBase::Reg(_) => DOp::ParamErr {
+                            name: "<reg>".into(),
+                        },
+                    },
+                    _ => DOp::Set {
+                        dst: vals.get(*dst),
+                        src: DOperand::Val(Val::Unknown),
+                    },
+                },
+                Op::St { .. } | Op::Bar => DOp::Nop,
+                Op::Bin { op, t, dst, a, b } => DOp::Bin {
+                    op: *op,
+                    t: *t,
+                    dst: vals.get(*dst),
+                    a: operand(&mut vals, a),
+                    b: operand(&mut vals, b),
+                },
+                Op::Un { op, dst, a, .. } => DOp::Un {
+                    op: *op,
+                    dst: vals.get(*dst),
+                    a: operand(&mut vals, a),
+                },
+                Op::Mad { t, dst, a, b, c } => DOp::Mad {
+                    t: *t,
+                    dst: vals.get(*dst),
+                    a: operand(&mut vals, a),
+                    b: operand(&mut vals, b),
+                    c: operand(&mut vals, c),
+                },
+                Op::Cvt { to, from, dst, src } => DOp::Cvt {
+                    to: *to,
+                    from: *from,
+                    dst: vals.get(*dst),
+                    src: operand(&mut vals, src),
+                },
+                Op::Setp { cmp, t, dst, a, b } => DOp::Setp {
+                    cmp: *cmp,
+                    t: *t,
+                    dst: preds.get(*dst),
+                    a: operand(&mut vals, a),
+                    b: operand(&mut vals, b),
+                },
+                Op::Selp { dst, a, b, p, .. } => DOp::Selp {
+                    dst: vals.get(*dst),
+                    a: operand(&mut vals, a),
+                    b: operand(&mut vals, b),
+                    p: preds.get(*p),
+                },
+                Op::Bra { target, .. } => DOp::Bra {
+                    target: label_at.get(target).copied(),
+                },
+                Op::Ret => DOp::Ret,
+            };
+            let guard = inst.guard.map(|(p, neg)| (preds.get(p), neg));
+            let off_dst = match inst.dst() {
+                None => OffDst::None,
+                Some(d) if d.class == RegClass::P => OffDst::Pred(preds.get(d)),
+                Some(d) => OffDst::Value(vals.get(d)),
+            };
+            let cat = inst.category();
+            prog.push(DInst {
+                op,
+                guard,
+                cat,
+                cat_idx: cat_index(cat) as u8,
+                off_dst,
+            });
+        }
+
+        DenseProgram {
+            prog,
+            param_names,
+            nregs: vals.len(),
+            npreds: preds.len(),
+            ntid,
+            kernel_name: kernel.name.clone(),
+        }
+    }
+
+    /// Instructions in the decoded program (labels excluded).
+    pub fn len(&self) -> usize {
+        self.prog.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.prog.is_empty()
+    }
+
+    /// Threads per block of the decoded kernel.
+    pub fn ntid(&self) -> u32 {
+        self.ntid
+    }
+
+    /// Name of the decoded kernel (for error attribution).
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel_name
+    }
+}
+
+/// A prepared kernel ready for repeated thread execution: a shared
+/// [`DenseProgram`] plus the launch-specific state (grid size, parameter
+/// values, budget and slice flags).
 pub struct Machine {
-    instrs: Vec<Instruction>,
-    label_at: HashMap<u32, usize>,
-    param_index: HashMap<String, usize>,
+    program: Arc<DenseProgram>,
     pub ntid: u32,
     pub nctaid: u64,
     args: Vec<u64>,
-    kernel_name: String,
     budget: ExecBudget,
-    /// Instruction indices whose values must be evaluated (the slice); when
-    /// `None`, evaluate everything.
-    slice: Option<HashSet<usize>>,
+    /// Per-pc evaluation flags (`false` = off-slice: count but poison).
+    evaluate: Vec<bool>,
 }
 
 impl Machine {
     /// Prepare `kernel` for a launch of `nctaid` blocks with the given
-    /// parameter values.
+    /// parameter values. Decodes the kernel; use [`Machine::from_program`]
+    /// to share one decode across launches.
     pub fn new(kernel: &Kernel, nctaid: u64, args: &[u64]) -> Self {
-        let mut instrs = Vec::with_capacity(kernel.num_instructions());
-        let mut label_at = HashMap::new();
-        for e in &kernel.body {
-            match e {
-                BodyElem::Label(l) => {
-                    label_at.insert(*l, instrs.len());
-                }
-                BodyElem::Inst(i) => instrs.push(i.clone()),
-            }
-        }
-        let param_index = kernel
-            .params
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.name.clone(), i))
-            .collect();
+        Self::from_program(Arc::new(DenseProgram::decode(kernel)), nctaid, args)
+    }
+
+    /// Prepare a launch over an already-decoded program.
+    pub fn from_program(program: Arc<DenseProgram>, nctaid: u64, args: &[u64]) -> Self {
+        let evaluate = vec![true; program.prog.len()];
+        let ntid = program.ntid;
         Self {
-            instrs,
-            label_at,
-            param_index,
-            ntid: kernel.block_threads(),
+            program,
+            ntid,
             nctaid,
             args: args.to_vec(),
-            kernel_name: kernel.name.clone(),
             budget: ExecBudget::default(),
-            slice: None,
+            evaluate,
         }
     }
 
@@ -273,7 +599,9 @@ impl Machine {
     /// (the paper's `G_v*`). Counting is unaffected; only the interpreter
     /// work shrinks.
     pub fn with_slice(mut self, slice: HashSet<usize>) -> Self {
-        self.slice = Some(slice);
+        for (pc, flag) in self.evaluate.iter_mut().enumerate() {
+            *flag = slice.contains(&pc);
+        }
         self
     }
 
@@ -289,22 +617,15 @@ impl Machine {
 
     /// Name of the prepared kernel (for error attribution).
     pub fn kernel_name(&self) -> &str {
-        &self.kernel_name
+        &self.program.kernel_name
     }
 
-    fn operand(&self, regs: &HashMap<Reg, Val>, o: &Operand) -> Val {
+    #[inline]
+    fn dval(&self, regs: &[Val], o: DOperand) -> Val {
         match o {
-            Operand::Reg(r) => regs.get(r).copied().unwrap_or(Val::Unknown),
-            Operand::ImmI(v) => Val::cnst(*v as i128),
-            Operand::ImmF(v) => Val::F32(*v),
-            Operand::Special(s) => match s {
-                SpecialReg::TidX => Val::Lin { ct: 0, td: 1, b: 0 },
-                SpecialReg::CtaIdX => Val::Lin { ct: 1, td: 0, b: 0 },
-                SpecialReg::NTidX => Val::cnst(self.ntid as i128),
-                SpecialReg::NCtaIdX => Val::cnst(self.nctaid as i128),
-                SpecialReg::TidY | SpecialReg::CtaIdY => Val::cnst(0),
-                SpecialReg::NTidY | SpecialReg::NCtaIdY => Val::cnst(1),
-            },
+            DOperand::Slot(i) => regs[i as usize],
+            DOperand::Val(v) => v,
+            DOperand::NCtaId => Val::cnst(self.nctaid as i128),
         }
     }
 
@@ -332,8 +653,9 @@ impl Machine {
         tid: u32,
         mut trace: Option<&mut Vec<Category>>,
     ) -> Result<ThreadOutcome, ExecError> {
-        let mut regs: HashMap<Reg, Val> = HashMap::new();
-        let mut preds: HashMap<Reg, PredInfo> = HashMap::new();
+        let prog = &self.program.prog;
+        let mut regs: Vec<Val> = vec![Val::Unknown; self.program.nregs];
+        let mut preds: Vec<Option<PredInfo>> = vec![None; self.program.npreds];
         let mut pc = 0usize;
         let mut count = 0u64;
         let mut by_cat = [0u64; NCAT];
@@ -342,11 +664,11 @@ impl Machine {
         let t = tid as i128;
 
         let max_steps = self.budget.max_steps();
-        while pc < self.instrs.len() {
+        while pc < prog.len() {
             if count >= max_steps {
                 return Err(ExecError::StepLimit {
                     limit: max_steps,
-                    kernel: self.kernel_name.clone(),
+                    kernel: self.program.kernel_name.clone(),
                 });
             }
             if count.is_multiple_of(CANCEL_CHECK_INTERVAL) {
@@ -354,73 +676,60 @@ impl Machine {
                 if self.budget.cancelled() {
                     EXEC_CANCELLED.inc();
                     return Err(ExecError::Cancelled {
-                        kernel: self.kernel_name.clone(),
+                        kernel: self.program.kernel_name.clone(),
                         step: count,
                     });
                 }
             }
-            let inst = &self.instrs[pc];
+            let inst = &prog[pc];
             count += 1;
-            by_cat[cat_index(inst.category())] += 1;
+            by_cat[inst.cat_idx as usize] += 1;
             if let Some(tr) = trace.as_deref_mut() {
-                tr.push(inst.category());
+                tr.push(inst.cat);
             }
 
             // guard evaluation (for value semantics; issue is counted above)
             let guard_truth: Option<bool> = match inst.guard {
                 None => Some(true),
-                Some((p, neg)) => preds.get(&p).and_then(|pi| pi.truth).map(|v| v != neg),
+                Some((p, neg)) => preds[p as usize].and_then(|pi| pi.truth).map(|v| v != neg),
             };
 
             // branches drive control flow and must be resolvable
-            if let Op::Bra { target, .. } = &inst.op {
+            if let DOp::Bra { target } = inst.op {
                 let taken = match inst.guard {
                     None => true,
-                    Some((p, neg)) => {
-                        let pi = preds.get(&p).copied().unwrap_or(PredInfo {
-                            truth: None,
-                            lin: None,
-                        });
+                    Some((p, _neg)) => {
+                        let pi = preds[p as usize].unwrap_or(PRED_UNSET);
                         // harvest breakpoints from the predicate
                         if let Some((cmp, d)) = pi.lin {
                             self.harvest_breaks(cmp, d, pc, &mut breaks)?;
                         }
-                        match pi.truth {
-                            Some(v) => v != neg,
+                        match guard_truth {
+                            Some(v) => v,
                             None => return Err(ExecError::DataDependentBranch { pc }),
                         }
                     }
                 };
                 if taken {
-                    pc = *self
-                        .label_at
-                        .get(target)
-                        .ok_or(ExecError::BadLabel { pc })?;
+                    pc = target.ok_or(ExecError::BadLabel { pc })? as usize;
                 } else {
                     pc += 1;
                 }
                 continue;
             }
-            if matches!(inst.op, Op::Ret) {
+            if matches!(inst.op, DOp::Ret) {
                 break;
             }
 
             // slice mode: skip value evaluation of off-slice instructions
-            let evaluate = self.slice.as_ref().map(|s| s.contains(&pc)).unwrap_or(true);
-            if evaluate {
-                self.eval_inst(inst, guard_truth, cta, t, &mut regs, &mut preds)?;
-            } else if let Some(d) = inst.dst() {
+            if self.evaluate[pc] {
+                self.eval_dinst(inst, guard_truth, cta, t, &mut regs, &mut preds)?;
+            } else {
                 // keep soundness: off-slice destinations become opaque
-                if d.class == ptx::types::RegClass::P {
-                    preds.insert(
-                        d,
-                        PredInfo {
-                            truth: None,
-                            lin: None,
-                        },
-                    );
-                } else {
-                    regs.insert(d, Val::Unknown);
+                match inst.off_dst {
+                    OffDst::Pred(d) => preds[d as usize] = Some(PRED_UNSET),
+                    OffDst::Value(d) => regs[d as usize] = Val::Unknown,
+                    OffDst::None => {}
                 }
             }
             pc += 1;
@@ -475,15 +784,14 @@ impl Machine {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn eval_inst(
+    fn eval_dinst(
         &self,
-        inst: &Instruction,
+        inst: &DInst,
         guard_truth: Option<bool>,
         cta: i128,
         tid: i128,
-        regs: &mut HashMap<Reg, Val>,
-        preds: &mut HashMap<Reg, PredInfo>,
+        regs: &mut [Val],
+        preds: &mut [Option<PredInfo>],
     ) -> Result<(), ExecError> {
         // predicated-off instructions leave their destination untouched;
         // unknown guards poison it
@@ -491,63 +799,55 @@ impl Machine {
             return Ok(());
         }
         let poison = guard_truth.is_none();
-        let set = |regs: &mut HashMap<Reg, Val>, dst: Reg, v: Val| {
-            regs.insert(dst, if poison { Val::Unknown } else { v });
-        };
+        macro_rules! set {
+            ($dst:expr, $v:expr) => {
+                regs[$dst as usize] = if poison { Val::Unknown } else { $v }
+            };
+        }
 
         match &inst.op {
-            Op::Mov { dst, src, .. } => {
-                if dst.class == ptx::types::RegClass::P {
-                    // mov into predicate (rare): copy predicate state
-                    if let Operand::Reg(r) = src {
-                        if let Some(pi) = preds.get(r).copied() {
-                            preds.insert(*dst, pi);
-                        }
+            DOp::Set { dst, src } => {
+                let v = self.dval(regs, *src);
+                set!(*dst, v);
+            }
+            DOp::MovPred { dst, src } => {
+                // mov into predicate (rare): copy predicate state
+                if let Some(s) = src {
+                    if let Some(pi) = preds[*s as usize] {
+                        preds[*dst as usize] = Some(pi);
                     }
-                } else {
-                    let v = self.operand(regs, src);
-                    set(regs, *dst, v);
                 }
             }
-            Op::Ld {
-                space, dst, addr, ..
-            } => {
-                let v = match space {
-                    Space::Param => {
-                        let AddrBase::Param(name) = &addr.base else {
-                            return Err(ExecError::UnknownParam {
-                                name: "<reg>".into(),
-                            });
-                        };
-                        let idx = self
-                            .param_index
-                            .get(name)
-                            .copied()
-                            .ok_or_else(|| ExecError::UnknownParam { name: name.clone() })?;
-                        match self.args.get(idx) {
-                            Some(v) => Val::cnst(*v as i128),
-                            None => return Err(ExecError::UnknownParam { name: name.clone() }),
-                        }
+            DOp::LdParam { dst, pslot } => {
+                let v = match self.args.get(*pslot as usize) {
+                    Some(a) => Val::cnst(*a as i128),
+                    None => {
+                        return Err(ExecError::UnknownParam {
+                            name: self.program.param_names[*pslot as usize].clone(),
+                        })
                     }
-                    _ => Val::Unknown,
                 };
-                set(regs, *dst, v);
+                set!(*dst, v);
             }
-            Op::St { .. } => {}
-            Op::Bin { op, t, dst, a, b } => {
-                let va = self.operand(regs, a);
-                let vb = self.operand(regs, b);
+            DOp::ParamErr { name } => {
+                return Err(ExecError::UnknownParam {
+                    name: name.to_string(),
+                });
+            }
+            DOp::Bin { op, t, dst, a, b } => {
+                let va = self.dval(regs, *a);
+                let vb = self.dval(regs, *b);
                 let v = bin_val(*op, *t, va, vb, self.ntid as i128, self.nctaid as i128);
-                set(regs, *dst, v);
+                set!(*dst, v);
             }
-            Op::Un { op, dst, a, .. } => {
-                let va = self.operand(regs, a);
-                set(regs, *dst, un_val(*op, va));
+            DOp::Un { op, dst, a } => {
+                let va = self.dval(regs, *a);
+                set!(*dst, un_val(*op, va));
             }
-            Op::Mad { t, dst, a, b, c } => {
-                let va = self.operand(regs, a);
-                let vb = self.operand(regs, b);
-                let vc = self.operand(regs, c);
+            DOp::Mad { t, dst, a, b, c } => {
+                let va = self.dval(regs, *a);
+                let vb = self.dval(regs, *b);
+                let vc = self.dval(regs, *c);
                 let prod = bin_val(
                     BinOp::Mul,
                     *t,
@@ -564,28 +864,27 @@ impl Machine {
                     self.ntid as i128,
                     self.nctaid as i128,
                 );
-                set(regs, *dst, v);
+                set!(*dst, v);
             }
-            Op::Cvt { to, from, dst, src } => {
-                let v = self.operand(regs, src);
-                set(regs, *dst, cvt_val(*to, *from, v));
+            DOp::Cvt { to, from, dst, src } => {
+                let v = self.dval(regs, *src);
+                set!(*dst, cvt_val(*to, *from, v));
             }
-            Op::Setp { cmp, t, dst, a, b } => {
-                let va = self.operand(regs, a);
-                let vb = self.operand(regs, b);
-                let pi = setp_val(*cmp, *t, va, vb, cta, tid);
-                preds.insert(*dst, pi);
+            DOp::Setp { cmp, t, dst, a, b } => {
+                let va = self.dval(regs, *a);
+                let vb = self.dval(regs, *b);
+                preds[*dst as usize] = Some(setp_val(*cmp, *t, va, vb, cta, tid));
             }
-            Op::Selp { dst, a, b, p, .. } => {
-                let truth = preds.get(p).and_then(|pi| pi.truth);
+            DOp::Selp { dst, a, b, p } => {
+                let truth = preds[*p as usize].and_then(|pi| pi.truth);
                 let v = match truth {
-                    Some(true) => self.operand(regs, a),
-                    Some(false) => self.operand(regs, b),
+                    Some(true) => self.dval(regs, *a),
+                    Some(false) => self.dval(regs, *b),
                     None => Val::Unknown,
                 };
-                set(regs, *dst, v);
+                set!(*dst, v);
             }
-            Op::Bra { .. } | Op::Bar | Op::Ret => {}
+            DOp::Bra { .. } | DOp::Nop | DOp::Ret => {}
         }
         Ok(())
     }
@@ -1109,5 +1408,41 @@ mod tests {
         let m = Machine::new(&k, 4, &[700]);
         let o = m.run(0, 0).unwrap();
         assert_eq!(o.by_cat.iter().sum::<u64>(), o.count);
+    }
+
+    #[test]
+    fn shared_program_matches_fresh_decode() {
+        // one decode shared by two launches must behave like two decodes
+        let k = guard_kernel();
+        let prog = Arc::new(DenseProgram::decode(&k));
+        for (nctaid, n) in [(4u64, 700u64), (8, 1024), (2, 100)] {
+            let shared = Machine::from_program(Arc::clone(&prog), nctaid, &[n]);
+            let fresh = Machine::new(&k, nctaid, &[n]);
+            let a = shared.run(0, 0).unwrap();
+            let b = fresh.run(0, 0).unwrap();
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.by_cat, b.by_cat);
+            assert_eq!(a.breaks, b.breaks);
+        }
+    }
+
+    #[test]
+    fn missing_argument_is_unknown_param_with_name() {
+        // a kernel whose param list is known but whose launch forgot args
+        let k = guard_kernel();
+        let m = Machine::new(&k, 4, &[]);
+        match m.run(0, 0) {
+            Err(ExecError::UnknownParam { name }) => assert_eq!(name, k.params[0].name),
+            other => panic!("expected UnknownParam, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_is_launch_independent() {
+        let k = guard_kernel();
+        let prog = DenseProgram::decode(&k);
+        assert_eq!(prog.len(), k.num_instructions());
+        assert_eq!(prog.ntid(), 256);
+        assert_eq!(prog.kernel_name(), "k");
     }
 }

@@ -23,12 +23,13 @@ pub mod stats;
 
 pub use cfg::Cfg;
 pub use count::{
-    count_launch, count_launch_bruteforce, count_launch_budgeted, count_plan, count_plan_budgeted,
-    LaunchCount, PlanCount, WARP,
+    count_launch, count_launch_bruteforce, count_launch_budgeted, count_launch_prepared,
+    count_plan, count_plan_budgeted, LaunchCount, PlanCount, WARP,
 };
 pub use depgraph::DepGraph;
 pub use exec::{
-    Break, ExecBudget, ExecError, Machine, ThreadOutcome, Val, CANCEL_CHECK_INTERVAL, NCAT,
+    Break, DenseProgram, ExecBudget, ExecError, Machine, ThreadOutcome, Val, CANCEL_CHECK_INTERVAL,
+    NCAT,
 };
 pub use slice::{branch_slice, slice_fraction};
 pub use stats::{kernel_stats, KernelStats};

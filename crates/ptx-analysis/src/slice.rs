@@ -4,7 +4,7 @@
 
 use crate::depgraph::DepGraph;
 use ptx::kernel::Kernel;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Branch slices computed.
 static SLICE_COMPUTED: obs::LazyCounter = obs::LazyCounter::new("ptx.slice.computed");
@@ -25,14 +25,21 @@ pub fn branch_slice(kernel: &Kernel) -> HashSet<usize> {
         .collect();
     let mut slice = g.backward_closure(&seeds);
     // guards of sliced instructions must be evaluable too: close over the
-    // predicates guarding slice members
+    // predicates guarding slice members (defs-by-register indexed once up
+    // front instead of rescanning the body per slice member)
+    let mut defs_of: HashMap<ptx::types::Reg, Vec<usize>> = HashMap::new();
+    for (j, inst) in g.instrs.iter().enumerate() {
+        if let Some(d) = inst.dst() {
+            defs_of.entry(d).or_default().push(j);
+        }
+    }
     loop {
         let mut extra: Vec<usize> = Vec::new();
         for &i in &slice {
             if let Some((p, _)) = g.instrs[i].guard {
                 // find defs of p: any instruction writing p
-                for (j, inst) in g.instrs.iter().enumerate() {
-                    if inst.dst() == Some(p) && !slice.contains(&j) {
+                for &j in defs_of.get(&p).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if !slice.contains(&j) {
                         extra.push(j);
                     }
                 }

@@ -41,9 +41,18 @@ corpus-harsh:
 
 # End-to-end observability smoke: run a small estimation batch with
 # `--stats json`, then validate the snapshot's schema and counter
-# invariants with `stats-check`.
+# invariants with `stats-check`. Two Pascal (sm_61) devices guarantee
+# warm analysis-cache traffic, so the `analysis.cache.*` invariants
+# (hits + misses == lookups, evictions <= misses) are exercised for real.
 stats-smoke:
     mkdir -p target
-    cargo run --release -- estimate "alexnet,mobilenet" "GTX 1080 Ti,V100S" \
+    cargo run --release -- estimate "alexnet,mobilenet" "GTX 1080 Ti,Titan Xp,V100S" \
         --tiers analytical --deadline-ms 60000 --stats json > target/stats-smoke.out
     cargo run --release -- stats-check target/stats-smoke.out
+
+# Decode-reuse ablation for the DCA interpreter. Besides the criterion
+# groups, emits target/figures/dca_counting.bench.json (the BENCH
+# artifact: decode-per-count vs shared dense program) and the obs stats
+# sidecar with the ptx.exec.decodes counter.
+bench-dca:
+    cargo bench -p cnnperf-bench --bench dca_counting

@@ -23,7 +23,10 @@ fn usage() -> ExitCode {
            analyze <model>               static analyzer + executed-instruction count\n\
            profile <model> <device>      ground-truth simulation (IPC, latency, power)\n\
            predict <model> [<device>|--all-devices] [--regressor dt|knn|rf|xgb|lr]\n\
-           rank <model>                  rank all devices by predicted IPC\n\
+           rank <model> [--stats json|prom]\n\
+                                         rank all devices by predicted IPC (warm: the\n\
+                                         analysis cache skips repeated DCA; --stats shows\n\
+                                         analysis.cache.* traffic)\n\
            corpus [--strict] [--runs N] [--fault-profile none|light|harsh|k=v,..]\n\
                   [--stats json|prom]    build the training corpus under the robust\n\
                                          measurement protocol and print its health report\n\
@@ -236,7 +239,7 @@ fn cmd_predict(name: &str, device: Option<&str>, all: bool, kind: RegressorKind)
     }
 }
 
-fn cmd_rank(name: &str) {
+fn cmd_rank(name: &str, stats: Option<StatsFormat>) {
     let model = model_or_exit(name);
     let corpus = corpus();
     let predictor = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
@@ -255,6 +258,11 @@ fn cmd_rank(name: &str) {
             r.device,
             r.predicted_ipc
         );
+    }
+    let (entries, capacity) = cnnperf_core::cache_stats();
+    println!("analysis cache: {entries}/{capacity} entries");
+    if let Some(fmt) = stats {
+        emit_stats(fmt);
     }
 }
 
@@ -573,6 +581,22 @@ fn cmd_stats_check(file: &str) -> ExitCode {
             lookups,
         );
     }
+    if let Some(lookups) = counter("analysis.cache.lookups") {
+        let traffic = counter("analysis.cache.hits").unwrap_or(0)
+            + counter("analysis.cache.misses").unwrap_or(0);
+        check(
+            &mut failures,
+            "hits+misses == analysis.cache.lookups",
+            traffic,
+            lookups,
+        );
+        // eviction can never outpace insertion
+        let misses = counter("analysis.cache.misses").unwrap_or(0);
+        if counter("analysis.cache.evictions").unwrap_or(0) > misses {
+            eprintln!("stats-check: invariant violated: analysis.cache.evictions > misses");
+            failures += 1;
+        }
+    }
     for (name, v) in histograms {
         let (count, sum) = (
             v.get("count").and_then(stat_u64),
@@ -639,10 +663,18 @@ fn main() -> ExitCode {
             let device = rest.get(1).filter(|d| !d.starts_with("--")).copied();
             cmd_predict(model, device, all, kind);
         }
-        Some("rank") => match it.next() {
-            Some(m) => cmd_rank(m),
-            None => return usage(),
-        },
+        Some("rank") => {
+            let rest: Vec<&str> = it.collect();
+            let Some(model) = rest.first().filter(|m| !m.starts_with("--")) else {
+                return usage();
+            };
+            let stats = rest
+                .iter()
+                .position(|a| *a == "--stats")
+                .and_then(|i| rest.get(i + 1).copied())
+                .and_then(StatsFormat::parse);
+            cmd_rank(model, stats);
+        }
         Some("corpus") => {
             let rest: Vec<&str> = it.collect();
             return cmd_corpus(&rest);

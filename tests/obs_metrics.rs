@@ -97,6 +97,10 @@ fn counters_are_identical_across_two_fixed_runs() {
     let _guard = lock();
 
     let run = || {
+        // memoization is deliberately cross-run state: start each run with a
+        // cold analysis cache so the determinism contract compares like with
+        // like (a warm second run would legitimately count hits, not misses)
+        cnnperf_core::clear_analysis_cache();
         let before = obs::global().snapshot();
         let mut engine = ResilientEngine::new(quiet_config());
         let outcomes = engine.estimate_batch(&four_requests());
