@@ -38,6 +38,9 @@ pub enum ProfileError {
     Exec(ExecError),
     /// Measurement-layer failure from the robust profiling protocol.
     Fault(ProfileFault),
+    /// The build journal could not be written; crash-safety is gone, so
+    /// the build aborts rather than continuing unjournaled.
+    Journal(String),
 }
 
 impl ProfileError {
@@ -46,7 +49,7 @@ impl ProfileError {
     /// deterministic and therefore permanent.
     pub fn transient(&self) -> bool {
         match self {
-            ProfileError::Graph(_) | ProfileError::Exec(_) => false,
+            ProfileError::Graph(_) | ProfileError::Exec(_) | ProfileError::Journal(_) => false,
             ProfileError::Fault(f) => f.transient(),
         }
     }
@@ -62,6 +65,7 @@ impl fmt::Display for ProfileError {
             ProfileError::Graph(e) => write!(f, "graph error: {e}"),
             ProfileError::Exec(e) => write!(f, "analysis error: {e}"),
             ProfileError::Fault(e) => write!(f, "profiling fault: {e}"),
+            ProfileError::Journal(e) => write!(f, "journal error: {e}"),
         }
     }
 }

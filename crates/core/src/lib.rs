@@ -30,10 +30,12 @@ pub mod cache;
 pub mod dse;
 pub mod engine;
 pub mod features;
+pub mod journal;
 pub mod model;
 pub mod pipeline;
 pub mod report;
 pub mod resilience;
+pub mod supervise;
 
 pub use analysis_cache::{
     analyze_cached, cache_stats, clear_analysis_cache, model_content_hash, peek_cached,
@@ -48,12 +50,18 @@ pub use features::{
     feature_names, feature_row, profile_model, profile_model_budgeted, profile_model_with_target,
     CnnProfile, ProfileError, DEFAULT_SM_TARGET,
 };
+pub use journal::{
+    BuildMeta, CellOutcome, Journal, JournalError, JournalRecord, Replay, JOURNAL_SCHEMA,
+    SEGMENT_RECORDS,
+};
 pub use model::{compare_regressors, PerformancePredictor, RegressorComparison};
 pub use pipeline::{
-    build_corpus, build_corpus_robust, build_paper_corpus, build_paper_corpus_robust, CellReport,
-    CellStatus, Corpus, CorpusReport, RobustConfig, SampleMeta,
+    build_corpus, build_corpus_robust, build_corpus_robust_with, build_paper_corpus,
+    build_paper_corpus_robust, BuildOptions, CellReport, CellStatus, Corpus, CorpusReport,
+    RobustConfig, SampleMeta,
 };
 pub use resilience::{BreakerConfig, BreakerState, CircuitBreaker, Deadline};
+pub use supervise::{CellGuard, SuperviseConfig, Supervisor};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {

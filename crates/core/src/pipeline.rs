@@ -16,13 +16,17 @@
 //!   `Failed` and simply missing from the dataset. `strict` mode restores
 //!   fail-fast semantics under the same measurement protocol.
 
+use crate::analysis_cache::model_content_hash;
 use crate::features::{feature_names, feature_row, CnnProfile, ProfileError};
+use crate::journal::{self, CellOutcome, Journal, Replay};
+use crate::supervise::{CellGuard, Supervisor};
 use cnn_ir::ModelGraph;
 use gpu_sim::{
-    profile_robust, DeviceSpec, FaultInjector, FaultProfile, ProfileFault, RetryPolicy,
-    RobustProfile,
+    profile_robust_budgeted, ChaosInjector, ChaosProfile, DeviceSpec, FaultInjector, FaultProfile,
+    ProfileFault, RetryPolicy, RobustProfile, TierFaultKind,
 };
 use mlkit::Dataset;
+use ptx::kernel::LaunchPlan;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +36,8 @@ static CORPUS_BUILDS: obs::LazyCounter = obs::LazyCounter::new("corpus.builds");
 static CORPUS_CELLS_OK: obs::LazyCounter = obs::LazyCounter::new("corpus.cells.ok");
 static CORPUS_CELLS_DEGRADED: obs::LazyCounter = obs::LazyCounter::new("corpus.cells.degraded");
 static CORPUS_CELLS_FAILED: obs::LazyCounter = obs::LazyCounter::new("corpus.cells.failed");
+/// Cells cancelled by the supervision watchdog.
+static CORPUS_CELLS_TIMEOUT: obs::LazyCounter = obs::LazyCounter::new("corpus.cells.timeout");
 /// Dataset rows emitted by completed builds.
 static CORPUS_ROWS: obs::LazyCounter = obs::LazyCounter::new("corpus.rows");
 /// Wall time of whole corpus builds, in microseconds.
@@ -66,6 +72,23 @@ impl Corpus {
     /// CNN profile by model name.
     pub fn profile(&self, model: &str) -> Option<&CnnProfile> {
         self.profiles.iter().find(|p| p.name == model)
+    }
+
+    /// Canonical JSON of this corpus with the wall-clock measurement
+    /// fields (`SampleMeta::profiling_wall_s`, `CnnProfile::dca_seconds`)
+    /// zeroed. Everything else is deterministic for a given input set and
+    /// fault seed, so a resumed build's canonical JSON is byte-identical
+    /// to an uninterrupted one — the resume-equality guarantee the journal
+    /// tests (and the CI kill-resume job) diff against.
+    pub fn canonical_json(&self) -> String {
+        let mut c = self.clone();
+        for s in &mut c.samples {
+            s.profiling_wall_s = 0.0;
+        }
+        for p in &mut c.profiles {
+            p.dca_seconds = 0.0;
+        }
+        serde_json::to_string(&c).unwrap_or_default()
     }
 }
 
@@ -124,6 +147,9 @@ pub enum CellStatus {
     },
     /// No usable measurement; the cell is absent from the dataset.
     Failed { error: String },
+    /// The cell went silent and was cancelled by the supervision watchdog
+    /// ([`crate::supervise`]); absent from the dataset like `Failed`.
+    TimedOut { waited_ms: u64 },
 }
 
 /// Per-cell entry of a [`CorpusReport`].
@@ -169,15 +195,28 @@ impl CorpusReport {
             .count()
     }
 
-    /// One-line human summary, e.g. `62/64 cells ok, 1 degraded, 1 failed`.
+    pub fn timed_out_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.status, CellStatus::TimedOut { .. }))
+            .count()
+    }
+
+    /// One-line human summary, e.g. `62/64 cells ok, 1 degraded, 1 failed`
+    /// (plus `, N timed out` when the watchdog cancelled any cells).
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}/{} cells ok, {} degraded, {} failed",
             self.ok_count(),
             self.cells.len(),
             self.degraded_count(),
             self.failed_count()
-        )
+        );
+        let timed_out = self.timed_out_count();
+        if timed_out > 0 {
+            s.push_str(&format!(", {timed_out} timed out"));
+        }
+        s
     }
 }
 
@@ -200,6 +239,157 @@ fn cell_of(model: &str, device: &str, rp: &RobustProfile) -> CellReport {
     }
 }
 
+/// Optional build infrastructure for [`build_corpus_robust_with`]: the
+/// cell journal (with its replayed state) and the watchdog supervisor.
+/// All default to off, in which case the build behaves exactly like the
+/// plain robust protocol.
+pub struct BuildOptions<'a> {
+    /// Journal finished cells here as workers complete them.
+    pub journal: Option<&'a Journal>,
+    /// Cells/profiles replayed from the journal: skipped, not recomputed.
+    pub replay: Option<&'a Replay>,
+    /// Watchdog supervising every computed cell.
+    pub supervisor: Option<&'a Supervisor>,
+    /// Chaos injected into cell execution (tier name `"cell"`); used by
+    /// the watchdog tests and the CI chaos job.
+    pub chaos: ChaosProfile,
+}
+
+impl BuildOptions<'_> {
+    /// No journal, no supervision, no chaos.
+    pub fn none() -> Self {
+        BuildOptions {
+            journal: None,
+            replay: None,
+            supervisor: None,
+            chaos: ChaosProfile::none(),
+        }
+    }
+}
+
+impl Default for BuildOptions<'_> {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Per-cell result carried from the parallel workers to the serial
+/// assembly. Faults keep both the journaled form (timeout flag + error
+/// string, identical whether computed or replayed — the resume-equality
+/// guarantee extends to the report) and, for freshly computed cells, the
+/// original [`ProfileFault`] for strict-mode aborts.
+enum RowOutcome {
+    Profile(RobustProfile),
+    Fault {
+        timeout: bool,
+        waited_ms: u64,
+        error: String,
+        fault: Option<ProfileFault>,
+    },
+}
+
+impl RowOutcome {
+    fn from_replayed(outcome: CellOutcome) -> Self {
+        match outcome {
+            CellOutcome::Profile(rp) => RowOutcome::Profile(rp),
+            CellOutcome::Fault {
+                timeout,
+                waited_ms,
+                error,
+            } => RowOutcome::Fault {
+                timeout,
+                waited_ms,
+                error,
+                fault: None,
+            },
+        }
+    }
+
+    fn from_computed(result: Result<RobustProfile, ProfileFault>) -> Self {
+        match result {
+            Ok(rp) => RowOutcome::Profile(rp),
+            Err(fault) => {
+                let (timeout, waited_ms) = match &fault {
+                    ProfileFault::Timeout { waited_ms, .. } => (true, *waited_ms),
+                    _ => (false, 0),
+                };
+                RowOutcome::Fault {
+                    timeout,
+                    waited_ms,
+                    error: fault.to_string(),
+                    fault: Some(fault),
+                }
+            }
+        }
+    }
+
+    /// The journaled form of this outcome.
+    fn to_cell_outcome(&self) -> CellOutcome {
+        match self {
+            RowOutcome::Profile(rp) => CellOutcome::Profile(rp.clone()),
+            RowOutcome::Fault {
+                timeout,
+                waited_ms,
+                error,
+                ..
+            } => CellOutcome::Fault {
+                timeout: *timeout,
+                waited_ms: *waited_ms,
+                error: error.clone(),
+            },
+        }
+    }
+}
+
+/// Execute one (model, device) cell: optional chaos, optional supervision,
+/// robust measurement under the guard's budget. Any failure while the
+/// watchdog has fired this cell's token is reported as a timeout — the
+/// cancellation races the interpreter's own error paths, and the watchdog
+/// verdict is the one the journal must remember.
+fn run_cell(
+    plan: &LaunchPlan,
+    dev: &DeviceSpec,
+    cfg: &RobustConfig,
+    injector: &FaultInjector,
+    chaos: &ChaosInjector,
+    guard: Option<&CellGuard>,
+) -> Result<RobustProfile, ProfileFault> {
+    let timeout_fault = |waited_ms: u64| ProfileFault::Timeout {
+        model: plan.model_name.clone(),
+        device: dev.name.clone(),
+        waited_ms,
+    };
+    match chaos.tier_fault(&plan.model_name, &dev.name, "cell") {
+        TierFaultKind::Hang => {
+            // a real hang: no heartbeats, no progress. Supervised builds
+            // sit here until the watchdog fires the token; unsupervised
+            // builds would hang forever, so degrade to an immediate
+            // timeout fault instead.
+            let Some(guard) = guard else {
+                return Err(timeout_fault(0));
+            };
+            while !guard.timed_out() {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            return Err(timeout_fault(guard.waited_ms()));
+        }
+        TierFaultKind::Slow => {
+            std::thread::sleep(std::time::Duration::from_millis(
+                chaos.profile().slow_ms.max(1),
+            ));
+        }
+        // cell workers contain no unwind boundary; panic chaos is for the
+        // estimation engine's tier workers
+        TierFaultKind::Panic | TierFaultKind::None => {}
+    }
+    let budget = guard.map(|g| g.budget()).unwrap_or_default();
+    let result = profile_robust_budgeted(plan, dev, cfg.runs, &cfg.retry, injector, &budget);
+    match (&result, guard) {
+        (Err(_), Some(g)) if g.timed_out() => Err(timeout_fault(g.waited_ms())),
+        _ => result,
+    }
+}
+
 /// Build the corpus for `models` x `devices` under the robust measurement
 /// protocol. Parallel over models (each model's lowering + counting is
 /// reused across its device rows). Returns the corpus together with the
@@ -214,26 +404,89 @@ pub fn build_corpus_robust(
     devices: &[DeviceSpec],
     cfg: &RobustConfig,
 ) -> Result<(Corpus, CorpusReport), ProfileError> {
-    type ModelRows = (
-        CnnProfile,
-        Vec<(Vec<f64>, Result<RobustProfile, ProfileFault>)>,
-    );
+    build_corpus_robust_with(models, devices, cfg, &BuildOptions::none())
+}
+
+/// [`build_corpus_robust`] with crash-safety and supervision
+/// ([`BuildOptions`]): journaled cells are appended as each worker
+/// finishes, replayed cells are skipped without recomputation (a fully
+/// journaled model skips even its analysis), and supervised cells that go
+/// silent past the watchdog timeout degrade to [`CellStatus::TimedOut`]
+/// instead of hanging the build.
+pub fn build_corpus_robust_with(
+    models: &[ModelGraph],
+    devices: &[DeviceSpec],
+    cfg: &RobustConfig,
+    opts: &BuildOptions<'_>,
+) -> Result<(Corpus, CorpusReport), ProfileError> {
+    type ModelRows = (Option<CnnProfile>, Vec<(Vec<f64>, RowOutcome)>);
     CORPUS_BUILDS.inc();
     let _build_span = CORPUS_BUILD_US.span();
     let injector = FaultInjector::new(cfg.faults.clone());
+    let chaos = ChaosInjector::new(opts.chaos.clone());
     let per_model: Vec<Result<ModelRows, ProfileError>> = models
         .par_iter()
         .map(|m| {
+            let hash = model_content_hash(m);
+            let replayed_cell =
+                |dev: &DeviceSpec| opts.replay.and_then(|r| r.cell(hash, &dev.name)).cloned();
+
+            // full-replay fast path: every cell journaled, and the model
+            // analysis either journaled too or not needed (all faults) —
+            // zero recomputation, not even the (cached) analysis
+            let replayed_profile = opts.replay.and_then(|r| r.profiles.get(&hash));
+            if devices.iter().all(|d| {
+                replayed_cell(d).is_some_and(|c| {
+                    replayed_profile.is_some() || matches!(c, CellOutcome::Fault { .. })
+                })
+            }) && !devices.is_empty()
+            {
+                let rows = devices
+                    .iter()
+                    .map(|dev| {
+                        journal::note_replayed();
+                        let outcome = replayed_cell(dev).expect("checked above");
+                        let features = replayed_profile
+                            .map(|p| feature_row(p, dev))
+                            .unwrap_or_default();
+                        (features, RowOutcome::from_replayed(outcome))
+                    })
+                    .collect();
+                return Ok((replayed_profile.cloned(), rows));
+            }
+
             // memoized: rebuilding a corpus (or building after estimate/dse
             // touched the same models) reuses each model's analysis
             let analyzed = crate::analysis_cache::profile_model_cached(m)?;
             let profile = analyzed.profile.clone();
+            if let Some(j) = opts.journal {
+                if replayed_profile.is_none() {
+                    j.append_model(m.name(), hash, &profile)
+                        .map_err(|e| ProfileError::Journal(e.to_string()))?;
+                }
+            }
             let mut rows = Vec::with_capacity(devices.len());
             for dev in devices {
-                let rp = profile_robust(&analyzed.plan, dev, cfg.runs, &cfg.retry, &injector);
-                rows.push((feature_row(&profile, dev), rp));
+                if let Some(outcome) = replayed_cell(dev) {
+                    journal::note_replayed();
+                    rows.push((
+                        feature_row(&profile, dev),
+                        RowOutcome::from_replayed(outcome),
+                    ));
+                    continue;
+                }
+                let guard = opts.supervisor.map(|s| s.guard());
+                let result = run_cell(&analyzed.plan, dev, cfg, &injector, &chaos, guard.as_ref());
+                drop(guard);
+                journal::note_computed();
+                let row = RowOutcome::from_computed(result);
+                if let Some(j) = opts.journal {
+                    j.append_cell(m.name(), hash, &dev.name, &row.to_cell_outcome())
+                        .map_err(|e| ProfileError::Journal(e.to_string()))?;
+                }
+                rows.push((feature_row(&profile, dev), row));
             }
-            Ok((profile, rows))
+            Ok((Some(profile), rows))
         })
         .collect();
 
@@ -261,22 +514,43 @@ pub fn build_corpus_robust(
                 }
             }
             Ok((profile, rows)) => {
-                for (dev, (features, rp)) in devices.iter().zip(rows) {
-                    match rp {
-                        Err(fault) => {
+                let model_name = model.name().to_string();
+                for (dev, (features, row)) in devices.iter().zip(rows) {
+                    match row {
+                        RowOutcome::Fault {
+                            timeout,
+                            waited_ms,
+                            error,
+                            fault,
+                        } => {
                             if cfg.strict {
-                                return Err(ProfileError::Fault(fault));
+                                return Err(ProfileError::Fault(fault.unwrap_or_else(|| {
+                                    if timeout {
+                                        ProfileFault::Timeout {
+                                            model: model_name.clone(),
+                                            device: dev.name.clone(),
+                                            waited_ms,
+                                        }
+                                    } else {
+                                        ProfileFault::Replayed {
+                                            error: error.clone(),
+                                        }
+                                    }
+                                })));
                             }
+                            let status = if timeout {
+                                CellStatus::TimedOut { waited_ms }
+                            } else {
+                                CellStatus::Failed { error }
+                            };
                             cells.push(CellReport {
-                                model: profile.name.clone(),
+                                model: model_name.clone(),
                                 device: dev.name.clone(),
-                                status: CellStatus::Failed {
-                                    error: fault.to_string(),
-                                },
+                                status,
                                 runs_retained: 0,
                             });
                         }
-                        Ok(rp) => {
+                        RowOutcome::Profile(rp) => {
                             if cfg.strict && rp.degraded() {
                                 return Err(ProfileError::Fault(ProfileFault::Degraded {
                                     model: rp.model_name.clone(),
@@ -290,7 +564,7 @@ pub fn build_corpus_robust(
                                     ),
                                 }));
                             }
-                            cells.push(cell_of(&profile.name, &dev.name, &rp));
+                            cells.push(cell_of(&rp.model_name, &dev.name, &rp));
                             dataset.push(
                                 Corpus::label(&rp.model_name, &rp.device_name),
                                 features,
@@ -307,7 +581,9 @@ pub fn build_corpus_robust(
                         }
                     }
                 }
-                profiles.push(profile);
+                if let Some(profile) = profile {
+                    profiles.push(profile);
+                }
             }
         }
     }
@@ -319,6 +595,7 @@ pub fn build_corpus_robust(
             CellStatus::Ok => CORPUS_CELLS_OK.inc(),
             CellStatus::Degraded { .. } => CORPUS_CELLS_DEGRADED.inc(),
             CellStatus::Failed { .. } => CORPUS_CELLS_FAILED.inc(),
+            CellStatus::TimedOut { .. } => CORPUS_CELLS_TIMEOUT.inc(),
         }
     }
     CORPUS_ROWS.add(samples.len() as u64);

@@ -1,0 +1,262 @@
+//! Watchdog supervision for corpus-build cells.
+//!
+//! A wedged cell — an interpreter loop that stopped terminating, a
+//! simulator chewing through a pathological event storm — used to hang
+//! the whole corpus build. The supervisor turns "silent" into "cancelled":
+//!
+//! - Each cell registers a [`CellGuard`] before it starts measuring. The
+//!   guard owns a logical-tick heartbeat (an `AtomicU64`) and a
+//!   cancellation token, and derives an [`ExecBudget`] whose observer
+//!   stamps the heartbeat from the interpreter/simulator cancellation
+//!   check sites (every `CANCEL_CHECK_INTERVAL` steps /
+//!   `SIM_CANCEL_CHECK_EVENTS` events).
+//! - A single watchdog thread polls all registered cells. A cell whose
+//!   tick has not changed for longer than
+//!   [`SuperviseConfig::cell_timeout_ms`] is declared stale and its
+//!   cancellation token is fired; the in-flight execution returns
+//!   `ExecError::Cancelled` at its next check point and the pipeline
+//!   records the cell as a timeout fault instead of waiting forever.
+//!
+//! The heartbeat is *logical* progress, not wall-clock aliveness: a
+//! blocked thread stamps nothing, so blocking and spinning are detected
+//! identically.
+
+use ptx_analysis::ExecBudget;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Heartbeats stamped by supervised executions.
+static SUPERVISE_HEARTBEATS: obs::LazyCounter = obs::LazyCounter::new("supervise.heartbeats");
+/// Cells declared stale (silent past the timeout).
+static SUPERVISE_STALE: obs::LazyCounter = obs::LazyCounter::new("supervise.stale_cells");
+/// Cancellation tokens fired by the watchdog.
+static SUPERVISE_CANCELLED: obs::LazyCounter = obs::LazyCounter::new("supervise.cancelled");
+/// Wall time of supervised cells, in microseconds.
+static SUPERVISE_CELL_US: obs::LazyHistogram = obs::LazyHistogram::new("supervise.cell_us");
+
+/// Watchdog configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperviseConfig {
+    /// A cell silent for longer than this is cancelled.
+    pub cell_timeout_ms: u64,
+    /// Watchdog poll interval.
+    pub poll_ms: u64,
+}
+
+impl SuperviseConfig {
+    /// Timeout with a poll interval fine enough to detect staleness
+    /// within ~a quarter of the timeout (bounded to keep the watchdog
+    /// cheap at large timeouts and responsive at small ones).
+    pub fn with_timeout_ms(cell_timeout_ms: u64) -> Self {
+        SuperviseConfig {
+            cell_timeout_ms,
+            poll_ms: (cell_timeout_ms / 4).clamp(1, 50),
+        }
+    }
+}
+
+struct Watched {
+    heartbeat: Arc<AtomicU64>,
+    cancel: Arc<AtomicBool>,
+    last_tick: u64,
+    last_change: Instant,
+    timed_out: bool,
+}
+
+#[derive(Default)]
+struct Shared {
+    cells: Mutex<HashMap<u64, Watched>>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Watched>> {
+        self.cells.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The watchdog: one background thread supervising any number of
+/// concurrently running cells. Dropping the supervisor shuts the thread
+/// down (after deregistering, running guards keep their tokens but no one
+/// will fire them anymore).
+pub struct Supervisor {
+    shared: Arc<Shared>,
+    config: SuperviseConfig,
+    next_id: AtomicU64,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Start the watchdog thread.
+    pub fn start(config: SuperviseConfig) -> Supervisor {
+        let shared = Arc::new(Shared::default());
+        let scan_target = Arc::clone(&shared);
+        let timeout = Duration::from_millis(config.cell_timeout_ms);
+        let poll = Duration::from_millis(config.poll_ms.max(1));
+        let handle = std::thread::Builder::new()
+            .name("cell-watchdog".into())
+            .spawn(move || {
+                while !scan_target.shutdown.load(Ordering::Relaxed) {
+                    scan(&scan_target, timeout);
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("spawn watchdog thread");
+        Supervisor {
+            shared,
+            config,
+            next_id: AtomicU64::new(0),
+            handle: Some(handle),
+        }
+    }
+
+    /// Watchdog configuration this supervisor runs with.
+    pub fn config(&self) -> SuperviseConfig {
+        self.config
+    }
+
+    /// Register a cell about to run; the returned guard carries its
+    /// heartbeat and cancellation token and deregisters on drop.
+    pub fn guard(&self) -> CellGuard {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let heartbeat = Arc::new(AtomicU64::new(0));
+        let cancel = Arc::new(AtomicBool::new(false));
+        self.shared.lock().insert(
+            id,
+            Watched {
+                heartbeat: Arc::clone(&heartbeat),
+                cancel: Arc::clone(&cancel),
+                last_tick: 0,
+                last_change: Instant::now(),
+                timed_out: false,
+            },
+        );
+        CellGuard {
+            shared: Arc::clone(&self.shared),
+            id,
+            heartbeat,
+            cancel,
+            started: Instant::now(),
+            span: Some(SUPERVISE_CELL_US.span()),
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One watchdog scan over all registered cells.
+fn scan(shared: &Shared, timeout: Duration) {
+    let now = Instant::now();
+    let mut cells = shared.lock();
+    for watched in cells.values_mut() {
+        let tick = watched.heartbeat.load(Ordering::Relaxed);
+        if tick != watched.last_tick {
+            watched.last_tick = tick;
+            watched.last_change = now;
+            continue;
+        }
+        if !watched.timed_out && now.duration_since(watched.last_change) > timeout {
+            watched.timed_out = true;
+            SUPERVISE_STALE.inc();
+            watched.cancel.store(true, Ordering::Relaxed);
+            SUPERVISE_CANCELLED.inc();
+        }
+    }
+}
+
+/// RAII registration of one supervised cell.
+pub struct CellGuard {
+    shared: Arc<Shared>,
+    id: u64,
+    heartbeat: Arc<AtomicU64>,
+    cancel: Arc<AtomicBool>,
+    started: Instant,
+    span: Option<obs::SpanTimer>,
+}
+
+impl CellGuard {
+    /// Execution budget wired to this cell: the observer stamps the
+    /// heartbeat at every cancellation check point, the token lets the
+    /// watchdog cancel the execution.
+    pub fn budget(&self) -> ExecBudget {
+        let heartbeat = Arc::clone(&self.heartbeat);
+        ExecBudget::default()
+            .with_cancel(Arc::clone(&self.cancel))
+            .with_observer(Arc::new(move || {
+                heartbeat.fetch_add(1, Ordering::Relaxed);
+                SUPERVISE_HEARTBEATS.inc();
+            }))
+    }
+
+    /// Has the watchdog fired this cell's cancellation token?
+    pub fn timed_out(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds since this cell registered.
+    pub fn waited_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
+impl Drop for CellGuard {
+    fn drop(&mut self) {
+        self.shared.lock().remove(&self.id);
+        // SpanTimer records on drop
+        self.span.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeating_cell_is_not_cancelled() {
+        let sup = Supervisor::start(SuperviseConfig::with_timeout_ms(40));
+        let guard = sup.guard();
+        let budget = guard.budget();
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_millis(120) {
+            budget.pulse(); // steady progress
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!guard.timed_out(), "live cell must not be cancelled");
+    }
+
+    #[test]
+    fn silent_cell_is_cancelled_within_timeout() {
+        let sup = Supervisor::start(SuperviseConfig::with_timeout_ms(30));
+        let guard = sup.guard();
+        let budget = guard.budget();
+        budget.pulse(); // one sign of life, then silence
+        let t0 = Instant::now();
+        while !guard.timed_out() && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(guard.timed_out(), "silent cell must be cancelled");
+        assert!(budget.cancelled(), "budget token must observe the firing");
+    }
+
+    #[test]
+    fn deregistered_cells_are_forgotten() {
+        let sup = Supervisor::start(SuperviseConfig::with_timeout_ms(10));
+        let guard = sup.guard();
+        let cancel = Arc::clone(&guard.cancel);
+        drop(guard); // deregistered before it could ever look stale
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(
+            !cancel.load(Ordering::Relaxed),
+            "a dropped guard must never be cancelled"
+        );
+    }
+}

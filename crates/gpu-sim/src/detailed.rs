@@ -223,6 +223,7 @@ fn simulate_wave(
     while let Some(Reverse((ready, w))) = heap.pop() {
         events += 1;
         if events.is_multiple_of(SIM_CANCEL_CHECK_EVENTS) {
+            budget.pulse();
             if budget.cancelled() {
                 SIM_EVENTS.add(events);
                 SIM_CANCELLED.inc();

@@ -40,8 +40,8 @@ pub use machine::{SimMode, SimReport, Simulator};
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use power::{estimate as estimate_power, PowerReport};
 pub use profiler::{
-    mad, median, profile, profile_robust, profile_run, profile_run_budgeted, profile_stats,
-    robust_filter, ProfileFault, ProfileRecord, ProfileStats, RetryPolicy, RobustFilter,
-    RobustProfile, MAD_K, MAD_SIGMA,
+    mad, median, profile, profile_robust, profile_robust_budgeted, profile_run,
+    profile_run_budgeted, profile_stats, robust_filter, ProfileFault, ProfileRecord, ProfileStats,
+    RetryPolicy, RobustFilter, RobustProfile, MAD_K, MAD_SIGMA,
 };
 pub use specs::{all_devices, device_by_name, training_devices, DeviceSpec};

@@ -199,6 +199,17 @@ pub enum ProfileFault {
         device: String,
         detail: String,
     },
+    /// The cell went silent past the supervision timeout and its
+    /// cancellation token was fired by the watchdog (permanent: the same
+    /// deterministic work would wedge again).
+    Timeout {
+        model: String,
+        device: String,
+        waited_ms: u64,
+    },
+    /// A permanent fault replayed from a build journal; only the original
+    /// error text survives the round-trip.
+    Replayed { error: String },
 }
 
 impl ProfileFault {
@@ -254,6 +265,15 @@ impl fmt::Display for ProfileFault {
                 f,
                 "strict mode: measurement of {model} on {device} degraded ({detail})"
             ),
+            ProfileFault::Timeout {
+                model,
+                device,
+                waited_ms,
+            } => write!(
+                f,
+                "cell {model} on {device} cancelled by watchdog after {waited_ms} ms of silence"
+            ),
+            ProfileFault::Replayed { error } => write!(f, "replayed from journal: {error}"),
         }
     }
 }
@@ -429,13 +449,28 @@ pub fn profile_robust(
     policy: &RetryPolicy,
     injector: &FaultInjector,
 ) -> Result<RobustProfile, ProfileFault> {
+    profile_robust_budgeted(plan, dev, runs, policy, injector, &ExecBudget::default())
+}
+
+/// [`profile_robust`] under an explicit execution budget: the budget's
+/// cancellation token and heartbeat observer bound and instrument the
+/// underlying detailed simulation, so a supervising watchdog can detect a
+/// wedged cell and cancel it instead of hanging the whole corpus build.
+pub fn profile_robust_budgeted(
+    plan: &LaunchPlan,
+    dev: &DeviceSpec,
+    runs: u32,
+    policy: &RetryPolicy,
+    injector: &FaultInjector,
+    budget: &ExecBudget,
+) -> Result<RobustProfile, ProfileFault> {
     assert!(runs >= 1);
     assert!(policy.max_attempts >= 1);
     PROFILE_CELLS.inc();
     let _cell_span = PROFILE_CELL_US.span();
     let t0 = std::time::Instant::now();
     let report: SimReport = Simulator::new(dev.clone(), SimMode::Detailed)
-        .simulate_plan(plan)
+        .simulate_plan_budgeted(plan, budget)
         .map_err(ProfileFault::Sim)?;
 
     let mut records: Vec<ProfileRecord> = Vec::with_capacity(runs as usize);

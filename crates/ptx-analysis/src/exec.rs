@@ -68,10 +68,25 @@ pub const CANCEL_CHECK_INTERVAL: u64 = 8192;
 /// cooperative cancellation token shared across threads. Replaces the old
 /// hard-coded step limit, so callers (e.g. a profiling pipeline that wants
 /// to kill hung analyses) can bound the work per representative thread.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ExecBudget {
     max_steps: Option<u64>,
     cancel: Option<Arc<AtomicBool>>,
+    /// Liveness observer, invoked at every cancellation check point (every
+    /// [`CANCEL_CHECK_INTERVAL`] steps and at step 0 of each run). A
+    /// supervisor stamps a heartbeat from here, so "observer went silent"
+    /// implies "interpreter stopped making progress".
+    observer: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ExecBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecBudget")
+            .field("max_steps", &self.max_steps)
+            .field("cancel", &self.cancel)
+            .field("observer", &self.observer.as_ref().map(|_| ".."))
+            .finish()
+    }
 }
 
 impl ExecBudget {
@@ -100,6 +115,24 @@ impl ExecBudget {
         self.cancel
             .as_ref()
             .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Attach a liveness observer called at every cancellation check
+    /// point. Used by `core::supervise` to stamp per-cell heartbeats.
+    pub fn with_observer(mut self, observer: Arc<dyn Fn() + Send + Sync>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Invoke the liveness observer, if any. Called from the same sites
+    /// (and at the same cadence) as [`Self::cancelled`] checks, so the
+    /// cancellation-latency contract doubles as a heartbeat-cadence
+    /// contract.
+    #[inline]
+    pub fn pulse(&self) {
+        if let Some(obs) = &self.observer {
+            obs();
+        }
     }
 }
 
@@ -673,6 +706,7 @@ impl Machine {
             }
             if count.is_multiple_of(CANCEL_CHECK_INTERVAL) {
                 EXEC_CANCEL_CHECKS.inc();
+                self.budget.pulse();
                 if self.budget.cancelled() {
                     EXEC_CANCELLED.inc();
                     return Err(ExecError::Cancelled {

@@ -8,7 +8,9 @@ use crate::kernel::{Kernel, KernelParam, Module};
 use crate::types::{BinOp, CmpOp, Reg, RegClass, Space, SpecialReg, Type, UnOp};
 use std::fmt;
 
-/// Parse errors with line information.
+/// Parse errors with line information. `line` is 1-based and always
+/// within the input's line count (clamped to 1 for empty input), so it
+/// can be surfaced to users and editors directly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     pub line: usize,
@@ -178,6 +180,15 @@ fn reg_arg(args: &[String], i: usize, line: usize) -> PResult<Reg> {
         })
 }
 
+/// Bounds-checked operand access: mutated/truncated input must surface as
+/// a [`ParseError`], never an out-of-bounds panic.
+fn arg(args: &[String], i: usize, line: usize) -> PResult<&str> {
+    args.get(i).map(String::as_str).ok_or_else(|| ParseError {
+        line,
+        message: format!("missing operand at position {i}"),
+    })
+}
+
 /// Parse one statement (guard already stripped) into an [`Op`].
 fn parse_op(stmt: &str, line: usize) -> PResult<Op> {
     let stmt = stmt.trim().trim_end_matches(';').trim();
@@ -196,7 +207,7 @@ fn parse_op(stmt: &str, line: usize) -> PResult<Op> {
         "bar" => Ok(Op::Bar),
         "bra" => {
             let uni = parts.contains(&"uni");
-            let target = parse_label(&args[0], line)?;
+            let target = parse_label(arg(&args, 0, line)?, line)?;
             Ok(Op::Bra { target, uni })
         }
         "mov" => {
@@ -207,7 +218,7 @@ fn parse_op(stmt: &str, line: usize) -> PResult<Op> {
             Ok(Op::Mov {
                 t,
                 dst: reg_arg(&args, 0, line)?,
-                src: parse_operand(&args[1], line)?,
+                src: parse_operand(arg(&args, 1, line)?, line)?,
             })
         }
         "ld" | "st" => {
@@ -229,14 +240,14 @@ fn parse_op(stmt: &str, line: usize) -> PResult<Op> {
                     space,
                     t,
                     dst: reg_arg(&args, 0, line)?,
-                    addr: parse_address(&args[1], line)?,
+                    addr: parse_address(arg(&args, 1, line)?, line)?,
                 })
             } else {
                 Ok(Op::St {
                     space,
                     t,
-                    src: parse_operand(&args[1], line)?,
-                    addr: parse_address(&args[0], line)?,
+                    src: parse_operand(arg(&args, 1, line)?, line)?,
+                    addr: parse_address(arg(&args, 0, line)?, line)?,
                 })
             }
         }
@@ -256,8 +267,8 @@ fn parse_op(stmt: &str, line: usize) -> PResult<Op> {
                 cmp,
                 t,
                 dst: reg_arg(&args, 0, line)?,
-                a: parse_operand(&args[1], line)?,
-                b: parse_operand(&args[2], line)?,
+                a: parse_operand(arg(&args, 1, line)?, line)?,
+                b: parse_operand(arg(&args, 2, line)?, line)?,
             })
         }
         "selp" => {
@@ -268,8 +279,8 @@ fn parse_op(stmt: &str, line: usize) -> PResult<Op> {
             Ok(Op::Selp {
                 t,
                 dst: reg_arg(&args, 0, line)?,
-                a: parse_operand(&args[1], line)?,
-                b: parse_operand(&args[2], line)?,
+                a: parse_operand(arg(&args, 1, line)?, line)?,
+                b: parse_operand(arg(&args, 2, line)?, line)?,
                 p: reg_arg(&args, 3, line)?,
             })
         }
@@ -281,9 +292,9 @@ fn parse_op(stmt: &str, line: usize) -> PResult<Op> {
             Ok(Op::Mad {
                 t,
                 dst: reg_arg(&args, 0, line)?,
-                a: parse_operand(&args[1], line)?,
-                b: parse_operand(&args[2], line)?,
-                c: parse_operand(&args[3], line)?,
+                a: parse_operand(arg(&args, 1, line)?, line)?,
+                b: parse_operand(arg(&args, 2, line)?, line)?,
+                c: parse_operand(arg(&args, 3, line)?, line)?,
             })
         }
         "cvt" => {
@@ -295,7 +306,7 @@ fn parse_op(stmt: &str, line: usize) -> PResult<Op> {
                     to,
                     from,
                     dst: reg_arg(&args, 0, line)?,
-                    src: parse_operand(&args[1], line)?,
+                    src: parse_operand(arg(&args, 1, line)?, line)?,
                 }),
                 _ => err(line, "cvt missing types"),
             }
@@ -332,8 +343,8 @@ fn parse_op(stmt: &str, line: usize) -> PResult<Op> {
                     op,
                     t,
                     dst: reg_arg(&args, 0, line)?,
-                    a: parse_operand(&args[1], line)?,
-                    b: parse_operand(&args[2], line)?,
+                    a: parse_operand(arg(&args, 1, line)?, line)?,
+                    b: parse_operand(arg(&args, 2, line)?, line)?,
                 });
             }
             let un = match base {
@@ -351,7 +362,7 @@ fn parse_op(stmt: &str, line: usize) -> PResult<Op> {
                     op,
                     t,
                     dst: reg_arg(&args, 0, line)?,
-                    a: parse_operand(&args[1], line)?,
+                    a: parse_operand(arg(&args, 1, line)?, line)?,
                 }),
                 None => err(line, format!("unknown mnemonic '{mnemonic}'")),
             }
@@ -411,7 +422,7 @@ pub fn parse_module(text: &str) -> PResult<Module> {
         } else if let Some(a) = line.strip_prefix(".address_size") {
             module.address_size = a.trim().parse().unwrap_or(64);
         } else if line.starts_with(".visible .entry") || line.starts_with(".entry") {
-            let kernel = parse_kernel(&line, ln, &mut lines)?;
+            let kernel = parse_kernel(&line, ln + 1, &mut lines)?;
             module.kernels.push(kernel);
         }
         // other directives ignored
@@ -454,7 +465,7 @@ fn parse_kernel(header: &str, header_ln: usize, lines: &mut Lines) -> PResult<Ke
                 .next()
                 .and_then(|s| parse_type(s.trim_start_matches('.')))
                 .ok_or_else(|| ParseError {
-                    line: ln,
+                    line: ln + 1,
                     message: "bad param type".into(),
                 })?;
             let pname = it.next().unwrap_or("").to_string();
@@ -497,16 +508,19 @@ fn parse_kernel(header: &str, header_ln: usize, lines: &mut Lines) -> PResult<Ke
             continue; // reconstructed from the body
         }
         if l.starts_with(".shared") {
+            // guard a < b: mutated input can put ']' before '['
             if let (Some(a), Some(b)) = (l.rfind('['), l.rfind(']')) {
-                shared_bytes = l[a + 1..b].parse().unwrap_or(0);
+                if a < b {
+                    shared_bytes = l[a + 1..b].parse().unwrap_or(0);
+                }
             }
             continue;
         }
         if let Some(label) = l.strip_suffix(':') {
-            body.push(BodyElem::Label(parse_label(label, ln)?));
+            body.push(BodyElem::Label(parse_label(label, ln + 1)?));
             continue;
         }
-        body.push(BodyElem::Inst(parse_statement(&l, ln)?));
+        body.push(BodyElem::Inst(parse_statement(&l, ln + 1)?));
     }
 
     Ok(Kernel {

@@ -50,6 +50,32 @@ stats-smoke:
         --tiers analytical --deadline-ms 60000 --stats json > target/stats-smoke.out
     cargo run --release -- stats-check target/stats-smoke.out
 
+# Kill-resume smoke: SIGKILL a journaled corpus build mid-flight, resume
+# it, and require the resumed canonical corpus to be byte-identical to an
+# uninterrupted build's. `stats-check` gates the journal.* / supervise.*
+# counter invariants on the resumed run's snapshot.
+resume-smoke:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    cargo build --release
+    bin=target/release/cnnperf
+    dir=target/resume-smoke
+    rm -rf "$dir" && mkdir -p "$dir"
+    "$bin" corpus --journal-dir "$dir/journal" --out "$dir/interrupted.json" &
+    pid=$!
+    sleep 5
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    echo "--- resuming after SIGKILL ---"
+    "$bin" corpus --journal-dir "$dir/journal" --resume --cell-timeout-ms 60000 \
+        --out "$dir/resumed.json" --stats json > "$dir/resume.out"
+    "$bin" stats-check "$dir/resume.out"
+    grep -q '"journal.replayed":' "$dir/resume.out" || { echo "no cells replayed"; exit 1; }
+    echo "--- clean uninterrupted build ---"
+    "$bin" corpus --out "$dir/clean.json"
+    cmp "$dir/resumed.json" "$dir/clean.json"
+    echo "resume-smoke OK: resumed corpus is byte-identical to a clean build"
+
 # Decode-reuse ablation for the DCA interpreter. Besides the criterion
 # groups, emits target/figures/dca_counting.bench.json (the BENCH
 # artifact: decode-per-count vs shared dense program) and the obs stats

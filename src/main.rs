@@ -11,9 +11,25 @@
 //! ```
 
 use cnnperf::prelude::*;
-use gpu_sim::{estimate_power, SimMode, Simulator};
-use std::path::PathBuf;
+use cnnperf_core::{
+    build_corpus_robust_with, BuildMeta, BuildOptions, Journal, JournalError, Replay,
+    SuperviseConfig, Supervisor, DEFAULT_SM_TARGET, JOURNAL_SCHEMA,
+};
+use gpu_sim::{estimate_power, ChaosProfile, SimMode, Simulator};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Exit-code taxonomy (documented in the README): `0` success, `1`
+/// generic failure, then one code per distinguishable operational
+/// condition so scripts and CI can branch without scraping stderr.
+const EXIT_USAGE: u8 = 2;
+/// The estimation engine shed load at admission (queue over capacity).
+const EXIT_OVERLOADED: u8 = 3;
+/// Requests missed the deadline (unserved, but not load-shed).
+const EXIT_DEADLINE: u8 = 4;
+/// A crash-safe artifact (corpus cache or cell journal) was corrupt and
+/// the command was not allowed to degrade around it (`--strict`).
+const EXIT_CORRUPT: u8 = 5;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -23,13 +39,21 @@ fn usage() -> ExitCode {
            analyze <model>               static analyzer + executed-instruction count\n\
            profile <model> <device>      ground-truth simulation (IPC, latency, power)\n\
            predict <model> [<device>|--all-devices] [--regressor dt|knn|rf|xgb|lr]\n\
-           rank <model> [--stats json|prom]\n\
-                                         rank all devices by predicted IPC (warm: the\n\
-                                         analysis cache skips repeated DCA; --stats shows\n\
-                                         analysis.cache.* traffic)\n\
+           rank <model> [--journal-dir DIR] [--resume] [--cell-timeout-ms N]\n\
+                [--stats json|prom]      rank all devices by predicted IPC (warm: the\n\
+                                         analysis cache skips repeated DCA; a corpus\n\
+                                         cache miss rebuilds under the given journal)\n\
            corpus [--strict] [--runs N] [--fault-profile none|light|harsh|k=v,..]\n\
+                  [--models m1,m2,..] [--devices d1,d2,..]\n\
+                  [--journal-dir DIR] [--resume] [--cell-timeout-ms N]\n\
+                  [--chaos none|k=v,..] [--out FILE]\n\
                   [--stats json|prom]    build the training corpus under the robust\n\
-                                         measurement protocol and print its health report\n\
+                                         measurement protocol and print its health\n\
+                                         report; --journal-dir checkpoints every cell\n\
+                                         so --resume skips completed work after a\n\
+                                         crash, --cell-timeout-ms arms the watchdog\n\
+                                         that cancels silent cells, --out writes the\n\
+                                         canonical (wall-clock-free) corpus JSON\n\
            estimate <models> <devices|--all-devices> [--deadline-ms N] [--tiers t1,t2,..]\n\
                     [--chaos none|k=v,..] [--queue-capacity N] [--stats json|prom]\n\
                                          deadline-bounded batch estimation through the\n\
@@ -39,9 +63,11 @@ fn usage() -> ExitCode {
                                          `--stats json` (last JSON line of <file>):\n\
                                          schema, shape, and counter invariants\n\
            ptx <model>                   print the generated PTX module\n\
-           dot <model>                   print the model graph as Graphviz"
+           dot <model>                   print the model graph as Graphviz\n\
+         exit codes: 0 ok, 1 failure, 2 usage/config error, 3 overloaded,\n\
+                     4 deadline exceeded, 5 corrupt cache/journal"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn model_or_exit(name: &str) -> cnn_ir::ModelGraph {
@@ -49,7 +75,7 @@ fn model_or_exit(name: &str) -> cnn_ir::ModelGraph {
         Some(m) => m,
         None => {
             eprintln!("unknown model '{name}' — see `cnnperf list`");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE as i32);
         }
     }
 }
@@ -59,7 +85,7 @@ fn device_or_exit(name: &str) -> gpu_sim::DeviceSpec {
         Some(d) => d,
         None => {
             eprintln!("unknown device '{name}' — see `cnnperf list`");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE as i32);
         }
     }
 }
@@ -73,7 +99,7 @@ fn regressor_of(flag: Option<&str>) -> RegressorKind {
         "lr" => RegressorKind::LinearRegression,
         other => {
             eprintln!("unknown regressor '{other}' (dt|knn|rf|xgb|lr)");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE as i32);
         }
     }
 }
@@ -239,9 +265,56 @@ fn cmd_predict(name: &str, device: Option<&str>, all: bool, kind: RegressorKind)
     }
 }
 
-fn cmd_rank(name: &str, stats: Option<StatsFormat>) {
+/// Like [`corpus`], but a cache miss rebuilds under the given journal
+/// (checkpointing every cell) and watchdog, so a killed `rank` warm-up can
+/// be resumed instead of restarted. Uses the paper's strict single-run
+/// protocol — the same corpus the cache would have held.
+fn corpus_with_journal(
+    journal_dir: Option<&Path>,
+    resume: bool,
+    cell_timeout_ms: Option<u64>,
+) -> Result<Corpus, ExitCode> {
+    if let Some(c) = corpus_if_cached() {
+        return Ok(c);
+    }
+    eprintln!("building training corpus (32 CNNs x 2 GPUs, ~1 min, cached afterwards)...");
+    let cfg = RobustConfig::strict_single_run();
+    let journal_state = match journal_dir {
+        Some(dir) => Some(open_journal_or_exit(dir, &cfg, resume)?),
+        None => None,
+    };
+    let supervisor =
+        cell_timeout_ms.map(|ms| Supervisor::start(SuperviseConfig::with_timeout_ms(ms)));
+    let opts = BuildOptions {
+        journal: journal_state.as_ref().map(|(j, _)| j),
+        replay: journal_state.as_ref().map(|(_, r)| r),
+        supervisor: supervisor.as_ref(),
+        chaos: ChaosProfile::none(),
+    };
+    let models = cnn_ir::zoo::build_all();
+    let devices = gpu_sim::training_devices();
+    let (c, _report) = build_corpus_robust_with(&models, &devices, &cfg, &opts).map_err(|e| {
+        eprintln!("corpus build failed: {e}");
+        ExitCode::FAILURE
+    })?;
+    if let Err(e) = store_corpus(&corpus_cache_path(), &c) {
+        eprintln!("warning: corpus cache write failed: {e}");
+    }
+    Ok(c)
+}
+
+fn cmd_rank(
+    name: &str,
+    stats: Option<StatsFormat>,
+    journal_dir: Option<&Path>,
+    resume: bool,
+    cell_timeout_ms: Option<u64>,
+) -> ExitCode {
     let model = model_or_exit(name);
-    let corpus = corpus();
+    let corpus = match corpus_with_journal(journal_dir, resume, cell_timeout_ms) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
     let predictor = PerformancePredictor::train(&corpus.dataset, RegressorKind::DecisionTree, 42);
     let devices = gpu_sim::all_devices();
     let outcome = rank_devices(&predictor, &model, &devices).expect("dse");
@@ -264,27 +337,87 @@ fn cmd_rank(name: &str, stats: Option<StatsFormat>) {
     if let Some(fmt) = stats {
         emit_stats(fmt);
     }
+    ExitCode::SUCCESS
+}
+
+/// Build fingerprint for the cell journal: any of these differing between
+/// a journal and a resuming build makes the journaled cells meaningless.
+fn build_meta_for(cfg: &RobustConfig) -> BuildMeta {
+    BuildMeta {
+        schema: JOURNAL_SCHEMA,
+        sm_target: DEFAULT_SM_TARGET.to_string(),
+        runs: cfg.runs,
+        retry: cfg.retry.clone(),
+        faults: cfg.faults.clone(),
+        strict: cfg.strict,
+    }
+}
+
+/// Open (or resume) the cell journal at `dir`, mapping the failure modes
+/// to the exit-code taxonomy: a configuration mismatch is a usage error
+/// ([`EXIT_USAGE`]), corrupt segments under `--strict` are
+/// [`EXIT_CORRUPT`] (a lax build recomputes the quarantined cells and
+/// continues).
+fn open_journal_or_exit(
+    dir: &Path,
+    cfg: &RobustConfig,
+    resume: bool,
+) -> Result<(Journal, Replay), ExitCode> {
+    match Journal::open(dir, &build_meta_for(cfg), resume) {
+        Ok((journal, replay)) => {
+            if replay.corrupt_segments > 0 {
+                eprintln!(
+                    "journal: quarantined {} corrupt segment(s) to `.corrupt`",
+                    replay.corrupt_segments
+                );
+                if cfg.strict {
+                    eprintln!("strict build refuses a journal with corrupt segments");
+                    return Err(ExitCode::from(EXIT_CORRUPT));
+                }
+            }
+            if resume {
+                eprintln!("journal: replayed {} record(s)", replay.records);
+            }
+            Ok((journal, replay))
+        }
+        Err(e @ JournalError::ConfigMismatch { .. }) => {
+            eprintln!("cannot resume: {e}");
+            Err(ExitCode::from(EXIT_USAGE))
+        }
+        Err(e) => {
+            eprintln!("journal open failed: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
 }
 
 fn cmd_corpus(args: &[&str]) -> ExitCode {
     let mut cfg = RobustConfig::default();
     let mut stats: Option<StatsFormat> = None;
+    let mut models_spec: Option<&str> = None;
+    let mut devices_spec: Option<&str> = None;
+    let mut journal_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut cell_timeout_ms: Option<u64> = None;
+    let mut chaos = ChaosProfile::none();
+    let mut out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match *arg {
             "--strict" => cfg.strict = true,
+            "--resume" => resume = true,
             "--stats" => match it.next().copied().and_then(StatsFormat::parse) {
                 Some(f) => stats = Some(f),
                 None => {
                     eprintln!("--stats needs `json` or `prom`");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             },
             "--runs" => match it.next().map(|v| v.parse::<u32>()) {
                 Some(Ok(n)) if n >= 1 => cfg.runs = n,
                 _ => {
                     eprintln!("--runs needs a positive integer");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             },
             "--fault-profile" => match it.next() {
@@ -292,25 +425,109 @@ fn cmd_corpus(args: &[&str]) -> ExitCode {
                     Ok(p) => cfg.faults = p,
                     Err(e) => {
                         eprintln!("bad --fault-profile: {e}");
-                        return ExitCode::from(2);
+                        return ExitCode::from(EXIT_USAGE);
                     }
                 },
                 None => {
                     eprintln!("--fault-profile needs a value");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--models" => match it.next() {
+                Some(spec) => models_spec = Some(spec),
+                None => {
+                    eprintln!("--models needs a comma-separated list");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--devices" => match it.next() {
+                Some(spec) => devices_spec = Some(spec),
+                None => {
+                    eprintln!("--devices needs a comma-separated list");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--journal-dir" => match it.next() {
+                Some(dir) => journal_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--journal-dir needs a directory");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--cell-timeout-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => cell_timeout_ms = Some(n),
+                _ => {
+                    eprintln!("--cell-timeout-ms needs a positive integer");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--chaos" => match it.next().map(|s| gpu_sim::ChaosProfile::parse(s)) {
+                Some(Ok(p)) => chaos = p,
+                Some(Err(e)) => {
+                    eprintln!("bad --chaos: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+                None => {
+                    eprintln!("--chaos needs a value");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--out" => match it.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::from(EXIT_USAGE);
                 }
             },
             other => {
                 eprintln!("unknown corpus flag `{other}`");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_USAGE);
             }
         }
     }
+    if resume && journal_dir.is_none() {
+        eprintln!("--resume needs --journal-dir (nothing to resume from)");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if chaos.hang_rate > 0.0 && cell_timeout_ms.is_none() {
+        eprintln!(
+            "--chaos with hang>0 needs --cell-timeout-ms (an unwatched hang wedges the build)"
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let models: Vec<cnn_ir::ModelGraph> = match models_spec {
+        Some(spec) => spec.split(',').map(|n| model_or_exit(n.trim())).collect(),
+        None => cnn_ir::zoo::build_all(),
+    };
+    let devices: Vec<gpu_sim::DeviceSpec> = match devices_spec {
+        Some(spec) => spec.split(',').map(|n| device_or_exit(n.trim())).collect(),
+        None => gpu_sim::training_devices(),
+    };
+
+    let journal_state = match &journal_dir {
+        Some(dir) => match open_journal_or_exit(dir, &cfg, resume) {
+            Ok(state) => Some(state),
+            Err(code) => return code,
+        },
+        None => None,
+    };
+    let supervisor =
+        cell_timeout_ms.map(|ms| Supervisor::start(SuperviseConfig::with_timeout_ms(ms)));
+    let opts = BuildOptions {
+        journal: journal_state.as_ref().map(|(j, _)| j),
+        replay: journal_state.as_ref().map(|(_, r)| r),
+        supervisor: supervisor.as_ref(),
+        chaos,
+    };
+
     eprintln!(
-        "building corpus (32 CNNs x 2 GPUs, {} run(s)/cell, strict={}) ...",
-        cfg.runs, cfg.strict
+        "building corpus ({} CNNs x {} GPUs, {} run(s)/cell, strict={}) ...",
+        models.len(),
+        devices.len(),
+        cfg.runs,
+        cfg.strict
     );
-    let code = match build_paper_corpus_robust(&cfg) {
+    let code = match build_corpus_robust_with(&models, &devices, &cfg, &opts) {
         Ok((corpus, report)) => {
             println!(
                 "corpus: {} rows, {} models",
@@ -339,9 +556,25 @@ fn cmd_corpus(args: &[&str]) -> ExitCode {
                     CellStatus::Failed { error } => {
                         println!("  FAILED {}@{}: {error}", cell.model, cell.device)
                     }
+                    CellStatus::TimedOut { waited_ms } => println!(
+                        "  TIMEOUT {}@{}: silent for {waited_ms} ms, cancelled by watchdog",
+                        cell.model, cell.device
+                    ),
                 }
             }
-            ExitCode::SUCCESS
+            match &out {
+                Some(path) => match std::fs::write(path, corpus.canonical_json()) {
+                    Ok(()) => {
+                        eprintln!("canonical corpus written to {}", path.display());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("cannot write --out {}: {e}", path.display());
+                        ExitCode::FAILURE
+                    }
+                },
+                None => ExitCode::SUCCESS,
+            }
         }
         Err(e) => {
             eprintln!(
@@ -374,48 +607,48 @@ fn cmd_estimate(args: &[&str]) -> ExitCode {
                 Some(f) => stats = Some(f),
                 None => {
                     eprintln!("--stats needs `json` or `prom`");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             },
             "--deadline-ms" => match it.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(n)) if n >= 1 => config.deadline_ms = n,
                 _ => {
                     eprintln!("--deadline-ms needs a positive integer");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             },
             "--tiers" => match it.next().map(|s| Tier::parse_ladder(s)) {
                 Some(Ok(tiers)) => config.tiers = tiers,
                 Some(Err(e)) => {
                     eprintln!("bad --tiers: {e}");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
                 None => {
                     eprintln!("--tiers needs a value");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             },
             "--chaos" => match it.next().map(|s| gpu_sim::ChaosProfile::parse(s)) {
                 Some(Ok(p)) => config.chaos = p,
                 Some(Err(e)) => {
                     eprintln!("bad --chaos: {e}");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
                 None => {
                     eprintln!("--chaos needs a value");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             },
             "--queue-capacity" => match it.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n >= 1 => config.queue_capacity = n,
                 _ => {
                     eprintln!("--queue-capacity needs a positive integer");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             },
             flag if flag.starts_with("--") => {
                 eprintln!("unknown estimate flag `{flag}`");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_USAGE);
             }
             value => positional.push(value),
         }
@@ -425,7 +658,7 @@ fn cmd_estimate(args: &[&str]) -> ExitCode {
         (Some(m), None) if all_devices => (*m, None),
         _ => {
             eprintln!("estimate needs <models> and <devices> (or --all-devices)");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let models: Vec<String> = models_spec
@@ -495,8 +728,15 @@ fn cmd_estimate(args: &[&str]) -> ExitCode {
     }
     if served == outcomes.len() {
         ExitCode::SUCCESS
+    } else if outcomes
+        .iter()
+        .any(|o| matches!(o.kind, OutcomeKind::Overloaded))
+    {
+        // load shed at admission outranks a mere deadline miss: the
+        // caller's remedy (back off / raise capacity) is different
+        ExitCode::from(EXIT_OVERLOADED)
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_DEADLINE)
     }
 }
 
@@ -597,6 +837,36 @@ fn cmd_stats_check(file: &str) -> ExitCode {
             failures += 1;
         }
     }
+    // every corpus cell is either replayed from the journal or computed;
+    // the split must account for all of them
+    if counter("journal.replayed").is_some() || counter("journal.computed").is_some() {
+        let replayed = counter("journal.replayed").unwrap_or(0);
+        let computed = counter("journal.computed").unwrap_or(0);
+        let cells = counter("corpus.cells.ok").unwrap_or(0)
+            + counter("corpus.cells.degraded").unwrap_or(0)
+            + counter("corpus.cells.failed").unwrap_or(0)
+            + counter("corpus.cells.timeout").unwrap_or(0);
+        if cells > 0 {
+            check(
+                &mut failures,
+                "journal.replayed + journal.computed == corpus cells",
+                replayed + computed,
+                cells,
+            );
+        }
+    }
+    // a journaling build appends at least one record per computed cell
+    if let Some(appends) = counter("journal.appends") {
+        if appends < counter("journal.computed").unwrap_or(0) {
+            eprintln!("stats-check: invariant violated: journal.appends < journal.computed");
+            failures += 1;
+        }
+    }
+    // the watchdog only fires tokens of cells it first declared stale
+    if counter("supervise.cancelled").unwrap_or(0) > counter("supervise.stale_cells").unwrap_or(0) {
+        eprintln!("stats-check: invariant violated: supervise.cancelled > supervise.stale_cells");
+        failures += 1;
+    }
     for (name, v) in histograms {
         let (count, sum) = (
             v.get("count").and_then(stat_u64),
@@ -668,12 +938,29 @@ fn main() -> ExitCode {
             let Some(model) = rest.first().filter(|m| !m.starts_with("--")) else {
                 return usage();
             };
-            let stats = rest
-                .iter()
-                .position(|a| *a == "--stats")
-                .and_then(|i| rest.get(i + 1).copied())
-                .and_then(StatsFormat::parse);
-            cmd_rank(model, stats);
+            let flag_value = |flag: &str| {
+                rest.iter()
+                    .position(|a| *a == flag)
+                    .and_then(|i| rest.get(i + 1).copied())
+            };
+            let stats = flag_value("--stats").and_then(StatsFormat::parse);
+            let journal_dir = flag_value("--journal-dir").map(Path::new);
+            let resume = rest.contains(&"--resume");
+            if resume && journal_dir.is_none() {
+                eprintln!("--resume needs --journal-dir (nothing to resume from)");
+                return ExitCode::from(EXIT_USAGE);
+            }
+            let cell_timeout_ms = match flag_value("--cell-timeout-ms") {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--cell-timeout-ms needs a positive integer");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                },
+                None => None,
+            };
+            return cmd_rank(model, stats, journal_dir, resume, cell_timeout_ms);
         }
         Some("corpus") => {
             let rest: Vec<&str> = it.collect();

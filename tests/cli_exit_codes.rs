@@ -1,0 +1,110 @@
+//! The CLI's exit-code taxonomy is a contract with scripts and CI: each
+//! distinguishable operational condition maps to its own code, so callers
+//! branch on `$?` instead of scraping stderr. One test per code.
+//!
+//! 0 success | 1 failure | 2 usage/config | 3 overloaded |
+//! 4 deadline exceeded | 5 corrupt cache/journal
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cnnperf() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cnnperf"));
+    // point the corpus cache somewhere absent so estimate's tiers degrade
+    // deterministically instead of picking up a developer's warm cache
+    cmd.env("CNNPERF_CORPUS", scratch("no-corpus-cache.json"));
+    cmd
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cnnperf-exit-test-{}-{name}", std::process::id()))
+}
+
+fn exit_code(cmd: &mut Command) -> i32 {
+    cmd.output()
+        .expect("spawn cnnperf")
+        .status
+        .code()
+        .expect("exit code (not signal-killed)")
+}
+
+#[test]
+fn no_arguments_is_usage_error() {
+    assert_eq!(exit_code(&mut cnnperf()), 2);
+}
+
+#[test]
+fn unknown_flag_is_usage_error() {
+    assert_eq!(exit_code(cnnperf().args(["corpus", "--bogus"])), 2);
+}
+
+#[test]
+fn unknown_model_is_usage_error() {
+    assert_eq!(exit_code(cnnperf().args(["analyze", "nonexistent-net"])), 2);
+}
+
+#[test]
+fn hang_chaos_without_watchdog_is_config_error() {
+    // an unwatched hang would wedge the build forever; the CLI refuses
+    let code = exit_code(cnnperf().args(["corpus", "--models", "alexnet", "--chaos", "hang=1.0"]));
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn resume_without_journal_dir_is_usage_error() {
+    assert_eq!(exit_code(cnnperf().args(["corpus", "--resume"])), 2);
+}
+
+#[test]
+fn overloaded_batch_exits_3() {
+    // queue capacity 1 against a 3-request batch: the engine sheds load
+    let code = exit_code(cnnperf().args([
+        "estimate",
+        "alexnet,mobilenet,vgg16",
+        "GTX 1080 Ti",
+        "--queue-capacity",
+        "1",
+        "--tiers",
+        "analytical",
+    ]));
+    assert_eq!(code, 3);
+}
+
+#[test]
+fn deadline_exceeded_exits_4() {
+    // a 1 ms deadline with only the detailed tier cannot be served, and
+    // nothing is load-shed, so the failure is a deadline miss
+    let code = exit_code(cnnperf().args([
+        "estimate",
+        "vgg16",
+        "GTX 1080 Ti",
+        "--deadline-ms",
+        "1",
+        "--tiers",
+        "detailed",
+    ]));
+    assert_eq!(code, 4);
+}
+
+#[test]
+fn strict_resume_from_corrupt_journal_exits_5() {
+    let dir = scratch("corrupt-journal");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    // a record that cannot possibly pass the checksum
+    std::fs::write(
+        dir.join("segment-00000.jsonl"),
+        "deadbeefdeadbeef {\"garbage\"\n",
+    )
+    .expect("write corrupt segment");
+    let code = exit_code(cnnperf().args([
+        "corpus",
+        "--models",
+        "alexnet",
+        "--journal-dir",
+        dir.to_str().expect("utf8 dir"),
+        "--resume",
+        "--strict",
+    ]));
+    assert_eq!(code, 5);
+}

@@ -1,0 +1,91 @@
+//! Fuzz hardening for the PTX parser: arbitrary mutations of valid
+//! printer output — byte flips, truncations, line splices — must never
+//! panic the parser. Every input either parses or returns a structured
+//! [`ParseError`], and a reported error line must actually exist in the
+//! input (1-based), so diagnostics always point somewhere real.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Printed PTX of a real lowered model: the fuzz corpus base. Mutations
+/// of realistic text exercise far more parser paths than random bytes.
+fn base_text() -> &'static str {
+    static TEXT: OnceLock<String> = OnceLock::new();
+    TEXT.get_or_init(|| {
+        let model = cnn_ir::zoo::build("mobilenet").expect("zoo model");
+        let plan = ptx_codegen::lower(&model, "sm_61").expect("lowering");
+        ptx::printer::module(&plan.module)
+    })
+}
+
+/// The parser must not panic, and any error must carry a line number
+/// within the input (or 1 for empty input).
+fn assert_parse_is_total(text: &str) {
+    if let Err(e) = ptx::parser::parse_module(text) {
+        let line_count = text.lines().count().max(1);
+        assert!(
+            e.line >= 1 && e.line <= line_count,
+            "error line {} outside input ({} lines): {}",
+            e.line,
+            line_count,
+            e.message
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn byte_flips_never_panic(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..16)) {
+        let mut bytes = base_text().as_bytes().to_vec();
+        for (pos, val) in flips {
+            let at = pos as usize % bytes.len();
+            bytes[at] = val;
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        assert_parse_is_total(&text);
+    }
+
+    #[test]
+    fn truncations_never_panic(cut in any::<u16>()) {
+        let base = base_text();
+        let at = cut as usize % base.len();
+        // truncate on a char boundary (printer output is ASCII, but don't
+        // rely on it)
+        let mut at = at;
+        while !base.is_char_boundary(at) {
+            at -= 1;
+        }
+        assert_parse_is_total(&base[..at]);
+    }
+
+    #[test]
+    fn line_splices_never_panic(
+        start in any::<u16>(),
+        len in 1u16..40,
+        dest in any::<u16>(),
+        dup in any::<bool>(),
+    ) {
+        let lines: Vec<&str> = base_text().lines().collect();
+        let start = start as usize % lines.len();
+        let end = (start + len as usize).min(lines.len());
+        let dest = dest as usize % lines.len();
+        // splice a block of lines somewhere else (optionally keeping the
+        // original too): tears param lists, headers and bodies apart
+        let mut spliced: Vec<&str> = Vec::with_capacity(lines.len() + (end - start));
+        for (i, l) in lines.iter().enumerate() {
+            if i == dest {
+                spliced.extend(&lines[start..end]);
+            }
+            if dup || !(start..end).contains(&i) {
+                spliced.push(l);
+            }
+        }
+        assert_parse_is_total(&spliced.join("\n"));
+    }
+
+    #[test]
+    fn random_ascii_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let text = String::from_utf8_lossy(&bytes);
+        assert_parse_is_total(&text);
+    }
+}
