@@ -24,6 +24,7 @@
 use crate::model::PerformancePredictor;
 use crate::pipeline::Corpus;
 use crate::resilience::{BreakerConfig, BreakerState, CircuitBreaker, Deadline};
+use crate::server::QosClass;
 use gpu_sim::{ChaosInjector, ChaosProfile, SimMode, Simulator, TierFaultKind};
 use ptx_analysis::ExecBudget;
 use serde::{Deserialize, Serialize};
@@ -172,7 +173,9 @@ pub enum TierFailure {
 }
 
 impl TierFailure {
-    fn canonical(&self) -> String {
+    /// Stable one-token rendering, shared by [`EstimateOutcome::canonical`]
+    /// and the server's wire payload.
+    pub fn canonical(&self) -> String {
         match self {
             TierFailure::Timeout => "timeout".into(),
             TierFailure::Panic(m) => format!("panic({m})"),
@@ -317,6 +320,12 @@ impl ResilientEngine {
         self
     }
 
+    /// Share an already-trained predictor (the server trains once and
+    /// hands the same `Arc` to every scheduler shard).
+    pub fn set_predictor_arc(&mut self, predictor: Arc<PerformancePredictor>) {
+        self.predictor = Some(predictor);
+    }
+
     /// Seed the stale-cache tier from a previously built corpus.
     pub fn warm_from_corpus(&mut self, corpus: &Corpus) {
         ENGINE_CACHE_WARMED.add(corpus.samples.len() as u64);
@@ -342,13 +351,53 @@ impl ResilientEngine {
 
     /// Estimate one (model, device) cell through the tier ladder.
     pub fn estimate(&mut self, model: &str, device: &str) -> EstimateOutcome {
+        self.estimate_with_deadline(model, device, self.config.deadline_ms)
+    }
+
+    /// [`estimate`](Self::estimate) under an explicit per-request deadline
+    /// (the server maps QoS classes to deadlines through this).
+    pub fn estimate_with_deadline(
+        &mut self,
+        model: &str,
+        device: &str,
+        deadline_ms: u64,
+    ) -> EstimateOutcome {
+        self.estimate_inner(model, device, deadline_ms, false)
+    }
+
+    /// Live-tier-only estimation: the configured ladder minus the stale
+    /// cache. This is the stale-while-revalidate refresh path — a served
+    /// result updates the cache, and a failure leaves the stale entry in
+    /// place rather than masking the miss with the entry being refreshed.
+    pub fn estimate_live(
+        &mut self,
+        model: &str,
+        device: &str,
+        deadline_ms: u64,
+    ) -> EstimateOutcome {
+        self.estimate_inner(model, device, deadline_ms, true)
+    }
+
+    fn estimate_inner(
+        &mut self,
+        model: &str,
+        device: &str,
+        deadline_ms: u64,
+        skip_stale_cache: bool,
+    ) -> EstimateOutcome {
         self.tick += 1;
         ENGINE_REQUESTS.inc();
         let _request_span = ENGINE_REQUEST_US.span();
         let tick = self.tick;
-        let deadline = Deadline::in_ms(self.config.deadline_ms);
+        let deadline = Deadline::in_ms(deadline_ms);
         let injector = ChaosInjector::new(self.config.chaos.clone());
-        let tiers = self.config.tiers.clone();
+        let tiers: Vec<Tier> = self
+            .config
+            .tiers
+            .iter()
+            .copied()
+            .filter(|t| !(skip_stale_cache && *t == Tier::StaleCache))
+            .collect();
         let mut attempts: Vec<TierAttempt> = Vec::new();
 
         for (i, &tier) in tiers.iter().enumerate() {
@@ -464,16 +513,40 @@ impl ResilientEngine {
     /// Process a batch sequentially. At most
     /// [`EngineConfig::queue_capacity`] requests are admitted; the rest
     /// are shed immediately with `Overloaded` — an overloaded engine
-    /// answers fast rather than queueing into its own deadline.
+    /// answers fast rather than queueing into its own deadline. All
+    /// requests share one QoS class here, so the shed victims are simply
+    /// the latest arrivals (see [`estimate_batch_qos`](Self::estimate_batch_qos)
+    /// for class-aware shedding).
     pub fn estimate_batch(&mut self, requests: &[(String, String)]) -> Vec<EstimateOutcome> {
+        let classed: Vec<(String, String, QosClass)> = requests
+            .iter()
+            .map(|(m, d)| (m.clone(), d.clone(), QosClass::Batch))
+            .collect();
+        self.estimate_batch_qos(&classed)
+    }
+
+    /// Class-aware batch processing: when the batch exceeds the queue
+    /// capacity, the excess is shed by **QoS priority** — best-effort
+    /// requests are dropped before batch, batch before interactive, and
+    /// within a class the latest arrivals go first. Admitted requests are
+    /// still processed in arrival order, so breaker trajectories stay a
+    /// pure function of the admitted sequence.
+    pub fn estimate_batch_qos(
+        &mut self,
+        requests: &[(String, String, QosClass)],
+    ) -> Vec<EstimateOutcome> {
+        let shed = self.shed_set(requests);
         requests
             .iter()
             .enumerate()
-            .map(|(i, (model, device))| {
-                if i >= self.config.queue_capacity {
+            .map(|(i, (model, device, class))| {
+                if shed.contains(&i) {
                     ENGINE_REQUESTS.inc();
                     ENGINE_OVERLOADED.inc();
                     ENGINE_SHED.inc();
+                    obs::global()
+                        .counter(&format!("engine.shed.{}", class.name()))
+                        .inc();
                     EstimateOutcome {
                         model: model.clone(),
                         device: device.clone(),
@@ -488,6 +561,25 @@ impl ResilientEngine {
                 }
             })
             .collect()
+    }
+
+    /// Pick which batch indices to shed: lowest-priority class first,
+    /// latest arrival first within a class.
+    fn shed_set(
+        &self,
+        requests: &[(String, String, QosClass)],
+    ) -> std::collections::HashSet<usize> {
+        let excess = requests.len().saturating_sub(self.config.queue_capacity);
+        let mut victims: Vec<usize> = (0..requests.len()).collect();
+        // sort so the best victims come first: lower priority (higher
+        // rank) before higher, later arrival before earlier
+        victims.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(requests[i].2.priority()),
+                std::cmp::Reverse(i),
+            )
+        });
+        victims.into_iter().take(excess).collect()
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -755,6 +847,64 @@ mod tests {
         assert_eq!(outs[0].kind, OutcomeKind::Exhausted); // admitted, cache miss
         assert_eq!(outs[1].kind, OutcomeKind::Overloaded);
         assert_eq!(outs[2].kind, OutcomeKind::Overloaded);
+    }
+
+    #[test]
+    fn qos_batch_sheds_best_effort_before_interactive() {
+        // regression: shedding used to be by arrival index alone, so an
+        // interactive request arriving late was dropped while best-effort
+        // work ahead of it was served
+        let mut engine = ResilientEngine::new(EngineConfig {
+            queue_capacity: 2,
+            tiers: vec![Tier::StaleCache],
+            ..EngineConfig::default()
+        });
+        let reqs: Vec<(String, String, QosClass)> = vec![
+            ("m0".into(), "V100S".into(), QosClass::BestEffort),
+            ("m1".into(), "V100S".into(), QosClass::Batch),
+            ("m2".into(), "V100S".into(), QosClass::Interactive),
+            ("m3".into(), "V100S".into(), QosClass::BestEffort),
+        ];
+        let outs = engine.estimate_batch_qos(&reqs);
+        assert_eq!(outs.len(), 4);
+        // the two best-effort requests are the victims, latest first;
+        // batch and interactive are admitted regardless of arrival order
+        assert_eq!(outs[0].kind, OutcomeKind::Overloaded);
+        assert_ne!(outs[1].kind, OutcomeKind::Overloaded);
+        assert_ne!(outs[2].kind, OutcomeKind::Overloaded);
+        assert_eq!(outs[3].kind, OutcomeKind::Overloaded);
+    }
+
+    #[test]
+    fn qos_batch_sheds_latest_first_within_class() {
+        let mut engine = ResilientEngine::new(EngineConfig {
+            queue_capacity: 1,
+            tiers: vec![Tier::StaleCache],
+            ..EngineConfig::default()
+        });
+        let reqs: Vec<(String, String, QosClass)> = (0..3)
+            .map(|i| (format!("m{i}"), "V100S".into(), QosClass::Interactive))
+            .collect();
+        let outs = engine.estimate_batch_qos(&reqs);
+        assert_ne!(outs[0].kind, OutcomeKind::Overloaded);
+        assert_eq!(outs[1].kind, OutcomeKind::Overloaded);
+        assert_eq!(outs[2].kind, OutcomeKind::Overloaded);
+    }
+
+    #[test]
+    fn estimate_live_skips_the_stale_cache() {
+        let mut engine = ResilientEngine::new(EngineConfig {
+            tiers: vec![Tier::StaleCache],
+            ..EngineConfig::default()
+        });
+        engine
+            .cache
+            .insert(("m".to_string(), "d".to_string()), (1.0, None));
+        // the cached ladder serves, the live ladder has nothing left
+        assert!(engine.estimate("m", "d").served());
+        let live = engine.estimate_live("m", "d", 1_000);
+        assert_eq!(live.kind, OutcomeKind::Exhausted);
+        assert!(live.attempts.is_empty(), "skipped tiers leave no attempts");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod model;
 pub mod pipeline;
 pub mod report;
 pub mod resilience;
+pub mod server;
 pub mod supervise;
 
 pub use analysis_cache::{
@@ -61,6 +62,10 @@ pub use pipeline::{
     RobustConfig, SampleMeta,
 };
 pub use resilience::{BreakerConfig, BreakerState, CircuitBreaker, Deadline};
+pub use server::{
+    DrainController, DrainReport, DrainState, QosClass, QosPolicy, Scheduler, ServeError, Server,
+    ServerConfig, SessionEnd, SubmitError,
+};
 pub use supervise::{CellGuard, SuperviseConfig, Supervisor};
 
 /// Convenient glob import for examples and benches.

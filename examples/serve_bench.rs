@@ -1,0 +1,301 @@
+//! Load test for the `cnnperf serve` daemon: 10k+ concurrent pipelined
+//! NDJSON requests with a mixed QoS population, measured end to end over
+//! a Unix socket.
+//!
+//! ```text
+//! cargo build --release && cargo run --release --example serve_bench
+//! ```
+//!
+//! Acceptance: the interactive class's p99 latency stays under its
+//! configured deadline, load shedding hits best-effort first (and never
+//! interactive), and the daemon drains cleanly on SIGTERM afterwards.
+//!
+//! Shape of the run: a warm-up pass primes the analysis cache one key at
+//! a time, then `CONNS` client threads each pipeline `REQS_PER_CONN`
+//! requests before reading a single response — so the server really holds
+//! the whole burst concurrently. The best-effort queue quota is set to 1,
+//! which is what forces visible shedding at this scale.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CONNS: usize = 16;
+const REQS_PER_CONN: usize = 640; // 16 * 640 = 10_240 concurrent requests
+const INTERACTIVE_DEADLINE_MS: f64 = 2000.0;
+
+/// (class, model, device) population: 50% interactive, 30% batch, 20%
+/// best-effort. Key spaces are disjoint across classes so best-effort
+/// cannot ride along by coalescing into an interactive job.
+fn populate(i: usize) -> (&'static str, &'static str, &'static str) {
+    let devices = ["GTX 1080 Ti", "Titan Xp"];
+    let d = devices[i % 2];
+    match i % 10 {
+        0..=4 => ("interactive", ["alexnet", "mobilenet"][(i / 2) % 2], d),
+        5..=7 => ("batch", "resnet50", d),
+        _ => (
+            "best-effort",
+            ["MobileNetV2", "resnet50v2", "squeezenet1.1"][(i / 2) % 3],
+            d,
+        ),
+    }
+}
+
+fn server_binary() -> PathBuf {
+    if let Ok(p) = std::env::var("CNNPERF_BIN") {
+        return PathBuf::from(p);
+    }
+    let exe = std::env::current_exe().expect("current_exe");
+    let bin = exe
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("cnnperf"))
+        .expect("derive binary path");
+    if !bin.exists() {
+        eprintln!(
+            "serve_bench: {} not found — run `cargo build --release` first \
+             (or set CNNPERF_BIN)",
+            bin.display()
+        );
+        std::process::exit(2);
+    }
+    bin
+}
+
+fn connect(sock: &std::path::Path) -> UnixStream {
+    let s = UnixStream::connect(sock).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    s
+}
+
+struct ClassStats {
+    latencies_ms: Vec<f64>,
+    shed: usize,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64) * p).ceil() as usize;
+    sorted_ms[idx.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn main() {
+    let bin = server_binary();
+    let sock = std::env::temp_dir().join(format!("cnnperf-bench-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+
+    let mut child = Command::new(&bin)
+        .args([
+            "serve",
+            "--socket",
+            sock.to_str().expect("utf8 socket path"),
+            "--workers",
+            "4",
+            "--tiers",
+            "analytical",
+            "--deadlines",
+            "2000,10000,1000",
+            "--quotas",
+            "256,128,1",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cnnperf serve");
+    let mut stderr_pipe = child.stderr.take().expect("stderr piped");
+    let stderr_thread = std::thread::spawn(move || {
+        let mut buf = String::new();
+        stderr_pipe.read_to_string(&mut buf).expect("read stderr");
+        buf
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "server never bound its socket");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // warm-up: one request per distinct key, sequentially, so the burst
+    // below measures steady-state service rather than cold DCA analysis
+    {
+        let stream = connect(&sock);
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let mut keys: Vec<(&str, &str)> = (0..10)
+            .map(|i| {
+                let (_, m, d) = populate(i);
+                (m, d)
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        let warm_started = Instant::now();
+        for (i, (m, d)) in keys.iter().enumerate() {
+            writer
+                .write_all(
+                    format!("{{\"id\":\"warm-{i}\",\"model\":\"{m}\",\"device\":\"{d}\",\"qos\":\"batch\"}}\n")
+                        .as_bytes(),
+                )
+                .expect("write warm-up");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("warm-up response");
+            assert!(line.contains("\"ok\":true"), "warm-up failed: {line}");
+        }
+        println!(
+            "serve_bench: warmed {} keys in {:.1} s",
+            keys.len(),
+            warm_started.elapsed().as_secs_f64()
+        );
+    }
+
+    // the burst: every connection pipelines its full share before reading
+    let burst_started = Instant::now();
+    let handles: Vec<_> = (0..CONNS)
+        .map(|conn| {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let stream = connect(&sock);
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut sent: HashMap<String, (usize, Instant)> = HashMap::new();
+                let mut payload = String::new();
+                for i in 0..REQS_PER_CONN {
+                    let (class, model, device) = populate(i);
+                    let id = format!("c{conn}-r{i}");
+                    payload.push_str(&format!(
+                        "{{\"id\":\"{id}\",\"model\":\"{model}\",\"device\":\"{device}\",\"qos\":\"{class}\"}}\n"
+                    ));
+                    sent.insert(id, (i, Instant::now()));
+                }
+                writer.write_all(payload.as_bytes()).expect("write burst");
+                let mut stats: [ClassStats; 3] = std::array::from_fn(|_| ClassStats {
+                    latencies_ms: Vec::new(),
+                    shed: 0,
+                });
+                for _ in 0..REQS_PER_CONN {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("read burst response");
+                    let v = serde_json::parse(line.trim()).expect("valid JSON frame");
+                    let id = match v.get("id") {
+                        Some(serde_json::Value::Str(s)) => s.clone(),
+                        other => panic!("frame without id ({other:?}): {line}"),
+                    };
+                    let (i, sent_at) = sent.remove(&id).expect("unknown or duplicate id");
+                    let (class, _, _) = populate(i);
+                    let slot = ["interactive", "batch", "best-effort"]
+                        .iter()
+                        .position(|c| *c == class)
+                        .expect("class slot");
+                    match v.get("error") {
+                        Some(serde_json::Value::Str(kind)) => {
+                            assert_eq!(kind, "overloaded", "only shedding may fail: {line}");
+                            stats[slot].shed += 1;
+                        }
+                        _ => {
+                            assert!(line.contains("\"ok\":true"), "typed result: {line}");
+                            stats[slot]
+                                .latencies_ms
+                                .push(sent_at.elapsed().as_secs_f64() * 1e3);
+                        }
+                    }
+                }
+                assert!(sent.is_empty(), "every request got exactly one response");
+                stats
+            })
+        })
+        .collect();
+
+    let mut totals: [ClassStats; 3] = std::array::from_fn(|_| ClassStats {
+        latencies_ms: Vec::new(),
+        shed: 0,
+    });
+    for h in handles {
+        let per_conn = h.join().expect("client thread must not panic");
+        for (t, c) in totals.iter_mut().zip(per_conn) {
+            t.latencies_ms.extend(c.latencies_ms);
+            t.shed += c.shed;
+        }
+    }
+    let elapsed = burst_started.elapsed().as_secs_f64();
+    let total = CONNS * REQS_PER_CONN;
+    println!(
+        "serve_bench: {total} concurrent requests over {CONNS} connections \
+         in {elapsed:.1} s ({:.0} req/s)",
+        total as f64 / elapsed
+    );
+    for (slot, class) in ["interactive", "batch", "best-effort"].iter().enumerate() {
+        let t = &mut totals[slot];
+        t.latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "  {class:<12} served {:>5}  shed {:>5}  p50 {:>8.1} ms  p99 {:>8.1} ms",
+            t.latencies_ms.len(),
+            t.shed,
+            percentile(&t.latencies_ms, 0.50),
+            percentile(&t.latencies_ms, 0.99),
+        );
+    }
+
+    let p99_interactive = percentile(&totals[0].latencies_ms, 0.99);
+    assert!(
+        p99_interactive <= INTERACTIVE_DEADLINE_MS,
+        "interactive p99 {p99_interactive:.1} ms exceeds the {INTERACTIVE_DEADLINE_MS} ms deadline"
+    );
+    assert_eq!(totals[0].shed, 0, "interactive must never be shed");
+    assert!(
+        totals[2].shed > 0,
+        "best-effort must shed first under a 10k burst with quota 1"
+    );
+
+    // pull the daemon's own accounting before shutdown
+    {
+        let stream = connect(&sock);
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        writer
+            .write_all(b"{\"op\":\"stats\",\"id\":\"final\"}\n")
+            .expect("stats frame");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("stats response");
+        for key in ["server.admitted", "server.coalesced", "server.shed"] {
+            let needle = format!("\"{key}\":");
+            let val = line
+                .find(&needle)
+                .map(|at| {
+                    line[at + needle.len()..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_digit())
+                        .collect::<String>()
+                })
+                .unwrap_or_default();
+            println!("  {key} = {val}");
+        }
+    }
+
+    // clean SIGTERM drain
+    let killed = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success(), "kill -TERM failed");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            break st;
+        }
+        assert!(Instant::now() < deadline, "server did not drain on SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let stderr = stderr_thread.join().expect("stderr thread");
+    assert!(
+        status.success() && stderr.contains("drained in") && !stderr.contains("panicked"),
+        "unclean shutdown (status {status:?}); stderr:\n{stderr}"
+    );
+    let _ = std::fs::remove_file(&sock);
+    println!("serve_bench: SIGTERM drained cleanly — OK");
+}

@@ -1,0 +1,202 @@
+//! End-to-end smoke test for the `cnnperf serve` daemon: start it on a
+//! Unix socket, run a mixed-QoS NDJSON burst that includes malformed,
+//! unknown-op, and oversized frames, then SIGTERM it and require a clean
+//! graceful drain.
+//!
+//! ```text
+//! cargo build --release && cargo run --release --example serve_smoke
+//! ```
+//!
+//! Assertions: every estimate gets a typed `ok:true` result, every bad
+//! frame gets a typed `ok:false` error (the session survives), the
+//! daemon exits 0 on SIGTERM with a `drained in` report, and its stderr
+//! contains no panic.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The release `cnnperf` binary: `CNNPERF_BIN` overrides; by default it
+/// sits two directories above this example (`target/<profile>/cnnperf`).
+fn server_binary() -> PathBuf {
+    if let Ok(p) = std::env::var("CNNPERF_BIN") {
+        return PathBuf::from(p);
+    }
+    let exe = std::env::current_exe().expect("current_exe");
+    let bin = exe
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("cnnperf"))
+        .expect("derive binary path");
+    if !bin.exists() {
+        eprintln!(
+            "serve_smoke: {} not found — run `cargo build --release` first \
+             (or set CNNPERF_BIN)",
+            bin.display()
+        );
+        std::process::exit(2);
+    }
+    bin
+}
+
+fn wait_for_socket(path: &std::path::Path) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !path.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "server never created {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn main() {
+    let bin = server_binary();
+    let sock = std::env::temp_dir().join(format!("cnnperf-smoke-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+
+    let mut child = Command::new(&bin)
+        .args([
+            "serve",
+            "--socket",
+            sock.to_str().expect("utf8 socket path"),
+            "--workers",
+            "2",
+            "--tiers",
+            "analytical",
+            "--max-frame-bytes",
+            "4096",
+            "--deadlines",
+            "2000,10000,1000",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cnnperf serve");
+    // drain stderr concurrently so the daemon can never block on the pipe
+    let mut stderr_pipe = child.stderr.take().expect("stderr piped");
+    let stderr_thread = std::thread::spawn(move || {
+        let mut buf = String::new();
+        stderr_pipe.read_to_string(&mut buf).expect("read stderr");
+        buf
+    });
+    wait_for_socket(&sock);
+
+    let stream = UnixStream::connect(&sock).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+
+    // the burst: 30 mixed-QoS estimates with hostile frames interleaved
+    let classes = ["interactive", "batch", "best-effort"];
+    let models = ["alexnet", "mobilenet"];
+    let mut pending: HashSet<String> = HashSet::new();
+    for i in 0..30 {
+        let id = format!("req-{i}");
+        let frame = format!(
+            "{{\"id\":\"{id}\",\"model\":\"{}\",\"device\":\"GTX 1080 Ti\",\"qos\":\"{}\"}}\n",
+            models[i % models.len()],
+            classes[i % classes.len()],
+        );
+        writer.write_all(frame.as_bytes()).expect("write estimate");
+        pending.insert(id);
+        match i {
+            9 => writer.write_all(b"this is not json\n").expect("malformed"),
+            19 => {
+                let mut junk = vec![b'x'; 8192];
+                junk.push(b'\n');
+                writer.write_all(&junk).expect("oversized");
+            }
+            29 => writer
+                .write_all(b"{\"op\":\"frobnicate\",\"id\":\"weird\"}\n")
+                .expect("unknown op"),
+            _ => {}
+        }
+    }
+    writer
+        .write_all(b"{\"op\":\"ping\",\"id\":\"hello\"}\n")
+        .expect("ping");
+
+    let (mut malformed, mut oversized, mut unknown, mut pong) = (0, 0, 0, 0);
+    let started = Instant::now();
+    while !pending.is_empty() || malformed + oversized + unknown == 0 || pong == 0 {
+        assert!(
+            started.elapsed() < Duration::from_secs(120),
+            "smoke timed out with {} estimates unanswered",
+            pending.len()
+        );
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response frame");
+        let v = serde_json::parse(line.trim()).expect("response frame is valid JSON");
+        let id = match v.get("id") {
+            Some(serde_json::Value::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
+        match v.get("error") {
+            Some(serde_json::Value::Str(kind)) => match kind.as_str() {
+                "malformed" => malformed += 1,
+                "oversized" => oversized += 1,
+                "unknown-op" => unknown += 1,
+                other => panic!("unexpected error frame `{other}`: {line}"),
+            },
+            _ => {
+                if id == "hello" {
+                    assert!(line.contains("pong"), "ping reply: {line}");
+                    pong += 1;
+                } else {
+                    assert!(
+                        pending.remove(&id),
+                        "unexpected or duplicate result id `{id}`: {line}"
+                    );
+                    assert!(line.contains("\"ok\":true"), "typed result: {line}");
+                }
+            }
+        }
+    }
+    assert_eq!(malformed, 1, "exactly one malformed error");
+    assert_eq!(oversized, 1, "exactly one oversized error");
+    assert_eq!(unknown, 1, "exactly one unknown-op error");
+    println!(
+        "serve_smoke: 30 estimates answered, hostile frames got typed errors, \
+         session survived ({:.1} s)",
+        started.elapsed().as_secs_f64()
+    );
+
+    // graceful drain on SIGTERM: exit 0, drain report, no panics
+    let pid = child.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success(), "kill -TERM failed");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            break st;
+        }
+        assert!(Instant::now() < deadline, "server did not drain on SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let stderr = stderr_thread.join().expect("stderr thread");
+    assert!(
+        status.success(),
+        "server exit status {status:?}; stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("drained in"),
+        "missing drain report in stderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "server panicked; stderr:\n{stderr}"
+    );
+    let _ = std::fs::remove_file(&sock);
+    println!("serve_smoke: SIGTERM drained cleanly, exit 0, no panics — OK");
+}

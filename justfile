@@ -27,6 +27,23 @@ chaos:
 build:
     cargo build --release --workspace
 
+# End-to-end acceptance drill for the estimation server: start the daemon
+# on a Unix socket, run a mixed-QoS NDJSON burst that includes malformed /
+# oversized / unknown-op frames, then SIGTERM it and require a clean
+# graceful drain (exit 0, typed outcomes throughout, no panics). The
+# seeded protocol/scheduler chaos suite rides along.
+serve-smoke:
+    cargo build --release
+    timeout 300 cargo run --release --example serve_smoke
+    timeout 600 cargo test -q --test server_robustness --test server_coalesce
+
+# Load test: 16 connections pipeline 10k+ concurrent requests at the
+# daemon. Asserts interactive p99 stays under its deadline and that load
+# shedding hits best-effort first (never interactive), then drains.
+serve-bench:
+    cargo build --release
+    timeout 900 cargo run --release --example serve_bench
+
 # Regenerate every paper table/figure (writes CSVs under target/figures/).
 tables:
     cargo run --release -p cnnperf-bench --bin table1_model_zoo

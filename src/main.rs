@@ -30,6 +30,8 @@ const EXIT_DEADLINE: u8 = 4;
 /// A crash-safe artifact (corpus cache or cell journal) was corrupt and
 /// the command was not allowed to degrade around it (`--strict`).
 const EXIT_CORRUPT: u8 = 5;
+/// The server failed to bind its Unix socket or metrics endpoint.
+const EXIT_BIND: u8 = 6;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -59,13 +61,26 @@ fn usage() -> ExitCode {
                                          deadline-bounded batch estimation through the\n\
                                          tiered engine (detailed > analytical > regressor\n\
                                          > stale-cache); models/devices comma-separated\n\
+           serve [--socket PATH] [--metrics ADDR] [--workers N]\n\
+                 [--deadlines I,B,E] [--quotas I,B,E] [--max-retries N]\n\
+                 [--retry-backoff-ms N] [--no-revalidate] [--tiers t1,t2,..]\n\
+                 [--chaos none|k=v,..] [--max-frame-bytes N] [--frame-stall-ms N]\n\
+                 [--drain-deadline-ms N] [--stats-dump json|prom]\n\
+                                         persistent NDJSON estimation server over a\n\
+                                         Unix socket (or stdin/stdout without\n\
+                                         --socket); per-client QoS classes\n\
+                                         (interactive|batch|best-effort) with\n\
+                                         admission control and request coalescing;\n\
+                                         --metrics serves live Prometheus from the\n\
+                                         same loop; SIGTERM drains gracefully\n\
            stats-check <file>            validate the metrics snapshot emitted by\n\
                                          `--stats json` (last JSON line of <file>):\n\
                                          schema, shape, and counter invariants\n\
            ptx <model>                   print the generated PTX module\n\
            dot <model>                   print the model graph as Graphviz\n\
          exit codes: 0 ok, 1 failure, 2 usage/config error, 3 overloaded,\n\
-                     4 deadline exceeded, 5 corrupt cache/journal"
+                     4 deadline exceeded, 5 corrupt cache/journal,\n\
+                     6 server bind/socket error"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -740,6 +755,211 @@ fn cmd_estimate(args: &[&str]) -> ExitCode {
     }
 }
 
+/// Parse `--deadlines I,B,E` / `--quotas I,B,E` triples (interactive,
+/// batch, best-effort).
+fn parse_triple<T: std::str::FromStr>(spec: &str) -> Option<[T; 3]> {
+    let parts: Vec<&str> = spec.split(',').map(|s| s.trim()).collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let a = parts[0].parse().ok()?;
+    let b = parts[1].parse().ok()?;
+    let c = parts[2].parse().ok()?;
+    Some([a, b, c])
+}
+
+fn cmd_serve(args: &[&str]) -> ExitCode {
+    use cnnperf_core::{ServeError, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let mut cfg = ServerConfig::default();
+    let mut socket: Option<PathBuf> = None;
+    let mut metrics: Option<String> = None;
+    let mut stats_dump: Option<StatsFormat> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--socket needs a path");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--metrics" => match it.next() {
+                Some(a) => metrics = Some(a.to_string()),
+                None => {
+                    eprintln!("--metrics needs an address (e.g. 127.0.0.1:9095)");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--workers" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => cfg.workers = n,
+                _ => {
+                    eprintln!("--workers needs a positive integer");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--deadlines" => match it.next().and_then(|s| parse_triple::<u64>(s)) {
+                Some(t) if t.iter().all(|v| *v >= 1) => cfg.policy.deadline_ms = t,
+                _ => {
+                    eprintln!("--deadlines needs three positive integers: interactive,batch,best-effort (ms)");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--quotas" => match it.next().and_then(|s| parse_triple::<usize>(s)) {
+                Some(t) if t.iter().all(|v| *v >= 1) => cfg.policy.queue_quota = t,
+                _ => {
+                    eprintln!(
+                        "--quotas needs three positive integers: interactive,batch,best-effort"
+                    );
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--max-retries" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) => cfg.max_retries = n,
+                _ => {
+                    eprintln!("--max-retries needs an integer");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--retry-backoff-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => cfg.retry_backoff_ms = n,
+                _ => {
+                    eprintln!("--retry-backoff-ms needs an integer");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--no-revalidate" => cfg.revalidate_stale = false,
+            "--tiers" => match it.next().map(|s| Tier::parse_ladder(s)) {
+                Some(Ok(tiers)) => cfg.engine.tiers = tiers,
+                Some(Err(e)) => {
+                    eprintln!("bad --tiers: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+                None => {
+                    eprintln!("--tiers needs a value");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--chaos" => match it.next().map(|s| gpu_sim::ChaosProfile::parse(s)) {
+                Some(Ok(p)) => cfg.engine.chaos = p,
+                Some(Err(e)) => {
+                    eprintln!("bad --chaos: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+                None => {
+                    eprintln!("--chaos needs a value");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--max-frame-bytes" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 64 => cfg.max_frame_bytes = n,
+                _ => {
+                    eprintln!("--max-frame-bytes needs an integer >= 64");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--frame-stall-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => cfg.frame_stall_ms = n,
+                _ => {
+                    eprintln!("--frame-stall-ms needs a positive integer");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--drain-deadline-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => cfg.drain_deadline_ms = n,
+                _ => {
+                    eprintln!("--drain-deadline-ms needs a positive integer");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--stats-dump" => match it.next().copied().and_then(StatsFormat::parse) {
+                Some(f) => stats_dump = Some(f),
+                None => {
+                    eprintln!("--stats-dump needs `json` or `prom`");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            other => {
+                eprintln!("unknown serve flag `{other}`");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    if metrics.is_some() && socket.is_none() {
+        eprintln!("--metrics needs --socket (the endpoint is served from the socket accept loop)");
+        return ExitCode::from(EXIT_USAGE);
+    }
+
+    // a cached corpus arms every shard's regressor + stale-cache tiers;
+    // like `estimate`, a cache miss degrades instead of blocking startup
+    // on a minute-long corpus build
+    let corpus = corpus_if_cached().map(Arc::new);
+    let predictor = corpus.as_ref().map(|c| {
+        Arc::new(PerformancePredictor::train(
+            &c.dataset,
+            RegressorKind::DecisionTree,
+            42,
+        ))
+    });
+    match &corpus {
+        Some(c) => eprintln!(
+            "serve: corpus cache armed regressor + stale-cache tiers ({} samples)",
+            c.samples.len()
+        ),
+        None => eprintln!(
+            "serve: no corpus cache — regressor/stale-cache tiers degrade (run `cnnperf corpus` to arm them)"
+        ),
+    }
+
+    let server = Server::new(cfg, predictor, corpus);
+    let result = match &socket {
+        Some(path) => {
+            eprintln!(
+                "serve: listening on {} ({} workers){}",
+                path.display(),
+                server.config().workers,
+                match &metrics {
+                    Some(a) => format!(", metrics on http://{a}/metrics"),
+                    None => String::new(),
+                }
+            );
+            server.run_unix(path, metrics.as_deref())
+        }
+        None => {
+            eprintln!(
+                "serve: NDJSON on stdin/stdout ({} workers), EOF drains",
+                server.config().workers
+            );
+            server.run_stdio()
+        }
+    };
+    let code = match result {
+        Ok(report) => {
+            eprintln!(
+                "serve: drained in {:.1} ms ({} flushed{})",
+                report.elapsed.as_secs_f64() * 1e3,
+                report.flushed,
+                if report.forced {
+                    ", deadline forced"
+                } else {
+                    ""
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e @ ServeError::Bind { .. }) => {
+            eprintln!("serve: {e}");
+            ExitCode::from(EXIT_BIND)
+        }
+    };
+    if let Some(fmt) = stats_dump {
+        emit_stats(fmt);
+    }
+    code
+}
+
 /// Parse a non-negative integer out of a snapshot `Value`.
 fn stat_u64(v: &serde_json::Value) -> Option<u64> {
     match v {
@@ -867,6 +1087,49 @@ fn cmd_stats_check(file: &str) -> ExitCode {
         eprintln!("stats-check: invariant violated: supervise.cancelled > supervise.stale_cells");
         failures += 1;
     }
+    // server admission: every request is admitted, shed, or rejected while
+    // draining — same determinism contract as the engine.* counters
+    if let Some(requests) = counter("server.requests") {
+        let admitted = counter("server.admitted").unwrap_or(0);
+        let shed = counter("server.shed").unwrap_or(0);
+        check(
+            &mut failures,
+            "admitted+shed+rejected.draining == server.requests",
+            admitted + shed + counter("server.rejected.draining").unwrap_or(0),
+            requests,
+        );
+        let shed_by_class = counter("server.shed.interactive").unwrap_or(0)
+            + counter("server.shed.batch").unwrap_or(0)
+            + counter("server.shed.best-effort").unwrap_or(0);
+        check(
+            &mut failures,
+            "sum(server.shed.<class>) == server.shed",
+            shed_by_class,
+            shed,
+        );
+        // a coalesced request is by definition an admitted one
+        if counter("server.coalesced").unwrap_or(0) > admitted {
+            eprintln!("stats-check: invariant violated: server.coalesced > server.admitted");
+            failures += 1;
+        }
+        // every admitted request resolves at most once: computed or
+        // drain-flushed, never both
+        let resolved =
+            counter("server.completed").unwrap_or(0) + counter("server.drain.flushed").unwrap_or(0);
+        if resolved > admitted {
+            eprintln!(
+                "stats-check: invariant violated: server.completed + server.drain.flushed > server.admitted"
+            );
+            failures += 1;
+        }
+        // drain-phase resolutions are a subset of all resolutions
+        if counter("server.drained").unwrap_or(0) > resolved {
+            eprintln!(
+                "stats-check: invariant violated: server.drained > completed + drain.flushed"
+            );
+            failures += 1;
+        }
+    }
     for (name, v) in histograms {
         let (count, sum) = (
             v.get("count").and_then(stat_u64),
@@ -969,6 +1232,10 @@ fn main() -> ExitCode {
         Some("estimate") => {
             let rest: Vec<&str> = it.collect();
             return cmd_estimate(&rest);
+        }
+        Some("serve") => {
+            let rest: Vec<&str> = it.collect();
+            return cmd_serve(&rest);
         }
         Some("stats-check") => match it.next() {
             Some(f) => return cmd_stats_check(f),

@@ -3,7 +3,7 @@
 //! branch on `$?` instead of scraping stderr. One test per code.
 //!
 //! 0 success | 1 failure | 2 usage/config | 3 overloaded |
-//! 4 deadline exceeded | 5 corrupt cache/journal
+//! 4 deadline exceeded | 5 corrupt cache/journal | 6 server bind error
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -84,6 +84,38 @@ fn deadline_exceeded_exits_4() {
         "detailed",
     ]));
     assert_eq!(code, 4);
+}
+
+#[test]
+fn serve_bind_failure_exits_6() {
+    // the socket's parent directory does not exist, so bind must fail
+    let sock = scratch("no-such-dir").join("server.sock");
+    let code = exit_code(cnnperf().args(["serve", "--socket", sock.to_str().expect("utf8 path")]));
+    assert_eq!(code, 6);
+}
+
+#[test]
+fn serve_metrics_bind_failure_exits_6() {
+    // an unresolvable metrics address fails the second bind
+    let sock = scratch("serve-metrics.sock");
+    let _ = std::fs::remove_file(&sock);
+    let code = exit_code(cnnperf().args([
+        "serve",
+        "--socket",
+        sock.to_str().expect("utf8 path"),
+        "--metrics",
+        "999.999.999.999:0",
+    ]));
+    let _ = std::fs::remove_file(&sock);
+    assert_eq!(code, 6);
+}
+
+#[test]
+fn serve_metrics_without_socket_is_usage_error() {
+    assert_eq!(
+        exit_code(cnnperf().args(["serve", "--metrics", "127.0.0.1:9095"])),
+        2
+    );
 }
 
 #[test]
