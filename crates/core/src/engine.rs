@@ -21,6 +21,7 @@
 //! request returns a classified [`EstimateOutcome`] within deadline + ε,
 //! no matter which tiers hang, panic, or crawl.
 
+use crate::lifecycle::{Measurement, MeasurementLog, PredictorSlot};
 use crate::model::PerformancePredictor;
 use crate::pipeline::Corpus;
 use crate::resilience::{BreakerConfig, BreakerState, CircuitBreaker, Deadline};
@@ -223,6 +224,11 @@ pub struct EstimateOutcome {
     /// Wall-clock time the request took. Excluded from [`canonical`]
     /// (wall time is the one legitimately nondeterministic field).
     pub elapsed_ms: f64,
+    /// The predictor generation that served a regressor-tier answer (see
+    /// [`crate::lifecycle::PredictorSlot`]); `None` for every other tier.
+    /// Excluded from [`canonical`] so replay fixtures stay comparable
+    /// across predictor-version histories.
+    pub generation: Option<u64>,
 }
 
 impl EstimateOutcome {
@@ -299,31 +305,57 @@ pub struct ResilientEngine {
     /// (model, device) -> (ipc, latency_ms): warmed from a corpus and
     /// refreshed by every live success, read by the stale-cache tier.
     cache: HashMap<(String, String), (f64, Option<f64>)>,
-    predictor: Option<Arc<PerformancePredictor>>,
+    /// The regressor tier's predictor, behind a generation-stamped
+    /// hot-swap slot. Shared across shards (and with the lifecycle
+    /// trainer) so a promotion lands everywhere atomically.
+    slot: Arc<PredictorSlot>,
+    /// Where live-tier successes publish ground truth for the lifecycle
+    /// trainer; `None` outside a lifecycle-enabled server.
+    ground_truth: Option<Arc<MeasurementLog>>,
 }
 
 impl ResilientEngine {
     pub fn new(config: EngineConfig) -> Self {
+        Self::with_shared_slot(config, Arc::new(PredictorSlot::new()))
+    }
+
+    /// An engine whose regressor tier reads an externally owned slot —
+    /// every scheduler shard shares one, so a single promotion or
+    /// rollback is visible to all of them mid-request.
+    pub fn with_shared_slot(config: EngineConfig, slot: Arc<PredictorSlot>) -> Self {
         ResilientEngine {
             config,
             breakers: HashMap::new(),
             tick: 0,
             cache: HashMap::new(),
-            predictor: None,
+            slot,
+            ground_truth: None,
         }
     }
 
     /// Attach a trained predictor for the regressor tier (without one the
     /// tier fails fast with a classified error).
-    pub fn with_predictor(mut self, predictor: PerformancePredictor) -> Self {
-        self.predictor = Some(Arc::new(predictor));
+    pub fn with_predictor(self, predictor: PerformancePredictor) -> Self {
+        self.slot.install(Arc::new(predictor));
         self
     }
 
-    /// Share an already-trained predictor (the server trains once and
-    /// hands the same `Arc` to every scheduler shard).
-    pub fn set_predictor_arc(&mut self, predictor: Arc<PerformancePredictor>) {
-        self.predictor = Some(predictor);
+    /// Install an already-trained predictor as a new slot generation.
+    /// Takes `&self`: the slot swaps atomically, so a retrained predictor
+    /// can land on an engine shared behind an `Arc`, mid-request.
+    pub fn set_predictor_arc(&self, predictor: Arc<PerformancePredictor>) {
+        self.slot.install(predictor);
+    }
+
+    /// The hot-swap slot backing the regressor tier.
+    pub fn predictor_slot(&self) -> &Arc<PredictorSlot> {
+        &self.slot
+    }
+
+    /// Publish live-tier successes (detailed/analytical IPC with the
+    /// paper's feature row) into `log` as ground truth for retraining.
+    pub fn set_ground_truth_log(&mut self, log: Arc<MeasurementLog>) {
+        self.ground_truth = Some(log);
     }
 
     /// Seed the stale-cache tier from a previously built corpus.
@@ -418,6 +450,7 @@ impl ResilientEngine {
                             latency_ms,
                             attempts,
                             &deadline,
+                            None,
                         );
                     }
                     None => {
@@ -455,12 +488,21 @@ impl ResilientEngine {
 
             let slice = deadline.tier_slice(tiers.len() - i);
             let fault = injector.tier_fault(model, device, tier.name());
+            // one atomic load pins this request to a single predictor
+            // generation, even if a promotion lands mid-flight
+            let (generation, predictor) = if tier == Tier::Regressor {
+                let (g, p) = self.slot.load();
+                (Some(g), p)
+            } else {
+                (None, None)
+            };
             let tier_start = std::time::Instant::now();
             let result = run_tier(
                 tier,
                 model,
                 device,
-                self.predictor.clone(),
+                predictor,
+                self.ground_truth.clone(),
                 fault,
                 self.config.chaos.slow_ms,
                 slice,
@@ -486,6 +528,7 @@ impl ResilientEngine {
                         latency_ms,
                         attempts,
                         &deadline,
+                        generation,
                     );
                 }
                 Err(failure) => {
@@ -507,6 +550,7 @@ impl ResilientEngine {
             None,
             attempts,
             &deadline,
+            None,
         )
     }
 
@@ -555,6 +599,7 @@ impl ResilientEngine {
                         latency_ms: None,
                         attempts: Vec::new(),
                         elapsed_ms: 0.0,
+                        generation: None,
                     }
                 } else {
                     self.estimate(model, device)
@@ -592,6 +637,7 @@ impl ResilientEngine {
         latency_ms: Option<f64>,
         attempts: Vec<TierAttempt>,
         deadline: &Deadline,
+        generation: Option<u64>,
     ) -> EstimateOutcome {
         match &kind {
             OutcomeKind::Served { tier } => {
@@ -612,6 +658,7 @@ impl ResilientEngine {
             latency_ms,
             attempts,
             elapsed_ms: deadline.elapsed().as_secs_f64() * 1e3,
+            generation,
         }
     }
 }
@@ -622,11 +669,13 @@ impl ResilientEngine {
 /// `ptx-analysis` ([`ptx_analysis::CANCEL_CHECK_INTERVAL`]) and `gpu-sim`
 /// ([`gpu_sim::SIM_CANCEL_CHECK_EVENTS`]) guarantee it unwinds and exits
 /// shortly after, so abandoned workers cannot pile up.
+#[allow(clippy::too_many_arguments)]
 fn run_tier(
     tier: Tier,
     model: &str,
     device: &str,
     predictor: Option<Arc<PerformancePredictor>>,
+    ground_truth: Option<Arc<MeasurementLog>>,
     fault: TierFaultKind,
     slow_ms: u64,
     slice: Duration,
@@ -645,6 +694,7 @@ fn run_tier(
                     &model,
                     &device,
                     predictor.as_deref(),
+                    ground_truth.as_deref(),
                     fault,
                     slow_ms,
                     &worker_cancel,
@@ -684,11 +734,13 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// The actual work of one tier, run on the worker thread. Injected chaos
 /// is acted out here: a `Hang` spins on the cancellation token, a `Panic`
 /// unwinds for real, a `Slow` sleeps (cancellably) before working.
+#[allow(clippy::too_many_arguments)]
 fn tier_work(
     tier: Tier,
     model: &str,
     device: &str,
     predictor: Option<&PerformancePredictor>,
+    ground_truth: Option<&MeasurementLog>,
     fault: TierFaultKind,
     slow_ms: u64,
     cancel: &Arc<AtomicBool>,
@@ -728,9 +780,24 @@ fn tier_work(
             } else {
                 SimMode::Analytical
             };
-            let report = Simulator::new(dev, mode)
+            let report = Simulator::new(dev.clone(), mode)
                 .simulate_plan_budgeted(&analyzed.plan, &budget)
                 .map_err(|e| e.to_string())?;
+            // a live-tier success *is* ground truth: publish it with the
+            // same feature row the regressor tier predicts from, so the
+            // lifecycle trainer journals exactly what predict consumes
+            if let Some(log) = ground_truth {
+                if let Ok(profiled) =
+                    crate::analysis_cache::profile_model_cached_budgeted(&graph, &budget)
+                {
+                    log.push(Measurement {
+                        model: model.to_string(),
+                        device: device.to_string(),
+                        row: crate::features::feature_row(&profiled.profile, &dev),
+                        ipc: report.ipc,
+                    });
+                }
+            }
             Ok((report.ipc, Some(report.latency_ms)))
         }
         Tier::Regressor => {
@@ -908,6 +975,31 @@ mod tests {
     }
 
     #[test]
+    fn set_predictor_arc_works_on_shared_engine() {
+        // regression: set_predictor_arc used to take &mut self, so a
+        // retrained predictor could not be installed on an engine shared
+        // behind an Arc without rebuilding the scheduler
+        use crate::features::feature_names;
+        let mut d = mlkit::Dataset::new(feature_names());
+        let nf = d.feature_names.len();
+        for i in 0..8 {
+            let mut row = vec![0.0; nf];
+            row[0] = i as f64;
+            d.push(format!("r{i}"), row, 1.0 + i as f64);
+        }
+        let p = Arc::new(PerformancePredictor::train(
+            &d,
+            mlkit::RegressorKind::DecisionTree,
+            1,
+        ));
+        let engine = Arc::new(ResilientEngine::new(EngineConfig::default()));
+        engine.set_predictor_arc(Arc::clone(&p));
+        assert_eq!(engine.predictor_slot().generation(), 1);
+        engine.set_predictor_arc(p);
+        assert_eq!(engine.predictor_slot().generation(), 2);
+    }
+
+    #[test]
     fn canonical_excludes_wall_time() {
         let mut a = EstimateOutcome {
             model: "m".into(),
@@ -922,9 +1014,11 @@ mod tests {
                 failure: TierFailure::Timeout,
             }],
             elapsed_ms: 12.0,
+            generation: None,
         };
         let c1 = a.canonical();
         a.elapsed_ms = 99.0;
+        a.generation = Some(3);
         assert_eq!(c1, a.canonical());
         assert!(c1.contains("served:detailed"));
         assert!(c1.contains("detailed:timeout"));

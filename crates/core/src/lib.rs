@@ -31,7 +31,9 @@ pub mod dse;
 pub mod engine;
 pub mod features;
 pub mod journal;
+pub mod lifecycle;
 pub mod model;
+pub mod modelstore;
 pub mod pipeline;
 pub mod report;
 pub mod resilience;
@@ -55,7 +57,14 @@ pub use journal::{
     BuildMeta, CellOutcome, Journal, JournalError, JournalRecord, Replay, JOURNAL_SCHEMA,
     SEGMENT_RECORDS,
 };
+pub use lifecycle::{
+    family_of, ColdStart, IngestReport, LifecycleConfig, LifecycleManager, Measurement,
+    MeasurementLog, PredictorSlot, RetrainOutcome, SwapRace,
+};
 pub use model::{compare_regressors, PerformancePredictor, RegressorComparison};
+pub use modelstore::{
+    ModelStore, ScanReport, SnapshotInfo, SnapshotMeta, StoreError, SNAPSHOT_SCHEMA,
+};
 pub use pipeline::{
     build_corpus, build_corpus_robust, build_corpus_robust_with, build_paper_corpus,
     build_paper_corpus_robust, BuildOptions, CellReport, CellStatus, Corpus, CorpusReport,

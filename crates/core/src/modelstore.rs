@@ -1,0 +1,545 @@
+//! Crash-safe versioned predictor snapshot store.
+//!
+//! The lifecycle subsystem (see [`crate::lifecycle`]) promotes retrained
+//! predictors at runtime; this module makes those versions durable so a
+//! restarted `serve` cold-starts from the newest valid snapshot instead
+//! of retraining. The store borrows the corpus cache's defensive envelope
+//! (see [`crate::cache`]) on both ends:
+//!
+//! - **Writes** serialize the predictor into an envelope carrying a schema
+//!   version and an FNV-1a checksum, write it to a sibling temp file, and
+//!   publish with an atomic `rename` — a process SIGKILLed mid-write
+//!   leaves only a temp file that the next scan sweeps.
+//! - **Reads** validate the envelope; anything unparseable, with the
+//!   wrong schema, a checksum mismatch, or a version stamp that
+//!   contradicts its filename is quarantined by renaming it to
+//!   `<name>.corrupt` so the evidence survives while the slot frees up.
+//!
+//! Snapshot files are named `predictor-v000042.json`; version numbers are
+//! monotonically increasing and never reused, even after a quarantine (a
+//! corrupt v7 must not be silently replaced by a different v7). A `PINNED`
+//! marker file (also written atomically) can force cold-starts onto a
+//! specific version — the durable half of a drift rollback.
+//!
+//! Counter invariants, asserted by `cnnperf stats-check`: every scanned
+//! snapshot is either loaded or quarantined
+//! (`modelstore.snapshots.scanned == loaded + quarantined`).
+
+use crate::model::PerformancePredictor;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Snapshot files considered by a directory scan.
+static SNAPSHOTS_SCANNED: obs::LazyCounter = obs::LazyCounter::new("modelstore.snapshots.scanned");
+/// Snapshots that validated and are servable.
+static SNAPSHOTS_LOADED: obs::LazyCounter = obs::LazyCounter::new("modelstore.snapshots.loaded");
+/// Snapshots that failed validation and were renamed `.corrupt`.
+static SNAPSHOTS_QUARANTINED: obs::LazyCounter =
+    obs::LazyCounter::new("modelstore.snapshots.quarantined");
+/// Snapshots written (one per successful [`ModelStore::save`]).
+static SNAPSHOTS_WRITTEN: obs::LazyCounter = obs::LazyCounter::new("modelstore.snapshots.written");
+/// Orphaned temp files swept by a scan (the footprint of a crash
+/// mid-write).
+static TMP_SWEPT: obs::LazyCounter = obs::LazyCounter::new("modelstore.tmp.swept");
+/// Pin-marker writes (`models pin` and drift rollbacks).
+static PINS: obs::LazyCounter = obs::LazyCounter::new("modelstore.pins");
+/// Versions demoted by `models rollback`.
+static DEMOTIONS: obs::LazyCounter = obs::LazyCounter::new("modelstore.demotions");
+
+/// Bump when the envelope or [`PerformancePredictor`] changes shape.
+pub const SNAPSHOT_SCHEMA: u32 = 1;
+
+const PIN_FILE: &str = "PINNED";
+
+/// FNV-1a, the same cheap-but-sensitive hash the corpus cache uses.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Descriptive metadata stored alongside the predictor, cheap to list
+/// without deserializing the model itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotMeta {
+    /// Monotonic version number (matches the filename).
+    pub version: u64,
+    /// Regressor kind name (e.g. `decision-tree`).
+    pub kind: String,
+    /// Rows in the training set that produced this version.
+    pub train_rows: usize,
+    /// Free-form provenance note (e.g. `cold-start` / `promotion`).
+    pub note: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SnapshotEnvelope {
+    schema_version: u32,
+    /// FNV-1a over the canonical (`serde_json::to_string`) predictor JSON.
+    checksum: u64,
+    meta: SnapshotMeta,
+    predictor: PerformancePredictor,
+}
+
+/// One valid snapshot known to the store.
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo {
+    pub meta: SnapshotMeta,
+    pub path: PathBuf,
+    pub checksum: u64,
+}
+
+/// Why the store could not do what was asked.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The directory could not be created or scanned.
+    Init(String),
+    /// An I/O failure on a specific snapshot operation.
+    Io(String),
+    /// The requested version does not exist (or is quarantined).
+    NotFound(u64),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Init(m) => write!(f, "model store init failed: {m}"),
+            StoreError::Io(m) => write!(f, "model store i/o failed: {m}"),
+            StoreError::NotFound(v) => write!(f, "snapshot version {v} not found"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// What a directory scan found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanReport {
+    pub scanned: usize,
+    pub loaded: usize,
+    pub quarantined: usize,
+    pub tmp_swept: usize,
+}
+
+fn snapshot_filename(version: u64) -> String {
+    format!("predictor-v{version:06}.json")
+}
+
+/// Strict filename parse: `predictor-vNNNNNN.json` with all-digit NNNNNN.
+fn parse_snapshot_version(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("predictor-v")?.strip_suffix(".json")?;
+    if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+fn predictor_checksum(predictor: &PerformancePredictor) -> u64 {
+    match serde_json::to_string(predictor) {
+        Ok(json) => fnv1a(json.as_bytes()),
+        Err(_) => 0,
+    }
+}
+
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".corrupt");
+    path.with_file_name(name)
+}
+
+/// Validate one snapshot file. `expect_version` is the version its
+/// filename claims; a mismatched stamp is treated as corruption (a
+/// renamed or copied snapshot must not impersonate another version).
+fn read_snapshot(path: &Path, expect_version: u64) -> Result<SnapshotEnvelope, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let env: SnapshotEnvelope =
+        serde_json::from_str(&text).map_err(|e| format!("unparseable envelope: {e}"))?;
+    if env.schema_version != SNAPSHOT_SCHEMA {
+        return Err(format!(
+            "schema version {} (want {SNAPSHOT_SCHEMA})",
+            env.schema_version
+        ));
+    }
+    if env.meta.version != expect_version {
+        return Err(format!(
+            "version stamp {} contradicts filename version {expect_version}",
+            env.meta.version
+        ));
+    }
+    let actual = predictor_checksum(&env.predictor);
+    if actual != env.checksum {
+        return Err(format!(
+            "checksum mismatch: stored {:#018x}, computed {actual:#018x}",
+            env.checksum
+        ));
+    }
+    Ok(env)
+}
+
+/// The versioned snapshot store rooted at one directory.
+#[derive(Debug)]
+pub struct ModelStore {
+    dir: PathBuf,
+    /// Valid snapshots, ascending by version (refreshed by scans and
+    /// kept current by saves/demotions).
+    entries: Vec<SnapshotInfo>,
+    /// Next version to assign; strictly greater than every version ever
+    /// seen on disk, quarantined ones included.
+    next_version: u64,
+}
+
+impl ModelStore {
+    /// Open (creating if needed) a store and scan it: orphaned temp files
+    /// are swept, invalid snapshots are quarantined, valid ones indexed.
+    pub fn open(dir: &Path) -> Result<(ModelStore, ScanReport), StoreError> {
+        fs::create_dir_all(dir)
+            .map_err(|e| StoreError::Init(format!("create {}: {e}", dir.display())))?;
+        let mut store = ModelStore {
+            dir: dir.to_path_buf(),
+            entries: Vec::new(),
+            next_version: 1,
+        };
+        let report = store.scan()?;
+        Ok((store, report))
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Re-scan the directory. Validation happens here (and only here), so
+    /// the `scanned == loaded + quarantined` invariant holds per scan.
+    pub fn scan(&mut self) -> Result<ScanReport, StoreError> {
+        let mut report = ScanReport::default();
+        let mut entries: Vec<SnapshotInfo> = Vec::new();
+        let mut max_seen: u64 = 0;
+        let dir_iter = fs::read_dir(&self.dir)
+            .map_err(|e| StoreError::Init(format!("read {}: {e}", self.dir.display())))?;
+        for entry in dir_iter.flatten() {
+            let path = entry.path();
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n.to_string(),
+                None => continue,
+            };
+            if name.contains(".tmp.") {
+                // a crash mid-write leaves only the temp file; it never
+                // became visible, so sweeping it is safe
+                let _ = fs::remove_file(&path);
+                TMP_SWEPT.inc();
+                report.tmp_swept += 1;
+                continue;
+            }
+            if let Some(v) = name
+                .strip_suffix(".corrupt")
+                .or_else(|| name.strip_suffix(".demoted"))
+                .and_then(parse_snapshot_version)
+            {
+                // quarantined/demoted versions still reserve their number
+                max_seen = max_seen.max(v);
+                continue;
+            }
+            let version = match parse_snapshot_version(&name) {
+                Some(v) => v,
+                None => continue,
+            };
+            max_seen = max_seen.max(version);
+            SNAPSHOTS_SCANNED.inc();
+            report.scanned += 1;
+            match read_snapshot(&path, version) {
+                Ok(env) => {
+                    SNAPSHOTS_LOADED.inc();
+                    report.loaded += 1;
+                    entries.push(SnapshotInfo {
+                        meta: env.meta,
+                        path,
+                        checksum: env.checksum,
+                    });
+                }
+                Err(reason) => {
+                    let q = quarantine_path(&path);
+                    match fs::rename(&path, &q) {
+                        Ok(()) => eprintln!(
+                            "warning: snapshot {} is corrupt ({reason}); quarantined as {}",
+                            path.display(),
+                            q.display()
+                        ),
+                        Err(e) => eprintln!(
+                            "warning: snapshot {} is corrupt ({reason}); quarantine failed: {e}",
+                            path.display()
+                        ),
+                    }
+                    SNAPSHOTS_QUARANTINED.inc();
+                    report.quarantined += 1;
+                }
+            }
+        }
+        entries.sort_by_key(|e| e.meta.version);
+        self.entries = entries;
+        self.next_version = max_seen + 1;
+        Ok(report)
+    }
+
+    /// Valid snapshots, ascending by version.
+    pub fn list(&self) -> &[SnapshotInfo] {
+        &self.entries
+    }
+
+    /// Persist a predictor as the next version, crash-safely.
+    pub fn save(
+        &mut self,
+        predictor: &PerformancePredictor,
+        train_rows: usize,
+        note: &str,
+    ) -> Result<SnapshotInfo, StoreError> {
+        let version = self.next_version;
+        let meta = SnapshotMeta {
+            version,
+            kind: predictor.kind.name().to_string(),
+            train_rows,
+            note: note.to_string(),
+        };
+        let envelope = SnapshotEnvelope {
+            schema_version: SNAPSHOT_SCHEMA,
+            checksum: predictor_checksum(predictor),
+            meta: meta.clone(),
+            predictor: predictor.clone(),
+        };
+        let json = serde_json::to_string(&envelope)
+            .map_err(|e| StoreError::Io(format!("serialize v{version}: {e}")))?;
+        let path = self.dir.join(snapshot_filename(version));
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}",
+            snapshot_filename(version),
+            std::process::id()
+        ));
+        fs::write(&tmp, json)
+            .map_err(|e| StoreError::Io(format!("write {}: {e}", tmp.display())))?;
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(StoreError::Io(format!("publish {}: {e}", path.display())));
+        }
+        SNAPSHOTS_WRITTEN.inc();
+        let info = SnapshotInfo {
+            meta,
+            path,
+            checksum: envelope.checksum,
+        };
+        self.entries.push(info.clone());
+        self.next_version += 1;
+        Ok(info)
+    }
+
+    /// Load a specific version, re-validating the envelope on read.
+    pub fn load_version(
+        &self,
+        version: u64,
+    ) -> Result<(SnapshotInfo, PerformancePredictor), StoreError> {
+        let info = self
+            .entries
+            .iter()
+            .find(|e| e.meta.version == version)
+            .ok_or(StoreError::NotFound(version))?;
+        match read_snapshot(&info.path, version) {
+            Ok(env) => Ok((info.clone(), env.predictor)),
+            Err(reason) => Err(StoreError::Io(format!("snapshot v{version}: {reason}"))),
+        }
+    }
+
+    /// Load the newest valid snapshot — or the pinned one, if a pin marker
+    /// points at an existing version. A snapshot that went bad since the
+    /// scan is skipped in favor of the next-newest.
+    pub fn load_latest(&self) -> Option<(SnapshotInfo, PerformancePredictor)> {
+        if let Some(v) = self.pinned() {
+            if let Ok(hit) = self.load_version(v) {
+                return Some(hit);
+            }
+        }
+        for info in self.entries.iter().rev() {
+            if let Ok(env) = read_snapshot(&info.path, info.meta.version) {
+                return Some((info.clone(), env.predictor));
+            }
+        }
+        None
+    }
+
+    /// Pin cold-starts to a specific version (written atomically).
+    pub fn pin(&self, version: u64) -> Result<(), StoreError> {
+        if !self.entries.iter().any(|e| e.meta.version == version) {
+            return Err(StoreError::NotFound(version));
+        }
+        let path = self.dir.join(PIN_FILE);
+        let tmp = self
+            .dir
+            .join(format!("{PIN_FILE}.tmp.{}", std::process::id()));
+        fs::write(&tmp, format!("{version}\n"))
+            .map_err(|e| StoreError::Io(format!("write pin: {e}")))?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StoreError::Io(format!("publish pin: {e}"))
+        })?;
+        PINS.inc();
+        Ok(())
+    }
+
+    /// Remove the pin marker (cold-starts return to newest-valid).
+    pub fn unpin(&self) {
+        let _ = fs::remove_file(self.dir.join(PIN_FILE));
+    }
+
+    /// The pinned version, if a valid marker exists.
+    pub fn pinned(&self) -> Option<u64> {
+        let text = fs::read_to_string(self.dir.join(PIN_FILE)).ok()?;
+        text.trim().parse().ok()
+    }
+
+    /// Demote the newest version (rename to `.demoted` so its number stays
+    /// reserved but it no longer serves). Returns the demoted version and
+    /// the version now newest, if any. A pin pointing at the demoted
+    /// version is cleared.
+    pub fn demote_latest(&mut self) -> Result<(u64, Option<u64>), StoreError> {
+        let info = self
+            .entries
+            .last()
+            .cloned()
+            .ok_or(StoreError::Init("store has no snapshots to demote".into()))?;
+        let mut name = info.path.file_name().unwrap_or_default().to_os_string();
+        name.push(".demoted");
+        let demoted = info.path.with_file_name(name);
+        fs::rename(&info.path, &demoted)
+            .map_err(|e| StoreError::Io(format!("demote v{}: {e}", info.meta.version)))?;
+        DEMOTIONS.inc();
+        self.entries.pop();
+        if self.pinned() == Some(info.meta.version) {
+            self.unpin();
+        }
+        Ok((
+            info.meta.version,
+            self.entries.last().map(|e| e.meta.version),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::feature_names;
+    use mlkit::{Dataset, RegressorKind};
+
+    fn tiny_predictor(seed: u64) -> PerformancePredictor {
+        let mut d = Dataset::new(feature_names());
+        let nf = d.feature_names.len();
+        for i in 0..12 {
+            let mut row = vec![0.0; nf];
+            row[0] = i as f64;
+            row[1] = (i * i) as f64;
+            d.push(format!("r{i}"), row, 0.5 + 0.1 * i as f64);
+        }
+        PerformancePredictor::train(&d, RegressorKind::DecisionTree, seed)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("cnnperf-modelstore-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_scan_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let (mut store, report) = ModelStore::open(&dir).unwrap();
+        assert_eq!(report, ScanReport::default());
+        let p = tiny_predictor(1);
+        let info = store.save(&p, 12, "test").unwrap();
+        assert_eq!(info.meta.version, 1);
+
+        let (reopened, report) = ModelStore::open(&dir).unwrap();
+        assert_eq!(report.loaded, 1);
+        assert_eq!(report.quarantined, 0);
+        let (loaded_info, loaded) = reopened.load_latest().unwrap();
+        assert_eq!(loaded_info.meta.version, 1);
+        let row = vec![1.0; feature_names().len()];
+        assert_eq!(p.predict_row(&row), loaded.predict_row(&row));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_is_quarantined_and_previous_version_serves() {
+        let dir = tmpdir("torn");
+        let (mut store, _) = ModelStore::open(&dir).unwrap();
+        store.save(&tiny_predictor(1), 12, "good").unwrap();
+        // simulate a crash mid-write of v2: a truncated published file
+        // plus an orphaned temp file
+        let v2 = dir.join(snapshot_filename(2));
+        let full = fs::read_to_string(dir.join(snapshot_filename(1))).unwrap();
+        fs::write(&v2, &full[..full.len() / 2]).unwrap();
+        fs::write(dir.join("predictor-v000003.json.tmp.999"), "partial").unwrap();
+
+        let (reopened, report) = ModelStore::open(&dir).unwrap();
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.loaded, 1);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.tmp_swept, 1);
+        assert_eq!(report.scanned, report.loaded + report.quarantined);
+        assert!(dir.join("predictor-v000002.json.corrupt").exists());
+        let (info, _) = reopened.load_latest().unwrap();
+        assert_eq!(info.meta.version, 1);
+        // the quarantined version number is never reused
+        assert_eq!(reopened.next_version, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_stamp_must_match_filename() {
+        let dir = tmpdir("stamp");
+        let (mut store, _) = ModelStore::open(&dir).unwrap();
+        store.save(&tiny_predictor(1), 12, "good").unwrap();
+        // copying v1 to v5 must not make it serve as v5
+        fs::copy(
+            dir.join(snapshot_filename(1)),
+            dir.join(snapshot_filename(5)),
+        )
+        .unwrap();
+        let (reopened, report) = ModelStore::open(&dir).unwrap();
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(reopened.load_latest().unwrap().0.meta.version, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pin_and_demote() {
+        let dir = tmpdir("pin");
+        let (mut store, _) = ModelStore::open(&dir).unwrap();
+        store.save(&tiny_predictor(1), 12, "v1").unwrap();
+        store.save(&tiny_predictor(2), 12, "v2").unwrap();
+        assert_eq!(store.load_latest().unwrap().0.meta.version, 2);
+
+        store.pin(1).unwrap();
+        assert_eq!(store.pinned(), Some(1));
+        assert_eq!(store.load_latest().unwrap().0.meta.version, 1);
+        assert!(store.pin(9).is_err());
+        store.unpin();
+        assert_eq!(store.load_latest().unwrap().0.meta.version, 2);
+
+        let (demoted, active) = store.demote_latest().unwrap();
+        assert_eq!(demoted, 2);
+        assert_eq!(active, Some(1));
+        assert_eq!(store.load_latest().unwrap().0.meta.version, 1);
+        // the demoted number stays reserved across reopen
+        let (reopened, _) = ModelStore::open(&dir).unwrap();
+        assert_eq!(reopened.next_version, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn filename_parse_is_strict() {
+        assert_eq!(parse_snapshot_version("predictor-v000042.json"), Some(42));
+        assert_eq!(parse_snapshot_version("predictor-v.json"), None);
+        assert_eq!(parse_snapshot_version("predictor-v12a.json"), None);
+        assert_eq!(parse_snapshot_version("other-v000001.json"), None);
+    }
+}

@@ -34,6 +34,7 @@ pub use scheduler::{DrainReport, Scheduler, SubmitError};
 pub use session::{run_session, SessionEnd};
 
 use crate::engine::EngineConfig;
+use crate::lifecycle::LifecycleManager;
 use crate::model::PerformancePredictor;
 use crate::pipeline::Corpus;
 use std::io::Write;
@@ -108,10 +109,12 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// The assembled server: a scheduler plus the accept loop(s).
+/// The assembled server: a scheduler plus the accept loop(s), and — when
+/// lifecycle-enabled — the background trainer thread.
 pub struct Server {
     cfg: ServerConfig,
     scheduler: Arc<Scheduler>,
+    lifecycle: Option<Arc<LifecycleManager>>,
 }
 
 impl Server {
@@ -124,11 +127,51 @@ impl Server {
         corpus: Option<Arc<Corpus>>,
     ) -> Server {
         let scheduler = Scheduler::start(&cfg, predictor, corpus);
-        Server { cfg, scheduler }
+        Server {
+            cfg,
+            scheduler,
+            lifecycle: None,
+        }
+    }
+
+    /// A lifecycle-enabled server: every shard reads the manager's
+    /// hot-swap slot and publishes ground truth into its measurement log,
+    /// and a background trainer thread runs the
+    /// ingest → retrain → shadow → promote loop until the server drains.
+    /// Call [`LifecycleManager::cold_start`] before this so the slot is
+    /// armed when the shards spin up.
+    pub fn with_lifecycle(
+        cfg: ServerConfig,
+        corpus: Option<Arc<Corpus>>,
+        manager: Arc<LifecycleManager>,
+    ) -> Server {
+        let scheduler = Scheduler::start_with_slot(
+            &cfg,
+            Arc::clone(manager.slot()),
+            corpus,
+            Some(Arc::clone(manager.log())),
+        );
+        let trainer_mgr = Arc::clone(&manager);
+        let trainer_drain = cfg.drain.clone();
+        // detached on purpose: run_until exits as soon as the drain
+        // controller flips, and the daemon process outlives nothing
+        let _ = std::thread::Builder::new()
+            .name("serve-lifecycle".into())
+            .spawn(move || trainer_mgr.run_until(|| trainer_drain.draining()));
+        Server {
+            cfg,
+            scheduler,
+            lifecycle: Some(manager),
+        }
     }
 
     pub fn scheduler(&self) -> &Arc<Scheduler> {
         &self.scheduler
+    }
+
+    /// The lifecycle manager, when this server was built with one.
+    pub fn lifecycle(&self) -> Option<&Arc<LifecycleManager>> {
+        self.lifecycle.as_ref()
     }
 
     pub fn config(&self) -> &ServerConfig {

@@ -271,6 +271,15 @@ pub fn result_body(outcome: &EstimateOutcome, retries: u32) -> String {
         None => out.push_str(",\"latency_ms\":null"),
     }
     let _ = write!(out, ",\"stale\":{stale},\"retries\":{retries}");
+    // which predictor generation answered (regressor-tier responses
+    // only): every response is attributable to exactly one hot-swap slot
+    // generation, or null when another tier served
+    match outcome.generation {
+        Some(g) => {
+            let _ = write!(out, ",\"generation\":{g}");
+        }
+        None => out.push_str(",\"generation\":null"),
+    }
     out.push_str(",\"attempts\":[");
     for (i, a) in outcome.attempts.iter().enumerate() {
         if i > 0 {
@@ -403,6 +412,7 @@ mod tests {
             latency_ms: Some(3.5),
             attempts: Vec::new(),
             elapsed_ms: 42.0,
+            generation: None,
         };
         let a = result_body(&outcome, 0);
         let mut later = outcome.clone();
@@ -410,6 +420,11 @@ mod tests {
         let b = result_body(&later, 0);
         assert_eq!(a, b);
         assert!(a.contains("\"outcome\":\"served:analytical\""));
+        assert!(a.contains("\"generation\":null"));
         serde_json::parse(&a).expect("body parses");
+        let mut served_by_regressor = outcome.clone();
+        served_by_regressor.generation = Some(4);
+        let c = result_body(&served_by_regressor, 0);
+        assert!(c.contains("\"generation\":4"));
     }
 }

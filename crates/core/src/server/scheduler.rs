@@ -37,14 +37,24 @@ use super::protocol::{render_error, render_result, result_body, EstimateRequest}
 use super::qos::{QosClass, QosPolicy};
 use super::ServerConfig;
 use crate::engine::{EstimateOutcome, OutcomeKind, ResilientEngine, Tier, TierFailure};
+use crate::lifecycle::{MeasurementLog, PredictorSlot};
 use crate::model::PerformancePredictor;
 use crate::pipeline::Corpus;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Take a mutex even when a panicking thread poisoned it. Shard state
+/// stays structurally consistent across panics (jobs/queues are mutated
+/// in complete steps before any engine work runs), so recovering the
+/// inner value keeps the shard serving instead of cascading one contained
+/// panic into a wedged session for every later client.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Valid estimate frames reaching the scheduler;
 /// `requests == admitted + shed + rejected.draining`.
@@ -229,6 +239,23 @@ impl Scheduler {
         predictor: Option<Arc<PerformancePredictor>>,
         corpus: Option<Arc<Corpus>>,
     ) -> Arc<Scheduler> {
+        let slot = Arc::new(PredictorSlot::new());
+        if let Some(p) = predictor {
+            slot.install(p);
+        }
+        Self::start_with_slot(cfg, slot, corpus, None)
+    }
+
+    /// [`start`](Self::start) with an externally owned predictor slot and
+    /// an optional ground-truth log — the lifecycle-enabled form: the
+    /// trainer promotes into `slot` (all shards see it atomically) and
+    /// shards publish live-tier measurements into `ground_truth`.
+    pub fn start_with_slot(
+        cfg: &ServerConfig,
+        slot: Arc<PredictorSlot>,
+        corpus: Option<Arc<Corpus>>,
+        ground_truth: Option<Arc<MeasurementLog>>,
+    ) -> Arc<Scheduler> {
         let shard_count = cfg.workers.max(1);
         let shards: Vec<Arc<Shard>> = (0..shard_count)
             .map(|_| {
@@ -247,15 +274,16 @@ impl Scheduler {
         let mut handles = Vec::with_capacity(shard_count);
         for (i, shard) in shards.into_iter().enumerate() {
             let cfg = cfg.clone();
-            let predictor = predictor.clone();
+            let slot = Arc::clone(&slot);
             let corpus = corpus.clone();
+            let ground_truth = ground_truth.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("serve-shard-{i}"))
-                .spawn(move || worker_loop(shard, cfg, predictor, corpus))
+                .spawn(move || worker_loop(shard, cfg, slot, corpus, ground_truth))
                 .expect("spawn scheduler worker");
             handles.push(handle);
         }
-        *scheduler.workers.lock().unwrap() = handles;
+        *lock_recover(&scheduler.workers) = handles;
         scheduler
     }
 
@@ -279,7 +307,7 @@ impl Scheduler {
         }
         let key = (req.model.clone(), req.device.clone());
         let shard = self.shard_for(&key);
-        let mut st = shard.state.lock().unwrap();
+        let mut st = lock_recover(&shard.state);
         if st.draining {
             SERVER_REJECTED_DRAINING.inc();
             return Err(SubmitError::Draining);
@@ -349,7 +377,7 @@ impl Scheduler {
         self.shards
             .iter()
             .map(|s| {
-                let st = s.state.lock().unwrap();
+                let st = lock_recover(&s.state);
                 st.queues.iter().map(|q| q.len()).sum::<usize>()
             })
             .sum()
@@ -364,7 +392,7 @@ impl Scheduler {
         let started = Instant::now();
         self.drain.request_drain();
         for shard in &self.shards {
-            shard.state.lock().unwrap().draining = true;
+            lock_recover(&shard.state).draining = true;
             shard.cv.notify_all();
         }
         // wait for every shard to finish its queued + running jobs
@@ -374,7 +402,7 @@ impl Scheduler {
             let idle = self
                 .shards
                 .iter()
-                .all(|s| s.state.lock().unwrap().jobs.is_empty());
+                .all(|s| lock_recover(&s.state).jobs.is_empty());
             if idle {
                 break;
             }
@@ -390,7 +418,7 @@ impl Scheduler {
         let mut flushed = 0usize;
         if forced {
             for shard in &self.shards {
-                let mut st = shard.state.lock().unwrap();
+                let mut st = lock_recover(&shard.state);
                 for q in st.queues.iter_mut() {
                     q.clear();
                 }
@@ -412,7 +440,7 @@ impl Scheduler {
         // Workers park once draining && queues empty; join the ones that
         // already exited, but never block past the drain deadline on a
         // worker still unwinding a cancelled tier.
-        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        let handles = std::mem::take(&mut *lock_recover(&self.workers));
         for h in handles {
             if h.is_finished() {
                 let _ = h.join();
@@ -468,19 +496,20 @@ fn backoff_jitter_ms(key: &JobKey, attempt: u32, base_ms: u64) -> u64 {
 fn worker_loop(
     shard: Arc<Shard>,
     cfg: ServerConfig,
-    predictor: Option<Arc<PerformancePredictor>>,
+    slot: Arc<PredictorSlot>,
     corpus: Option<Arc<Corpus>>,
+    ground_truth: Option<Arc<MeasurementLog>>,
 ) {
-    let mut engine = ResilientEngine::new(cfg.engine.clone());
-    if let Some(p) = predictor {
-        engine.set_predictor_arc(p);
+    let mut engine = ResilientEngine::with_shared_slot(cfg.engine.clone(), slot);
+    if let Some(log) = ground_truth {
+        engine.set_ground_truth_log(log);
     }
     if let Some(c) = &corpus {
         engine.warm_from_corpus(c);
     }
     loop {
         let (key, deadline_ms, revalidate) = {
-            let mut st = shard.state.lock().unwrap();
+            let mut st = lock_recover(&shard.state);
             loop {
                 if let Some(key) = st.pop_next() {
                     let job = st.jobs.get(&key).expect("popped job exists");
@@ -489,10 +518,10 @@ fn worker_loop(
                 if st.draining {
                     return;
                 }
-                let (next, _timeout) = shard
-                    .cv
-                    .wait_timeout(st, Duration::from_millis(100))
-                    .unwrap();
+                let (next, _timeout) = match shard.cv.wait_timeout(st, Duration::from_millis(100)) {
+                    Ok(woken) => woken,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
                 st = next;
             }
         };
@@ -512,6 +541,7 @@ fn worker_loop(
                     latency_ms: None,
                     attempts: Vec::new(),
                     elapsed_ms: 0.0,
+                    generation: None,
                 },
                 0,
             )
@@ -525,7 +555,7 @@ fn worker_loop(
         );
 
         let waiters = {
-            let mut st = shard.state.lock().unwrap();
+            let mut st = lock_recover(&shard.state);
             let waiters = st.jobs.remove(&key).map(|j| j.waiters).unwrap_or_default();
             // stale-while-revalidate: heal the cache in the background
             // (same key hashes to this same shard)
@@ -582,7 +612,7 @@ fn run_job(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::TierAttempt;
+    use crate::engine::{EngineConfig, TierAttempt};
 
     fn exhausted_with(failures: Vec<TierFailure>) -> EstimateOutcome {
         EstimateOutcome {
@@ -599,7 +629,92 @@ mod tests {
                 })
                 .collect(),
             elapsed_ms: 0.0,
+            generation: None,
         }
+    }
+
+    #[test]
+    fn lock_recover_survives_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex is poisoned");
+        assert_eq!(*lock_recover(&m), 7, "state recovered intact");
+        *lock_recover(&m) += 1;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+
+    fn submit_and_recv(sched: &Scheduler, id: &str, model: &str) -> String {
+        let (tx, rx) = std::sync::mpsc::channel();
+        sched
+            .submit(
+                EstimateRequest {
+                    id: id.into(),
+                    model: model.into(),
+                    device: "V100S".into(),
+                    qos: QosClass::Interactive,
+                    deadline_ms: Some(2_000),
+                },
+                tx,
+            )
+            .expect("admitted");
+        rx.recv_timeout(Duration::from_secs(30)).expect("one frame")
+    }
+
+    #[test]
+    fn shard_keeps_serving_after_lock_poisoned_by_panicking_thread() {
+        // chaos: a thread panics while holding a shard's state lock —
+        // sessions and workers recover the poisoned lock and the shard
+        // keeps answering instead of wedging every later request
+        let cfg = ServerConfig {
+            workers: 1,
+            engine: EngineConfig {
+                tiers: vec![Tier::StaleCache],
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let sched = Scheduler::start(&cfg, None, None);
+        let shard = Arc::clone(&sched.shards[0]);
+        let _ = std::thread::spawn(move || {
+            let _guard = shard.state.lock().unwrap();
+            panic!("chaos: poison the shard lock mid-job");
+        })
+        .join();
+        assert!(sched.shards[0].state.lock().is_err(), "lock is poisoned");
+        let frame = submit_and_recv(&sched, "after-poison", "some-model");
+        assert!(frame.contains("\"id\":\"after-poison\""), "{frame}");
+        sched.drain(Duration::from_millis(500));
+    }
+
+    #[test]
+    fn shard_keeps_serving_through_injected_tier_panics() {
+        // chaos: every live tier invocation panics mid-job; the panic is
+        // contained per-tier and every admitted request still gets
+        // exactly one classified frame
+        let cfg = ServerConfig {
+            workers: 1,
+            engine: EngineConfig {
+                deadline_ms: 2_000,
+                tiers: vec![Tier::Analytical, Tier::StaleCache],
+                chaos: gpu_sim::ChaosProfile {
+                    panic_rate: 1.0,
+                    ..gpu_sim::ChaosProfile::none()
+                },
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let sched = Scheduler::start(&cfg, None, None);
+        for i in 0..3 {
+            let frame = submit_and_recv(&sched, &format!("r{i}"), &format!("model-{i}"));
+            assert!(frame.contains(&format!("\"id\":\"r{i}\"")), "{frame}");
+        }
+        sched.drain(Duration::from_millis(500));
     }
 
     #[test]

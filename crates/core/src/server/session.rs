@@ -304,7 +304,10 @@ mod tests {
         let mut r = FrameReader::new(&data[..], 1024, 1000);
         assert_eq!(r.next_event(), ReadEvent::Frame("{\"op\":\"ping\"}".into()));
         // the blank line is skipped, not surfaced
-        assert_eq!(r.next_event(), ReadEvent::Frame("{\"op\":\"stats\"}".into()));
+        assert_eq!(
+            r.next_event(),
+            ReadEvent::Frame("{\"op\":\"stats\"}".into())
+        );
         assert_eq!(r.next_event(), ReadEvent::Eof);
     }
 

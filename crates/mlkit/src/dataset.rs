@@ -93,6 +93,33 @@ impl Dataset {
     pub fn feature_index(&self, name: &str) -> Option<usize> {
         self.feature_names.iter().position(|n| n == name)
     }
+
+    /// Append every row of `other` (incremental growth: a journal slice
+    /// of fresh measurements extends the base training set in place).
+    pub fn append(&mut self, other: &Dataset) {
+        assert_eq!(
+            self.feature_names, other.feature_names,
+            "feature layout mismatch"
+        );
+        self.x.extend(other.x.iter().cloned());
+        self.y.extend_from_slice(&other.y);
+        self.labels.extend(other.labels.iter().cloned());
+    }
+
+    /// Drop every row with a non-finite feature or target, returning how
+    /// many were removed. Training on NaN/Inf rows silently poisons tree
+    /// splits and least-squares solves, so retraining pipelines sanitize
+    /// through this before any `fit`.
+    pub fn retain_finite(&mut self) -> usize {
+        let keep: Vec<usize> = (0..self.len())
+            .filter(|&i| self.y[i].is_finite() && self.x[i].iter().all(|v| v.is_finite()))
+            .collect();
+        let removed = self.len() - keep.len();
+        if removed > 0 {
+            *self = self.select(&keep);
+        }
+        removed
+    }
 }
 
 /// Per-feature standardization parameters (fit on training data only).
@@ -213,6 +240,40 @@ mod tests {
         let (keep, out) = d.partition_by_label(|l| l.ends_with('3'));
         assert_eq!(out.len(), 1);
         assert_eq!(keep.len(), 9);
+    }
+
+    #[test]
+    fn append_extends_in_place() {
+        let mut a = toy(3);
+        let b = toy(2);
+        a.append(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.labels[3], "row0");
+        assert_eq!(a.y[4], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature layout mismatch")]
+    fn append_rejects_mismatched_layout() {
+        let mut a = toy(1);
+        let b = Dataset::new(vec!["other".into()]);
+        a.append(&b);
+    }
+
+    #[test]
+    fn retain_finite_drops_poisoned_rows() {
+        let mut d = toy(4);
+        d.push("nan-y", vec![1.0, 1.0], f64::NAN);
+        d.push("inf-x", vec![f64::INFINITY, 1.0], 2.0);
+        d.push("ok", vec![3.0, 3.0], 3.0);
+        let removed = d.retain_finite();
+        assert_eq!(removed, 2);
+        assert_eq!(d.len(), 5);
+        assert!(d.y.iter().all(|v| v.is_finite()));
+        assert!(d.x.iter().flatten().all(|v| v.is_finite()));
+        assert!(!d.labels.contains(&"nan-y".to_string()));
+        // clean data is untouched (no reallocation shuffle)
+        assert_eq!(d.retain_finite(), 0);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Property tests for the retrain data path: appending a measurement
+//! journal full of NaN/Inf/outlier rows onto a clean base dataset and
+//! refitting must **never** produce a NaN-scoring predictor, for any
+//! regressor family — the guarantee the serve daemon's lifecycle trainer
+//! leans on when it retrains from served ground truth.
+
+use mlkit::metrics::mape;
+use mlkit::{Dataset, RegressorKind};
+use proptest::prelude::*;
+
+const NF: usize = 4;
+
+fn names() -> Vec<String> {
+    (0..NF).map(|i| format!("f{i}")).collect()
+}
+
+/// A clean, learnable base: y is a linear function of the features.
+fn base_dataset(rows: usize) -> Dataset {
+    let mut d = Dataset::new(names());
+    for i in 0..rows {
+        let row: Vec<f64> = (0..NF).map(|j| ((i * 5 + j * 3) % 17) as f64).collect();
+        let y = 1.0 + 2.0 * row[0] + 0.5 * row[1];
+        d.push(format!("b{i}"), row, y);
+    }
+    d
+}
+
+/// One journal row: possibly poisoned with a non-finite feature, a
+/// non-finite target, or a wild-but-finite outlier target.
+#[derive(Debug, Clone)]
+struct JournalRow {
+    row: Vec<f64>,
+    y: f64,
+}
+
+fn journal_row() -> impl Strategy<Value = JournalRow> {
+    (
+        proptest::collection::vec(0u32..1000, NF..NF + 1),
+        0u32..4,    // poison selector
+        0usize..NF, // poisoned feature index
+        prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(f64::NEG_INFINITY)],
+        1u32..1_000_000, // outlier magnitude
+    )
+        .prop_map(|(raw, poison, idx, bad, mag)| {
+            let mut row: Vec<f64> = raw.iter().map(|v| *v as f64 / 10.0).collect();
+            let mut y = 1.0 + 2.0 * row[0] + 0.5 * row[1];
+            match poison {
+                0 => row[idx] = bad,       // non-finite feature
+                1 => y = bad,              // non-finite target
+                2 => y = mag as f64 * 1e6, // absurd-but-finite outlier
+                _ => {}                    // clean row
+            }
+            JournalRow { row, y }
+        })
+}
+
+proptest! {
+    /// base + journal(with NaN/Inf/outliers) → retain_finite → fit:
+    /// every family predicts finite values on finite probes and scores a
+    /// finite (non-NaN) MAPE. The non-finite rows must be gone; finite
+    /// rows (outliers included) must all survive the filter.
+    #[test]
+    fn poisoned_journal_never_yields_nan_scoring_predictor(
+        journal_rows in proptest::collection::vec(journal_row(), 1..24),
+        seed in 0u64..64,
+    ) {
+        let base = base_dataset(24);
+        let mut journal = Dataset::new(names());
+        for (i, r) in journal_rows.iter().enumerate() {
+            journal.push(format!("j{i}"), r.row.clone(), r.y);
+        }
+
+        let mut train = base.clone();
+        train.append(&journal);
+        let dropped = train.retain_finite();
+
+        let poisoned = journal_rows
+            .iter()
+            .filter(|r| !r.y.is_finite() || r.row.iter().any(|v| !v.is_finite()))
+            .count();
+        prop_assert_eq!(dropped, poisoned, "retain_finite drops exactly the non-finite rows");
+        prop_assert!(train.len() >= base.len(), "the clean base always survives");
+        prop_assert!(
+            train.y.iter().all(|v| v.is_finite())
+                && train.x.iter().flatten().all(|v| v.is_finite())
+        );
+
+        let shadow = base_dataset(8);
+        for kind in [
+            RegressorKind::DecisionTree,
+            RegressorKind::KNearestNeighbors,
+            RegressorKind::RandomForest,
+            RegressorKind::XgBoost,
+            RegressorKind::LinearRegression,
+        ] {
+            let model = kind.fit(&train, seed);
+            let pred: Vec<f64> = shadow.x.iter().map(|r| model.predict_row(r)).collect();
+            prop_assert!(
+                pred.iter().all(|p| p.is_finite()),
+                "{:?} produced a non-finite prediction from sanitized data", kind
+            );
+            let score = mape(&shadow.y, &pred);
+            prop_assert!(
+                score.is_finite(),
+                "{:?} shadow MAPE must be finite, got {score}", kind
+            );
+        }
+    }
+
+    /// Append is exact concatenation: lengths add up, and the appended
+    /// tail is bit-identical to the source journal.
+    #[test]
+    fn append_preserves_rows_bit_exactly(
+        journal_rows in proptest::collection::vec(journal_row(), 0..16),
+    ) {
+        let base = base_dataset(6);
+        let mut journal = Dataset::new(names());
+        for (i, r) in journal_rows.iter().enumerate() {
+            journal.push(format!("j{i}"), r.row.clone(), r.y);
+        }
+        let mut joined = base.clone();
+        joined.append(&journal);
+        prop_assert_eq!(joined.len(), base.len() + journal.len());
+        for (i, r) in journal_rows.iter().enumerate() {
+            let at = base.len() + i;
+            // bitwise compare: rows may legitimately carry NaN, and
+            // NaN != NaN under float equality
+            prop_assert_eq!(joined.x[at].len(), r.row.len());
+            for (a, b) in joined.x[at].iter().zip(&r.row) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(joined.y[at].to_bits(), r.y.to_bits());
+        }
+    }
+}

@@ -93,6 +93,48 @@ resume-smoke:
     cmp "$dir/resumed.json" "$dir/clean.json"
     echo "resume-smoke OK: resumed corpus is byte-identical to a clean build"
 
+# Lifecycle smoke: serve with a snapshot store, then replay the crash
+# story of a SIGKILL landing mid-snapshot-write (a torn next-version file
+# plus an orphaned temp file). The restarted server must quarantine the
+# torn snapshot, cold-start from the previous valid version, and answer
+# byte-identically to the pre-crash run — generation attribution
+# included. `stats-check` gates the modelstore.* / lifecycle.* invariants
+# on the restarted run's snapshot.
+lifecycle-smoke:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    cargo build --release
+    bin=target/release/cnnperf
+    dir=target/lifecycle-smoke
+    mdir="$dir/models"
+    rm -rf "$dir" && mkdir -p "$dir"
+    # arm the shared corpus cache (full paper corpus; instant when warm)
+    "$bin" predict alexnet "GTX 1080 Ti" > /dev/null
+    req='{"id":"smoke","model":"alexnet","device":"GTX 1080 Ti"}'
+    echo "--- first run: cold-start trains from corpus, snapshots v1 ---"
+    echo "$req" | "$bin" serve --model-dir "$mdir" --tiers regressor --stats-dump json \
+        > "$dir/first.out" 2> "$dir/first.err"
+    grep -q 'cold-start trained from corpus' "$dir/first.err"
+    "$bin" models list --model-dir "$mdir" | grep -q 'v000001'
+    echo "--- crash story: snapshot write torn by SIGKILL ---"
+    head -c 100 "$mdir/predictor-v000001.json" > "$mdir/predictor-v000002.json"
+    printf '{"torn":' > "$mdir/predictor-v000002.json.tmp.99999"
+    echo "--- restart: torn file quarantined, v1 serves byte-identically ---"
+    echo "$req" | "$bin" serve --model-dir "$mdir" --tiers regressor --stats-dump json \
+        > "$dir/second.out" 2> "$dir/second.err"
+    grep -q 'cold-start from snapshot v1' "$dir/second.err"
+    test -f "$mdir/predictor-v000002.json.corrupt"
+    test ! -e "$mdir/predictor-v000002.json.tmp.99999"
+    grep '"id":"smoke"' "$dir/first.out" > "$dir/first.resp"
+    grep '"id":"smoke"' "$dir/second.out" > "$dir/second.resp"
+    cmp "$dir/first.resp" "$dir/second.resp"
+    grep -q '"generation":1' "$dir/second.resp"
+    "$bin" stats-check "$dir/second.out"
+    "$bin" models pin 1 --model-dir "$mdir"
+    "$bin" models list --model-dir "$mdir" | grep -q 'pinned'
+    "$bin" models unpin --model-dir "$mdir"
+    echo "lifecycle-smoke OK: torn snapshot quarantined, v1 served byte-identically"
+
 # Decode-reuse ablation for the DCA interpreter. Besides the criterion
 # groups, emits target/figures/dca_counting.bench.json (the BENCH
 # artifact: decode-per-count vs shared dense program) and the obs stats

@@ -32,6 +32,9 @@ const EXIT_DEADLINE: u8 = 4;
 const EXIT_CORRUPT: u8 = 5;
 /// The server failed to bind its Unix socket or metrics endpoint.
 const EXIT_BIND: u8 = 6;
+/// The snapshot model store could not be initialised (`--model-dir` is
+/// not a usable directory, or a `models` action failed against it).
+const EXIT_MODELSTORE: u8 = 7;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -66,13 +69,25 @@ fn usage() -> ExitCode {
                  [--retry-backoff-ms N] [--no-revalidate] [--tiers t1,t2,..]\n\
                  [--chaos none|k=v,..] [--max-frame-bytes N] [--frame-stall-ms N]\n\
                  [--drain-deadline-ms N] [--stats-dump json|prom]\n\
+                 [--model-dir DIR] [--retrain-interval-s N] [--shadow-window N]\n\
+                 [--promotion-threshold F] [--drift-window N] [--drift-threshold F]\n\
                                          persistent NDJSON estimation server over a\n\
                                          Unix socket (or stdin/stdout without\n\
                                          --socket); per-client QoS classes\n\
                                          (interactive|batch|best-effort) with\n\
                                          admission control and request coalescing;\n\
                                          --metrics serves live Prometheus from the\n\
-                                         same loop; SIGTERM drains gracefully\n\
+                                         same loop; SIGTERM drains gracefully;\n\
+                                         --model-dir arms the predictor lifecycle:\n\
+                                         cold-start from the newest valid snapshot,\n\
+                                         background retraining from served ground\n\
+                                         truth, shadow-gated promotion, drift\n\
+                                         rollback, crash-safe snapshots\n\
+           models <list|inspect V|pin V|unpin|rollback> --model-dir DIR\n\
+                                         inspect and steer the snapshot store:\n\
+                                         `pin` freezes cold-starts to a version,\n\
+                                         `rollback` demotes the newest snapshot so\n\
+                                         the previous one serves\n\
            stats-check <file>            validate the metrics snapshot emitted by\n\
                                          `--stats json` (last JSON line of <file>):\n\
                                          schema, shape, and counter invariants\n\
@@ -80,7 +95,7 @@ fn usage() -> ExitCode {
            dot <model>                   print the model graph as Graphviz\n\
          exit codes: 0 ok, 1 failure, 2 usage/config error, 3 overloaded,\n\
                      4 deadline exceeded, 5 corrupt cache/journal,\n\
-                     6 server bind/socket error"
+                     6 server bind/socket error, 7 model store init failure"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -769,13 +784,18 @@ fn parse_triple<T: std::str::FromStr>(spec: &str) -> Option<[T; 3]> {
 }
 
 fn cmd_serve(args: &[&str]) -> ExitCode {
-    use cnnperf_core::{ServeError, Server, ServerConfig};
+    use cnnperf_core::{
+        ColdStart, LifecycleConfig, LifecycleManager, ModelStore, PredictorSlot, ServeError,
+        Server, ServerConfig,
+    };
     use std::sync::Arc;
 
     let mut cfg = ServerConfig::default();
     let mut socket: Option<PathBuf> = None;
     let mut metrics: Option<String> = None;
     let mut stats_dump: Option<StatsFormat> = None;
+    let mut model_dir: Option<PathBuf> = None;
+    let mut lc = LifecycleConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match *arg {
@@ -881,6 +901,48 @@ fn cmd_serve(args: &[&str]) -> ExitCode {
                     return ExitCode::from(EXIT_USAGE);
                 }
             },
+            "--model-dir" => match it.next() {
+                Some(p) => model_dir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--model-dir needs a directory path");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--retrain-interval-s" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => lc.retrain_interval = std::time::Duration::from_secs(n),
+                _ => {
+                    eprintln!("--retrain-interval-s needs a positive integer");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--shadow-window" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => lc.shadow_window = n,
+                _ => {
+                    eprintln!("--shadow-window needs a positive integer");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--promotion-threshold" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(f)) if f.is_finite() && f >= 0.0 => lc.promotion_threshold = f,
+                _ => {
+                    eprintln!("--promotion-threshold needs a non-negative number");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--drift-window" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => lc.drift_window = n,
+                _ => {
+                    eprintln!("--drift-window needs a positive integer");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--drift-threshold" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(f)) if f.is_finite() && f > 0.0 => lc.drift_threshold = f,
+                _ => {
+                    eprintln!("--drift-threshold needs a positive number");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
             other => {
                 eprintln!("unknown serve flag `{other}`");
                 return ExitCode::from(EXIT_USAGE);
@@ -896,13 +958,6 @@ fn cmd_serve(args: &[&str]) -> ExitCode {
     // like `estimate`, a cache miss degrades instead of blocking startup
     // on a minute-long corpus build
     let corpus = corpus_if_cached().map(Arc::new);
-    let predictor = corpus.as_ref().map(|c| {
-        Arc::new(PerformancePredictor::train(
-            &c.dataset,
-            RegressorKind::DecisionTree,
-            42,
-        ))
-    });
     match &corpus {
         Some(c) => eprintln!(
             "serve: corpus cache armed regressor + stale-cache tiers ({} samples)",
@@ -913,7 +968,66 @@ fn cmd_serve(args: &[&str]) -> ExitCode {
         ),
     }
 
-    let server = Server::new(cfg, predictor, corpus);
+    let server = match &model_dir {
+        Some(dir) => {
+            let store = match ModelStore::open(dir) {
+                Ok((store, report)) => {
+                    eprintln!(
+                        "serve: model store {} ({} valid, {} quarantined, {} temp swept)",
+                        dir.display(),
+                        report.loaded,
+                        report.quarantined,
+                        report.tmp_swept
+                    );
+                    store
+                }
+                Err(e) => {
+                    eprintln!("serve: model store init failed: {e}");
+                    return ExitCode::from(EXIT_MODELSTORE);
+                }
+            };
+            let base = corpus.as_ref().map(|c| c.dataset.clone());
+            let manager = Arc::new(LifecycleManager::new(
+                lc,
+                Arc::new(PredictorSlot::new()),
+                Some(store),
+                base,
+            ));
+            match manager.cold_start() {
+                ColdStart::Snapshot {
+                    version,
+                    generation,
+                } => eprintln!(
+                    "serve: lifecycle cold-start from snapshot v{version} (generation {generation})"
+                ),
+                ColdStart::Trained {
+                    generation,
+                    version,
+                } => eprintln!(
+                    "serve: lifecycle cold-start trained from corpus (generation {generation}{})",
+                    match version {
+                        Some(v) => format!(", snapshotted as v{v}"),
+                        None => String::new(),
+                    }
+                ),
+                ColdStart::Empty => eprintln!(
+                    "serve: lifecycle cold-start empty — no snapshot, no corpus cache; the \
+                     regressor tier stays dark until ground truth accrues"
+                ),
+            }
+            Server::with_lifecycle(cfg, corpus, manager)
+        }
+        None => {
+            let predictor = corpus.as_ref().map(|c| {
+                Arc::new(PerformancePredictor::train(
+                    &c.dataset,
+                    RegressorKind::DecisionTree,
+                    42,
+                ))
+            });
+            Server::new(cfg, predictor, corpus)
+        }
+    };
     let result = match &socket {
         Some(path) => {
             eprintln!(
@@ -958,6 +1072,144 @@ fn cmd_serve(args: &[&str]) -> ExitCode {
         emit_stats(fmt);
     }
     code
+}
+
+/// Inspect and steer the snapshot model store (`cnnperf models ...`).
+/// Every action opens the store first, so orphaned temp files are swept
+/// and corrupt snapshots quarantined as a side effect of any invocation.
+fn cmd_models(args: &[&str]) -> ExitCode {
+    use cnnperf_core::ModelStore;
+
+    let action = match args.first() {
+        Some(a) if !a.starts_with("--") => *a,
+        _ => {
+            eprintln!("models needs an action: list | inspect V | pin V | unpin | rollback");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let dir = match args.iter().position(|a| *a == "--model-dir") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => PathBuf::from(p),
+            None => {
+                eprintln!("--model-dir needs a directory path");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+        None => {
+            eprintln!("models needs --model-dir DIR");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let version_arg = || -> Option<u64> { args.get(1).and_then(|v| v.parse().ok()) };
+
+    let (mut store, report) = match ModelStore::open(&dir) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("models: store init failed: {e}");
+            return ExitCode::from(EXIT_MODELSTORE);
+        }
+    };
+    match action {
+        "list" => {
+            println!(
+                "model store {} — {} valid snapshot(s), {} quarantined, {} temp swept",
+                dir.display(),
+                report.loaded,
+                report.quarantined,
+                report.tmp_swept
+            );
+            let pinned = store.pinned();
+            for info in store.list() {
+                println!(
+                    "  v{:06}  {:<4}  {:>5} rows  checksum {:016x}  {}{}",
+                    info.meta.version,
+                    info.meta.kind,
+                    info.meta.train_rows,
+                    info.checksum,
+                    info.meta.note,
+                    if pinned == Some(info.meta.version) {
+                        "  [pinned]"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            if store.list().is_empty() {
+                println!("  (empty)");
+            }
+            ExitCode::SUCCESS
+        }
+        "inspect" => {
+            let Some(v) = version_arg() else {
+                eprintln!("models inspect needs a version number");
+                return ExitCode::from(EXIT_USAGE);
+            };
+            match store.load_version(v) {
+                Ok((info, predictor)) => {
+                    println!("version:    v{:06}", info.meta.version);
+                    println!("path:       {}", info.path.display());
+                    println!("kind:       {}", info.meta.kind);
+                    println!("train rows: {}", info.meta.train_rows);
+                    println!("note:       {}", info.meta.note);
+                    println!("checksum:   {:016x}", info.checksum);
+                    println!("features:   {}", predictor.feature_names.len());
+                    println!(
+                        "pinned:     {}",
+                        if store.pinned() == Some(v) {
+                            "yes"
+                        } else {
+                            "no"
+                        }
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("models: {e}");
+                    ExitCode::from(EXIT_MODELSTORE)
+                }
+            }
+        }
+        "pin" => {
+            let Some(v) = version_arg() else {
+                eprintln!("models pin needs a version number");
+                return ExitCode::from(EXIT_USAGE);
+            };
+            match store.pin(v) {
+                Ok(()) => {
+                    println!("pinned v{v} — cold starts serve it until unpin/rollback");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("models: {e}");
+                    ExitCode::from(EXIT_MODELSTORE)
+                }
+            }
+        }
+        "unpin" => {
+            store.unpin();
+            println!("unpinned — cold starts return to the newest valid snapshot");
+            ExitCode::SUCCESS
+        }
+        "rollback" => match store.demote_latest() {
+            Ok((demoted, now_newest)) => {
+                match now_newest {
+                    Some(v) => println!("demoted v{demoted}; newest valid is now v{v}"),
+                    None => println!("demoted v{demoted}; store is now empty"),
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("models: {e}");
+                ExitCode::from(EXIT_MODELSTORE)
+            }
+        },
+        other => {
+            eprintln!(
+                "unknown models action `{other}` (list | inspect V | pin V | unpin | rollback)"
+            );
+            ExitCode::from(EXIT_USAGE)
+        }
+    }
 }
 
 /// Parse a non-negative integer out of a snapshot `Value`.
@@ -1079,6 +1331,52 @@ fn cmd_stats_check(file: &str) -> ExitCode {
     if let Some(appends) = counter("journal.appends") {
         if appends < counter("journal.computed").unwrap_or(0) {
             eprintln!("stats-check: invariant violated: journal.appends < journal.computed");
+            failures += 1;
+        }
+    }
+    // every scanned snapshot is either loaded or quarantined — the store
+    // validates exclusively inside scan(), so the split is exhaustive
+    if let Some(scanned) = counter("modelstore.snapshots.scanned") {
+        let resolved = counter("modelstore.snapshots.loaded").unwrap_or(0)
+            + counter("modelstore.snapshots.quarantined").unwrap_or(0);
+        check(
+            &mut failures,
+            "loaded+quarantined == modelstore.snapshots.scanned",
+            resolved,
+            scanned,
+        );
+    }
+    // lifecycle: every retrain that reaches the shadow gate is promoted
+    // or rejected, never both; cycles skipped for lack of data or lost
+    // races don't reach the gate, so the sum is bounded by retrains
+    if let Some(retrains) = counter("lifecycle.retrains") {
+        let gated = counter("lifecycle.promotions").unwrap_or(0)
+            + counter("lifecycle.rejections").unwrap_or(0);
+        if gated > retrains {
+            eprintln!(
+                "stats-check: invariant violated: lifecycle.promotions + rejections > retrains"
+            );
+            failures += 1;
+        }
+        // a shadow evaluation precedes every gate decision
+        if gated > counter("lifecycle.shadow.evals").unwrap_or(0) {
+            eprintln!("stats-check: invariant violated: gate decisions > lifecycle.shadow.evals");
+            failures += 1;
+        }
+    }
+    // a rollback only ever follows a drift trip
+    if counter("lifecycle.rollbacks").unwrap_or(0) > counter("lifecycle.drift.trips").unwrap_or(0) {
+        eprintln!("stats-check: invariant violated: lifecycle.rollbacks > lifecycle.drift.trips");
+        failures += 1;
+    }
+    // every promotion that has a store attached writes a snapshot (and
+    // cold-start training writes one too), so written >= promotions
+    // whenever a store was in play
+    if let Some(written) = counter("modelstore.snapshots.written") {
+        if counter("lifecycle.promotions").unwrap_or(0) > written {
+            eprintln!(
+                "stats-check: invariant violated: lifecycle.promotions > modelstore.snapshots.written"
+            );
             failures += 1;
         }
     }
@@ -1236,6 +1534,10 @@ fn main() -> ExitCode {
         Some("serve") => {
             let rest: Vec<&str> = it.collect();
             return cmd_serve(&rest);
+        }
+        Some("models") => {
+            let rest: Vec<&str> = it.collect();
+            return cmd_models(&rest);
         }
         Some("stats-check") => match it.next() {
             Some(f) => return cmd_stats_check(f),

@@ -3,7 +3,8 @@
 //! branch on `$?` instead of scraping stderr. One test per code.
 //!
 //! 0 success | 1 failure | 2 usage/config | 3 overloaded |
-//! 4 deadline exceeded | 5 corrupt cache/journal | 6 server bind error
+//! 4 deadline exceeded | 5 corrupt cache/journal | 6 server bind error |
+//! 7 model store init failure
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -116,6 +117,53 @@ fn serve_metrics_without_socket_is_usage_error() {
         exit_code(cnnperf().args(["serve", "--metrics", "127.0.0.1:9095"])),
         2
     );
+}
+
+#[test]
+fn serve_unusable_model_dir_exits_7() {
+    // a path under a file cannot become a directory, so store init fails
+    let blocker = scratch("modelstore-blocker");
+    std::fs::write(&blocker, "not a directory").expect("write blocker");
+    let dir = blocker.join("store");
+    let code =
+        exit_code(cnnperf().args(["serve", "--model-dir", dir.to_str().expect("utf8 path")]));
+    let _ = std::fs::remove_file(&blocker);
+    assert_eq!(code, 7);
+}
+
+#[test]
+fn models_unusable_model_dir_exits_7() {
+    let blocker = scratch("models-blocker");
+    std::fs::write(&blocker, "not a directory").expect("write blocker");
+    let dir = blocker.join("store");
+    let code = exit_code(cnnperf().args([
+        "models",
+        "list",
+        "--model-dir",
+        dir.to_str().expect("utf8 path"),
+    ]));
+    let _ = std::fs::remove_file(&blocker);
+    assert_eq!(code, 7);
+}
+
+#[test]
+fn models_rollback_of_empty_store_exits_7() {
+    let dir = scratch("empty-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let code = exit_code(cnnperf().args([
+        "models",
+        "rollback",
+        "--model-dir",
+        dir.to_str().expect("utf8 path"),
+    ]));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(code, 7);
+}
+
+#[test]
+fn models_without_action_is_usage_error() {
+    assert_eq!(exit_code(cnnperf().args(["models"])), 2);
+    assert_eq!(exit_code(cnnperf().args(["models", "list"])), 2); // no --model-dir
 }
 
 #[test]
