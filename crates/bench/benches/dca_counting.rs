@@ -13,8 +13,9 @@
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use ptx::kernel::KernelLaunch;
 use ptx_analysis::{
-    branch_slice, count_launch, count_launch_bruteforce, count_launch_prepared, count_plan,
-    DenseProgram, ExecBudget,
+    branch_slice, compile_kernel, count_launch, count_launch_bruteforce,
+    count_launch_poly_prepared, count_launch_prepared, count_plan, count_plan_mode_budgeted,
+    CountMode, DenseProgram, ExecBudget,
 };
 use ptx_codegen::Template;
 use std::hint::black_box;
@@ -117,10 +118,176 @@ fn bench_decode_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// Compiled trip-count polynomials vs the dense interpreter, per launch,
+/// compile excluded (that is how `count_plan` amortizes it: one compile per
+/// kernel, O(launches) evaluations). The gemm showcase is where the win is
+/// largest — the interpreter walks every inner-loop iteration, the
+/// polynomial evaluates in O(1).
+fn bench_poly_vs_interp(c: &mut Criterion) {
+    let kernel = Template::GemmTiled.build();
+    let launch = KernelLaunch {
+        kernel: 0,
+        tag: "gemm".into(),
+        grid: (256, 1, 1),
+        args: vec![0x1000, 0x2000, 0x3000, 256, 256, 1024, 64, 0, 0],
+        bytes_read: 0,
+        bytes_written: 0,
+    };
+    let budget = ExecBudget::default();
+    let program = Arc::new(DenseProgram::decode(&kernel));
+    let slice = branch_slice(&kernel);
+    let kp = compile_kernel(&program, Some(&slice)).expect("gemm compiles to a polynomial");
+
+    let mut group = c.benchmark_group("counting/poly");
+    group.bench_function("gemm_interp_launch", |b| {
+        b.iter(|| {
+            black_box(count_launch_prepared(&program, Some(&slice), &launch, &budget).unwrap())
+        })
+    });
+    group.bench_function("gemm_poly_launch", |b| {
+        b.iter(|| black_box(count_launch_poly_prepared(&kp, &launch, &budget).unwrap()))
+    });
+    group.bench_function("gemm_poly_compile", |b| {
+        b.iter(|| black_box(compile_kernel(&program, Some(&slice)).unwrap()))
+    });
+    group.finish();
+
+    // whole-plan effect on a zoo model
+    let model = cnn_ir::zoo::build("mobilenet").unwrap();
+    let plan = ptx_codegen::lower(&model, "sm_61").unwrap();
+    let mut group = c.benchmark_group("counting/poly_plan");
+    for (label, mode) in [("interp", CountMode::Interp), ("auto", CountMode::Auto)] {
+        group.bench_function(format!("mobilenet_{label}"), |b| {
+            b.iter(|| black_box(count_plan_mode_budgeted(&plan, true, &budget, mode).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// The `poly` BENCH artifact group: per-launch interpreter vs polynomial
+/// timings over representative loop-heavy launches (the kernels CNN plans
+/// are made of), with the compile cost reported separately and the median
+/// speedup as the headline number.
+fn poly_artifact_json() -> String {
+    struct Case {
+        name: &'static str,
+        template: Template,
+        grid: u32,
+        args: Vec<u64>,
+    }
+    let cases = [
+        Case {
+            name: "gemm_tiled",
+            template: Template::GemmTiled,
+            grid: 256,
+            args: vec![0x1000, 0x2000, 0x3000, 256, 256, 1024, 64, 0, 0],
+        },
+        Case {
+            name: "gemm_micro",
+            template: Template::GemmMicro,
+            grid: 64,
+            args: vec![0x1000, 0x2000, 0x3000, 127, 191, 512, 64, 96, 0x9000, 1],
+        },
+        Case {
+            name: "gemv",
+            template: Template::Gemv,
+            grid: 4,
+            args: vec![0x1000, 0x2000, 0x3000, 512, 4096, 0x9000, 1],
+        },
+        Case {
+            name: "im2col",
+            template: Template::Im2col,
+            grid: 19,
+            args: vec![0x1000, 0x2000, 4704, 27, 3, 6, 56, 56, 3, 2, 2, 1, 1, 112],
+        },
+        Case {
+            name: "relu_guard",
+            template: Template::ActRelu,
+            grid: 391,
+            args: vec![0x1000, 0x2000, 100_000],
+        },
+    ];
+
+    const ITERS: u32 = 200;
+    let budget = ExecBudget::default();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for case in &cases {
+        let kernel = case.template.build();
+        let launch = KernelLaunch {
+            kernel: 0,
+            tag: "bench".into(),
+            grid: (case.grid, 1, 1),
+            args: case.args.clone(),
+            bytes_read: 0,
+            bytes_written: 0,
+        };
+        let program = Arc::new(DenseProgram::decode(&kernel));
+        let slice = branch_slice(&kernel);
+        let tc = std::time::Instant::now();
+        let compiled = compile_kernel(&program, Some(&slice));
+        let compile_s = tc.elapsed().as_secs_f64();
+        let kp = match compiled {
+            Ok(kp) => kp,
+            Err(reason) => {
+                rows.push(format!(
+                    "{{\"launch\":\"{}\",\"poly\":\"fallback\",\"reason\":\"{reason}\"}}",
+                    case.name
+                ));
+                continue;
+            }
+        };
+
+        let t0 = std::time::Instant::now();
+        for _ in 0..ITERS {
+            black_box(count_launch_prepared(&program, Some(&slice), &launch, &budget).unwrap());
+        }
+        let interp_s = t0.elapsed().as_secs_f64() / ITERS as f64;
+        let t1 = std::time::Instant::now();
+        for _ in 0..ITERS {
+            black_box(count_launch_poly_prepared(&kp, &launch, &budget).unwrap());
+        }
+        let poly_s = t1.elapsed().as_secs_f64() / ITERS as f64;
+        let speedup = interp_s / poly_s.max(1e-12);
+        speedups.push(speedup);
+        rows.push(format!(
+            concat!(
+                "{{\"launch\":\"{name}\",\"interp_seconds\":{i:.9},",
+                "\"poly_seconds\":{p:.9},\"compile_seconds\":{c:.9},",
+                "\"speedup\":{s:.2}}}"
+            ),
+            name = case.name,
+            i = interp_s,
+            p = poly_s,
+            c = compile_s,
+            s = speedup,
+        ));
+    }
+    speedups.sort_by(|a, b| a.total_cmp(b));
+    let median = if speedups.is_empty() {
+        0.0
+    } else {
+        speedups[speedups.len() / 2]
+    };
+    eprintln!(
+        "BENCH dca_poly_counting: median per-launch speedup {median:.1}x over {} launches",
+        speedups.len()
+    );
+    format!(
+        concat!(
+            "{{\"bench\":\"dca_poly_counting\",\"iterations\":{iters},",
+            "\"launches\":[{rows}],\"median_speedup\":{m:.2}}}"
+        ),
+        iters = ITERS,
+        rows = rows.join(","),
+        m = median,
+    )
+}
+
 /// Instant-based measurement behind the BENCH json artifact: the same
 /// decode-per-count vs shared-program comparison as the criterion group,
 /// plus the decode counter deltas proving the reuse.
-fn emit_decode_reuse_artifact() {
+fn decode_reuse_json() -> String {
     let kernel = Template::GemmTiled.build();
     let launch = KernelLaunch {
         kernel: 0,
@@ -169,15 +336,23 @@ fn emit_decode_reuse_artifact() {
         bd = shared_decodes,
         s = speedup,
     );
+    eprintln!(
+        "BENCH dca_decode_reuse: per-count {per_count_s:.3}s ({per_count_decodes} decodes) \
+         vs shared {shared_s:.3}s ({shared_decodes} decodes), {speedup:.2}x"
+    );
+    json
+}
+
+/// Write the BENCH artifact: one JSON object per line, `dca_decode_reuse`
+/// then `dca_poly_counting` (the `poly` group).
+fn emit_artifacts() {
+    let decode = decode_reuse_json();
+    let poly = poly_artifact_json();
     let dir = cnnperf_bench::figures_dir();
     let _ = std::fs::create_dir_all(&dir);
     let path = dir.join("dca_counting.bench.json");
-    let _ = std::fs::write(&path, format!("{json}\n"));
-    eprintln!(
-        "BENCH dca_decode_reuse: per-count {per_count_s:.3}s ({per_count_decodes} decodes) \
-         vs shared {shared_s:.3}s ({shared_decodes} decodes), {speedup:.2}x -> {}",
-        path.display()
-    );
+    let _ = std::fs::write(&path, format!("{decode}\n{poly}\n"));
+    eprintln!("BENCH artifact -> {}", path.display());
     let sidecar = cnnperf_bench::write_stats_sidecar("dca_counting");
     eprintln!("BENCH stats sidecar: {}", sidecar.display());
 }
@@ -187,10 +362,11 @@ criterion_group!(
     bench_splitting_vs_bruteforce,
     bench_slice_ablation,
     bench_plan_counting,
-    bench_decode_reuse
+    bench_decode_reuse,
+    bench_poly_vs_interp
 );
 
 fn main() {
     benches();
-    emit_decode_reuse_artifact();
+    emit_artifacts();
 }

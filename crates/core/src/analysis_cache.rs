@@ -21,10 +21,10 @@
 //! the cache lock: a slow DCA never blocks concurrent lookups of other
 //! models.
 
-use crate::features::{profile_model_with_target, CnnProfile, ProfileError};
+use crate::features::{profile_model_report, CnnProfile, ProfileError};
 use cnn_ir::{ModelGraph, ModelSummary};
 use ptx::kernel::LaunchPlan;
-use ptx_analysis::{ExecBudget, PlanCount};
+use ptx_analysis::{CountingReport, ExecBudget, PlanCount};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -50,6 +50,10 @@ pub struct AnalyzedModel {
     pub plan: LaunchPlan,
     pub counts: PlanCount,
     pub summary: ModelSummary,
+    /// Which counting tier produced `counts` (poly vs interpreter) and how
+    /// often the poly tier deferred — provenance for diagnostics; the
+    /// counts themselves are mode-invariant.
+    pub counting: CountingReport,
 }
 
 struct Entry {
@@ -116,12 +120,13 @@ pub fn analyze_cached(
     }
     CACHE_MISSES.inc();
 
-    let (profile, plan, counts, summary) = profile_model_with_target(model, target, budget)?;
+    let (profile, plan, counts, summary, counting) = profile_model_report(model, target, budget)?;
     let value = Arc::new(AnalyzedModel {
         profile,
         plan,
         counts,
         summary,
+        counting,
     });
 
     let mut inner = lock();
@@ -224,6 +229,19 @@ mod tests {
         assert_eq!(b.plan.module.target, "sm_70");
         // counts are target-independent even though the plans differ
         assert_eq!(a.counts.thread_instructions, b.counts.thread_instructions);
+    }
+
+    #[test]
+    fn cached_analysis_carries_counting_provenance() {
+        let model = cnn_ir::zoo::build("mobilenet").unwrap();
+        let a = profile_model_cached(&model).unwrap();
+        let c = &a.counting;
+        assert!(c.kernels > 0);
+        assert!(c.unique_launches > 0);
+        // the default (auto) mode consults the poly tier for every kernel:
+        // each one either compiled or was explicitly rejected
+        assert_eq!(c.mode, ptx_analysis::CountMode::Auto);
+        assert_eq!(c.poly_compiled + c.poly_rejected, c.kernels);
     }
 
     #[test]

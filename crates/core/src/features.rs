@@ -5,7 +5,7 @@
 use cnn_ir::{GraphError, ModelGraph, ModelSummary};
 use gpu_sim::{DeviceSpec, ProfileFault};
 use ptx::kernel::LaunchPlan;
-use ptx_analysis::{ExecError, PlanCount};
+use ptx_analysis::{CountingReport, ExecError, PlanCount};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -123,10 +123,36 @@ pub fn profile_model_with_target(
     target: &str,
     budget: &ptx_analysis::ExecBudget,
 ) -> Result<(CnnProfile, LaunchPlan, PlanCount, ModelSummary), ProfileError> {
+    profile_model_report(model, target, budget).map(|(p, plan, c, s, _)| (p, plan, c, s))
+}
+
+/// [`profile_model_with_target`] plus the [`CountingReport`] describing
+/// which counting tier the DCA ran on (compiled trip-count polynomials vs
+/// the dense interpreter) — the provenance the analysis cache stores
+/// alongside each [`AnalyzedModel`](crate::analysis_cache::AnalyzedModel).
+pub fn profile_model_report(
+    model: &ModelGraph,
+    target: &str,
+    budget: &ptx_analysis::ExecBudget,
+) -> Result<
+    (
+        CnnProfile,
+        LaunchPlan,
+        PlanCount,
+        ModelSummary,
+        CountingReport,
+    ),
+    ProfileError,
+> {
     let summary = cnn_ir::analyze(model)?;
     let t0 = std::time::Instant::now();
     let plan = ptx_codegen::lower(model, target)?;
-    let counts = ptx_analysis::count_plan_budgeted(&plan, true, budget)?;
+    let (counts, counting) = ptx_analysis::count_plan_report_budgeted(
+        &plan,
+        true,
+        budget,
+        ptx_analysis::default_count_mode(),
+    )?;
     let dca_seconds = t0.elapsed().as_secs_f64();
     let profile = CnnProfile {
         name: model.name().to_string(),
@@ -138,7 +164,7 @@ pub fn profile_model_with_target(
         num_launches: plan.launches.len(),
         dca_seconds,
     };
-    Ok((profile, plan, counts, summary))
+    Ok((profile, plan, counts, summary, counting))
 }
 
 /// Names of the full feature vector, in order: CNN features then GPU

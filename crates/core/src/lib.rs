@@ -50,8 +50,8 @@ pub use engine::{
     EngineConfig, EstimateOutcome, OutcomeKind, ResilientEngine, Tier, TierAttempt, TierFailure,
 };
 pub use features::{
-    feature_names, feature_row, profile_model, profile_model_budgeted, profile_model_with_target,
-    CnnProfile, ProfileError, DEFAULT_SM_TARGET,
+    feature_names, feature_row, profile_model, profile_model_budgeted, profile_model_report,
+    profile_model_with_target, CnnProfile, ProfileError, DEFAULT_SM_TARGET,
 };
 pub use journal::{
     BuildMeta, CellOutcome, Journal, JournalError, JournalRecord, Replay, JOURNAL_SCHEMA,

@@ -2,8 +2,19 @@
 //! plus RMSE/MAE for completeness.
 
 /// Mean Absolute Percentage Error, in percent (the paper reports e.g.
-/// "5.73%"). Rows with `|y| < eps` are skipped to avoid division blow-ups.
+/// "5.73%"). Rows with `|y| < eps` are skipped to avoid division blow-ups;
+/// use [`mape_with_coverage`] when the caller must know how many rows the
+/// reported score actually covers.
 pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    mape_with_coverage(y_true, y_pred).0
+}
+
+/// [`mape`] plus its row coverage: `(mape, used, skipped)`. `skipped`
+/// counts the near-zero targets excluded from the mean; a score computed
+/// over a sliver of the fold can look deceptively good, so selection and
+/// CV surface (and can gate on) these counts instead of silently trusting
+/// the mean.
+pub fn mape_with_coverage(y_true: &[f64], y_pred: &[f64]) -> (f64, usize, usize) {
     assert_eq!(y_true.len(), y_pred.len());
     let eps = 1e-12;
     let mut acc = 0.0;
@@ -14,10 +25,11 @@ pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
             n += 1;
         }
     }
+    let skipped = y_true.len() - n;
     if n == 0 {
-        return f64::NAN;
+        return (f64::NAN, 0, skipped);
     }
-    100.0 * acc / n as f64
+    (100.0 * acc / n as f64, n, skipped)
 }
 
 /// Coefficient of determination. Can be negative for models worse than the
@@ -132,5 +144,30 @@ mod tests {
         let t = [0.0, 100.0];
         let p = [5.0, 110.0];
         assert!((mape(&t, &p) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_coverage_reports_skipped_rows() {
+        let t = [0.0, 100.0, 1e-15, 200.0];
+        let p = [5.0, 110.0, 3.0, 180.0];
+        let (m, used, skipped) = mape_with_coverage(&t, &p);
+        assert!((m - 10.0).abs() < 1e-9);
+        assert_eq!(used, 2);
+        assert_eq!(skipped, 2);
+        assert_eq!(m, mape(&t, &p));
+    }
+
+    #[test]
+    fn mape_coverage_all_skipped_is_nan() {
+        let (m, used, skipped) = mape_with_coverage(&[0.0, 0.0], &[1.0, 2.0]);
+        assert!(m.is_nan());
+        assert_eq!(used, 0);
+        assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn r2_constant_target_with_residual_is_neg_inf() {
+        // documented sentinel the selection layer must rank worst
+        assert_eq!(r2(&[5.0, 5.0, 5.0], &[4.0, 5.0, 6.0]), f64::NEG_INFINITY);
     }
 }

@@ -120,6 +120,12 @@ impl Model {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Scores {
     pub mape: f64,
+    /// Hold-out rows the MAPE actually covers (near-zero targets are
+    /// excluded from the mean; a low `mape_rows_used` means the headline
+    /// number describes a sliver of the fold).
+    pub mape_rows_used: usize,
+    /// Hold-out rows skipped by the MAPE for near-zero targets.
+    pub mape_rows_skipped: usize,
     pub r2: f64,
     pub adjusted_r2: f64,
     pub rmse: f64,
@@ -129,8 +135,11 @@ pub struct Scores {
 pub fn evaluate(model: &Model, test: &Dataset) -> Scores {
     let preds = model.predict(test);
     let r2 = metrics::r2(&test.y, &preds);
+    let (mape, mape_rows_used, mape_rows_skipped) = metrics::mape_with_coverage(&test.y, &preds);
     Scores {
-        mape: metrics::mape(&test.y, &preds),
+        mape,
+        mape_rows_used,
+        mape_rows_skipped,
         r2,
         adjusted_r2: metrics::adjusted_r2(r2, test.len(), test.num_features()),
         rmse: metrics::rmse(&test.y, &preds),

@@ -8,15 +8,19 @@ use crate::metrics;
 use crate::model::RegressorKind;
 use serde::{Deserialize, Serialize};
 
-/// Sort `(name, score)` pairs by score descending with NaN ranked *worst*
-/// (last). A plain `total_cmp` descending sort puts positive NaN above
-/// `+inf`, so a single undefined score (zero-variance fold, empty split)
-/// would silently win every ranking; every scorer in this module sorts
-/// through here instead.
+/// Sort `(name, score)` pairs by score descending with undefined scores
+/// ranked *worst* (last). A plain `total_cmp` descending sort puts
+/// positive NaN above `+inf`, so a single undefined score (zero-variance
+/// fold, empty split) would silently win every ranking. `-inf` is the
+/// same trap in sentinel form — `metrics::r2` returns it for a
+/// constant-target fold with nonzero residual — so both NaN and `-inf`
+/// sink to the end; every scorer in this module sorts through here
+/// instead.
 pub fn sort_scores_desc(scores: &mut [(String, f64)]) {
-    scores.sort_by(|a, b| match (a.1.is_nan(), b.1.is_nan()) {
+    let undefined = |v: f64| v.is_nan() || v == f64::NEG_INFINITY;
+    scores.sort_by(|a, b| match (undefined(a.1), undefined(b.1)) {
         (true, true) => std::cmp::Ordering::Equal,
-        (true, false) => std::cmp::Ordering::Greater, // NaN sinks to the end
+        (true, false) => std::cmp::Ordering::Greater, // undefined sinks to the end
         (false, true) => std::cmp::Ordering::Less,
         (false, false) => b.1.total_cmp(&a.1),
     });
@@ -101,12 +105,18 @@ pub fn forward_select(
             let sub = project(data, &trial);
             let (train, test) = sub.split(0.7, seed);
             let model = kind.fit(&train, seed);
-            // mape() is NaN when every target in the fold is ~0; NaN fails
-            // every `<` comparison, so left raw it could never be *beaten*
-            // once stored as the incumbent. Rank it as the worst possible
+            // mape() is NaN when every target in the fold is ~0, and any
+            // non-finite score (NaN, or an infinity leaking out of a
+            // degenerate fit) fails `<` comparisons unpredictably — once
+            // stored as the incumbent it could never be *beaten*. Rank all
+            // of them, and zero-coverage folds, as the worst possible
             // score instead.
-            let raw = metrics::mape(&test.y, &model.predict(&test));
-            let mape = if raw.is_nan() { f64::INFINITY } else { raw };
+            let (raw, used, _skipped) = metrics::mape_with_coverage(&test.y, &model.predict(&test));
+            let mape = if !raw.is_finite() || used == 0 {
+                f64::INFINITY
+            } else {
+                raw
+            };
             if best.as_ref().map(|(_, m)| mape < *m).unwrap_or(true) {
                 best = Some((cand.clone(), mape));
             }
@@ -202,6 +212,42 @@ mod tests {
             d.push(format!("r{i}"), vec![i as f64, (i % 7) as f64], 0.0);
         }
         let steps = forward_select(&d, RegressorKind::DecisionTree, 2, 42);
+        assert!(steps.is_empty(), "{steps:?}");
+    }
+
+    #[test]
+    fn neg_inf_scores_sort_last_not_among_numbers() {
+        // r2 on a constant-target fold with residual is exactly -inf;
+        // it must sink below every finite score, including negative ones
+        let mut scores = vec![
+            (
+                "constfold".into(),
+                crate::metrics::r2(&[5.0, 5.0], &[4.0, 6.0]),
+            ),
+            ("bad-but-finite".into(), -3.0),
+            ("undefined".into(), f64::NAN),
+            ("good".into(), 0.8),
+        ];
+        sort_scores_desc(&mut scores);
+        assert_eq!(scores[0].0, "good");
+        assert_eq!(scores[1].0, "bad-but-finite");
+        let tail: Vec<&str> = scores[2..].iter().map(|(n, _)| n.as_str()).collect();
+        assert!(
+            tail.contains(&"constfold") && tail.contains(&"undefined"),
+            "{scores:?}"
+        );
+    }
+
+    #[test]
+    fn forward_selection_gates_on_zero_coverage_folds() {
+        // targets are ~0 on every row: all folds have zero MAPE coverage,
+        // so selection must terminate empty rather than trust a score
+        // computed over no rows
+        let mut d = Dataset::new(vec!["f0".into(), "f1".into()]);
+        for i in 0..60 {
+            d.push(format!("r{i}"), vec![i as f64, (i % 5) as f64], 1e-14);
+        }
+        let steps = forward_select(&d, RegressorKind::DecisionTree, 2, 7);
         assert!(steps.is_empty(), "{steps:?}");
     }
 

@@ -1,19 +1,28 @@
 //! Exact executed-instruction counting for kernel launches.
 //!
-//! The counting layer runs the [`crate::exec::Machine`] on *representative
+//! The counting layer runs a per-thread evaluator on *representative
 //! threads* only. The grid is recursively split into rectangles
 //! `(block range) x (tid range)` at the breakpoints reported by affine
 //! branch predicates; within a final rectangle every thread takes the same
 //! control-flow path, so one representative's count multiplies by the
 //! rectangle's area. Typical CNN kernels need fewer than ten representative
 //! executions per launch regardless of grid size.
+//!
+//! Two evaluators share the identical splitting driver:
+//!
+//! * the [`crate::exec::Machine`] interpreter (O(steps) per representative),
+//! * the [`crate::poly`] compiled trip-count polynomials (O(1) per
+//!   representative), proven bit-identical and used whenever a kernel
+//!   compiles (see [`CountMode`]).
 
 use crate::exec::{Break, DenseProgram, ExecBudget, ExecError, Machine, ThreadOutcome, NCAT};
+use crate::poly::{compile_kernel, KernelPoly, PolyBail};
 use crate::slice::branch_slice;
 use ptx::kernel::{Kernel, KernelLaunch, LaunchPlan};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Warp width of every modeled GPU.
@@ -25,9 +34,91 @@ static COUNT_LAUNCHES: obs::LazyCounter = obs::LazyCounter::new("ptx.count.launc
 static COUNT_REPS: obs::LazyCounter = obs::LazyCounter::new("ptx.count.representatives");
 /// Uniform grid rectangles the counted launches decomposed into.
 static COUNT_PIECES: obs::LazyCounter = obs::LazyCounter::new("ptx.count.pieces");
+/// Representative threads evaluated through a compiled polynomial.
+static POLY_EVALS: obs::LazyCounter = obs::LazyCounter::new("ptx.poly.evals");
+/// Launches that started on the poly tier but re-ran on the interpreter
+/// (evaluation-time range/overflow refusals; compile-time refusals are
+/// `ptx.poly.fallbacks`).
+static POLY_EVAL_FALLBACKS: obs::LazyCounter = obs::LazyCounter::new("ptx.poly.eval_fallbacks");
+
+/// How `count_launch`/`count_plan` evaluate representative threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CountMode {
+    /// Compile to trip-count polynomials; fall back to the interpreter
+    /// per kernel (compile refusal) or per launch (evaluation refusal).
+    Auto,
+    /// Polynomials only: a refusal becomes `ExecError::Unlaunchable`
+    /// with a `poly:`-prefixed reason (test/diagnostic mode).
+    Poly,
+    /// Dense interpreter only (the pre-poly behavior).
+    Interp,
+    /// Execute every thread (validation reference; exponentially slower).
+    Bruteforce,
+}
+
+impl CountMode {
+    fn as_u8(self) -> u8 {
+        match self {
+            CountMode::Auto => 0,
+            CountMode::Poly => 1,
+            CountMode::Interp => 2,
+            CountMode::Bruteforce => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => CountMode::Poly,
+            2 => CountMode::Interp,
+            3 => CountMode::Bruteforce,
+            _ => CountMode::Auto,
+        }
+    }
+}
+
+impl std::str::FromStr for CountMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(CountMode::Auto),
+            "poly" => Ok(CountMode::Poly),
+            "interp" => Ok(CountMode::Interp),
+            "bruteforce" => Ok(CountMode::Bruteforce),
+            other => Err(format!(
+                "unknown count mode '{other}' (expected auto|poly|interp|bruteforce)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for CountMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CountMode::Auto => "auto",
+            CountMode::Poly => "poly",
+            CountMode::Interp => "interp",
+            CountMode::Bruteforce => "bruteforce",
+        })
+    }
+}
+
+static DEFAULT_COUNT_MODE: AtomicU8 = AtomicU8::new(0); // Auto
+
+/// Set the process-wide default [`CountMode`] used by the non-`_mode`
+/// counting entry points (and therefore by every engine tier and corpus
+/// build that doesn't pass a mode explicitly).
+pub fn set_default_count_mode(mode: CountMode) {
+    DEFAULT_COUNT_MODE.store(mode.as_u8(), Ordering::Relaxed);
+}
+
+/// The process-wide default [`CountMode`].
+pub fn default_count_mode() -> CountMode {
+    CountMode::from_u8(DEFAULT_COUNT_MODE.load(Ordering::Relaxed))
+}
 
 /// Exact instruction statistics for one kernel launch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LaunchCount {
     pub threads: u64,
     /// Per-thread executed instructions summed over all threads (the
@@ -46,12 +137,33 @@ pub struct LaunchCount {
 }
 
 /// Counting statistics for a whole launch plan.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlanCount {
     pub per_launch: Vec<LaunchCount>,
     pub thread_instructions: u64,
     pub warp_issues: u64,
     pub by_category: [u64; NCAT],
+}
+
+/// How a plan was counted: which tier did the work and how often the poly
+/// tier deferred. Deliberately *not* part of [`PlanCount`] — counts are
+/// bit-identical across modes (the equivalence suite asserts it), so the
+/// mode story rides alongside, never inside, the numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountingReport {
+    pub mode: CountMode,
+    /// Distinct kernels the plan references.
+    pub kernels: u32,
+    /// Kernels that compiled to a trip-count polynomial (0 unless the
+    /// mode consults the poly tier).
+    pub poly_compiled: u32,
+    /// Kernels the poly compiler refused (counted on the interpreter).
+    pub poly_rejected: u32,
+    /// Unique launches whose poly evaluation deferred to the interpreter
+    /// at evaluation time (range/overflow refusals).
+    pub poly_eval_fallbacks: u32,
+    /// Unique `(kernel, grid, args)` signatures actually evaluated.
+    pub unique_launches: u32,
 }
 
 /// One uniform rectangle of the launch grid.
@@ -64,14 +176,29 @@ struct Rect {
 }
 
 impl Rect {
-    fn area(&self) -> u64 {
-        (self.b1 - self.b0) * (self.t1 - self.t0) as u64
+    /// `None` when the thread count itself overflows `u64` (degenerate
+    /// hostile launches; surfaced as [`ExecError::CountOverflow`]).
+    fn area(&self) -> Option<u64> {
+        (self.b1 - self.b0).checked_mul((self.t1 - self.t0) as u64)
+    }
+}
+
+/// Internal evaluator error: a real execution error, or a poly-tier
+/// "this launch needs the interpreter" refusal.
+enum RunErr {
+    Exec(ExecError),
+    Unsupported(&'static str),
+}
+
+impl From<ExecError> for RunErr {
+    fn from(e: ExecError) -> Self {
+        RunErr::Exec(e)
     }
 }
 
 /// Count one launch exactly. `use_slice` enables slice-mode execution (the
 /// paper's `G_v*` optimization; results are identical, evaluation is
-/// cheaper).
+/// cheaper). Uses the process-wide default [`CountMode`].
 pub fn count_launch(
     kernel: &Kernel,
     launch: &KernelLaunch,
@@ -88,13 +215,53 @@ pub fn count_launch_budgeted(
     use_slice: bool,
     budget: &ExecBudget,
 ) -> Result<LaunchCount, ExecError> {
-    let program = Arc::new(DenseProgram::decode(kernel));
-    let slice = use_slice.then(|| branch_slice(kernel));
-    count_launch_prepared(&program, slice.as_ref(), launch, budget)
+    count_launch_mode(kernel, launch, use_slice, budget, default_count_mode())
 }
 
-/// [`count_launch_budgeted`] over an already-decoded kernel. The counting
-/// layer's grid-rectangle re-runs all execute the shared [`DenseProgram`];
+/// [`count_launch_budgeted`] with an explicit [`CountMode`].
+pub fn count_launch_mode(
+    kernel: &Kernel,
+    launch: &KernelLaunch,
+    use_slice: bool,
+    budget: &ExecBudget,
+    mode: CountMode,
+) -> Result<LaunchCount, ExecError> {
+    if mode == CountMode::Bruteforce {
+        return count_launch_bruteforce(kernel, launch);
+    }
+    let program = Arc::new(DenseProgram::decode(kernel));
+    let slice = use_slice.then(|| branch_slice(kernel));
+    match mode {
+        CountMode::Interp => count_launch_prepared(&program, slice.as_ref(), launch, budget),
+        CountMode::Auto => match compile_kernel(&program, slice.as_ref()) {
+            Ok(kp) => match count_launch_poly_prepared(&kp, launch, budget) {
+                Ok(lc) => Ok(lc),
+                Err(PolyBail::Exec(e)) => Err(e),
+                Err(PolyBail::Unsupported(_)) => {
+                    POLY_EVAL_FALLBACKS.inc();
+                    count_launch_prepared(&program, slice.as_ref(), launch, budget)
+                }
+            },
+            Err(_) => count_launch_prepared(&program, slice.as_ref(), launch, budget),
+        },
+        CountMode::Poly => {
+            let unl = |reason: &str| ExecError::Unlaunchable {
+                kernel: program.kernel_name().to_string(),
+                reason: format!("poly: {reason}"),
+            };
+            let kp = compile_kernel(&program, slice.as_ref()).map_err(&unl)?;
+            count_launch_poly_prepared(&kp, launch, budget).map_err(|e| match e {
+                PolyBail::Exec(e) => e,
+                PolyBail::Unsupported(r) => unl(r),
+            })
+        }
+        CountMode::Bruteforce => unreachable!("handled above"),
+    }
+}
+
+/// [`count_launch_budgeted`] over an already-decoded kernel, always on
+/// the dense interpreter (the counting layer's `interp` tier). The
+/// grid-rectangle re-runs all execute the shared [`DenseProgram`];
 /// [`count_plan_budgeted`] uses this to decode (and slice) each kernel of a
 /// plan exactly once across all of its launches.
 pub fn count_launch_prepared(
@@ -110,7 +277,54 @@ pub fn count_launch_prepared(
     if let Some(s) = slice {
         machine = machine.with_slice(s.clone());
     }
+    let run = |b: u64, t: u32| machine.run(b, t).map_err(RunErr::Exec);
+    match count_launch_rects(run, program.kernel_name(), nblocks, ntid, budget) {
+        Ok(lc) => Ok(lc),
+        Err(RunErr::Exec(e)) => Err(e),
+        Err(RunErr::Unsupported(_)) => unreachable!("interpreter never defers"),
+    }
+}
 
+/// Count one launch through a compiled [`KernelPoly`], sharing the exact
+/// splitting driver with the interpreter path. `Unsupported` means this
+/// launch must re-run on the interpreter (counts would not be provably
+/// identical); `Exec` errors carry interpreter-identical payloads.
+pub fn count_launch_poly_prepared(
+    kp: &KernelPoly,
+    launch: &KernelLaunch,
+    budget: &ExecBudget,
+) -> Result<LaunchCount, PolyBail> {
+    let nblocks = launch.blocks();
+    let ntid = kp.ntid();
+    let max_steps = budget.max_steps();
+    let run = |b: u64, t: u32| {
+        POLY_EVALS.inc();
+        kp.eval_thread(nblocks, b, t, &launch.args, max_steps)
+            .map_err(|e| match e {
+                PolyBail::Exec(x) => RunErr::Exec(x),
+                PolyBail::Unsupported(r) => RunErr::Unsupported(r),
+            })
+    };
+    match count_launch_rects(run, kp.kernel_name(), nblocks, ntid, budget) {
+        Ok(lc) => Ok(lc),
+        Err(RunErr::Exec(e)) => Err(PolyBail::Exec(e)),
+        Err(RunErr::Unsupported(r)) => Err(PolyBail::Unsupported(r)),
+    }
+}
+
+/// The shared grid-splitting driver: evaluate representative threads via
+/// `run`, split at reported breakpoints, and accumulate exact totals with
+/// overflow-checked arithmetic.
+fn count_launch_rects<F>(
+    mut run: F,
+    kernel_name: &str,
+    nblocks: u64,
+    ntid: u32,
+    budget: &ExecBudget,
+) -> Result<LaunchCount, RunErr>
+where
+    F: FnMut(u64, u32) -> Result<ThreadOutcome, RunErr>,
+{
     let mut work = vec![Rect {
         b0: 0,
         b1: nblocks,
@@ -119,7 +333,7 @@ pub fn count_launch_prepared(
     }];
     let mut finals: Vec<(Rect, ThreadOutcome)> = Vec::new();
     let mut reps = 0u32;
-    // interpreter steps across all representative runs so far: lets a
+    // evaluator steps across all representative runs so far: lets a
     // cancellation report where in the whole launch count it landed
     let mut steps_done = 0u64;
     // safety valve: pathological kernels could split forever
@@ -131,22 +345,24 @@ pub fn count_launch_prepared(
         // between rectangles, so the worst-case observation latency stays
         // one interval regardless of how many representatives run
         if budget.cancelled() {
-            return Err(ExecError::Cancelled {
-                kernel: program.kernel_name().to_string(),
+            return Err(RunErr::Exec(ExecError::Cancelled {
+                kernel: kernel_name.to_string(),
                 step: steps_done,
-            });
+            }));
         }
         if finals.len() + work.len() > MAX_PIECES {
-            return Err(ExecError::SplitBudget {
+            return Err(RunErr::Exec(ExecError::SplitBudget {
                 limit: MAX_PIECES as u64,
-                kernel: program.kernel_name().to_string(),
-            });
+                kernel: kernel_name.to_string(),
+            }));
         }
-        let outcome = machine.run(r.b0, r.t0).map_err(|e| match e {
-            ExecError::Cancelled { kernel, step } => ExecError::Cancelled {
-                kernel,
-                step: steps_done + step,
-            },
+        let outcome = run(r.b0, r.t0).map_err(|e| match e {
+            RunErr::Exec(ExecError::Cancelled { kernel, step }) => {
+                RunErr::Exec(ExecError::Cancelled {
+                    kernel,
+                    step: steps_done + step,
+                })
+            }
             other => other,
         })?;
         steps_done += outcome.count;
@@ -209,24 +425,38 @@ pub fn count_launch_prepared(
         }
     }
 
-    // accumulate thread-level totals
+    // accumulate thread-level totals; a hostile/degenerate launch whose
+    // `area * count` wraps u64 must surface a typed error, never a small
+    // wrapped count
+    let overflow = || {
+        RunErr::Exec(ExecError::CountOverflow {
+            kernel: kernel_name.to_string(),
+        })
+    };
     let mut thread_instructions = 0u64;
     let mut by_category = [0u64; NCAT];
     for (r, o) in &finals {
-        let area = r.area();
-        thread_instructions += area * o.count;
+        let area = r.area().ok_or_else(overflow)?;
+        thread_instructions = area
+            .checked_mul(o.count)
+            .and_then(|x| thread_instructions.checked_add(x))
+            .ok_or_else(overflow)?;
         for (acc, v) in by_category.iter_mut().zip(&o.by_cat) {
-            *acc += area * v;
+            *acc = area
+                .checked_mul(*v)
+                .and_then(|x| acc.checked_add(x))
+                .ok_or_else(overflow)?;
         }
     }
 
-    let warp_issues = warp_issue_total(&finals, nblocks, ntid);
+    let warp_issues = warp_issue_total(&finals, nblocks, ntid).ok_or_else(overflow)?;
+    let threads = nblocks.checked_mul(ntid as u64).ok_or_else(overflow)?;
 
     COUNT_LAUNCHES.inc();
     COUNT_REPS.add(reps as u64);
     COUNT_PIECES.add(finals.len() as u64);
     Ok(LaunchCount {
-        threads: nblocks * ntid as u64,
+        threads,
         thread_instructions,
         warp_issues,
         by_category,
@@ -237,7 +467,9 @@ pub fn count_launch_prepared(
 
 /// Warp-level issue total: per warp, the maximum per-thread path length
 /// among the rectangles covering it, summed over all warps of all blocks.
-fn warp_issue_total(finals: &[(Rect, ThreadOutcome)], nblocks: u64, ntid: u32) -> u64 {
+/// `None` on `u64` overflow (surfaced by the caller as
+/// [`ExecError::CountOverflow`]).
+fn warp_issue_total(finals: &[(Rect, ThreadOutcome)], nblocks: u64, ntid: u32) -> Option<u64> {
     // global boundary grid
     let mut bbs: Vec<u64> = vec![0, nblocks];
     let mut tbs: Vec<u32> = vec![0, ntid];
@@ -284,12 +516,14 @@ fn warp_issue_total(finals: &[(Rect, ThreadOutcome)], nblocks: u64, ntid: u32) -
                     mx = mx.max(count_at(b0, t0));
                 }
             }
-            stripe += mx;
+            stripe = stripe.checked_add(mx)?;
             w0 = w1;
         }
-        total += stripe * (b1 - b0);
+        total = stripe
+            .checked_mul(b1 - b0)
+            .and_then(|x| total.checked_add(x))?;
     }
-    total
+    Some(total)
 }
 
 /// Reference counter: executes *every* thread. Exponentially slower; used
@@ -330,7 +564,8 @@ pub fn count_launch_bruteforce(
 }
 
 /// Count a whole launch plan, in parallel over distinct `(kernel, args)`
-/// signatures (repeated layers hit the memo table).
+/// signatures (repeated layers hit the memo table). Uses the process-wide
+/// default [`CountMode`].
 pub fn count_plan(plan: &LaunchPlan, use_slice: bool) -> Result<PlanCount, ExecError> {
     count_plan_budgeted(plan, use_slice, &ExecBudget::default())
 }
@@ -342,6 +577,17 @@ pub fn count_plan_budgeted(
     use_slice: bool,
     budget: &ExecBudget,
 ) -> Result<PlanCount, ExecError> {
+    count_plan_mode_budgeted(plan, use_slice, budget, default_count_mode())
+}
+
+/// [`count_plan_mode_budgeted`] plus a [`CountingReport`] describing which
+/// tier did the work (the `PlanCount` itself is mode-invariant).
+pub fn count_plan_report_budgeted(
+    plan: &LaunchPlan,
+    use_slice: bool,
+    budget: &ExecBudget,
+    mode: CountMode,
+) -> Result<(PlanCount, CountingReport), ExecError> {
     // memoize by (kernel index, grid, args)
     type Key = (usize, u32, Vec<u64>);
     let mut keys: Vec<Key> = Vec::new();
@@ -356,18 +602,40 @@ pub fn count_plan_budgeted(
         key_of.push(id);
     }
 
-    // decode (and slice) each referenced kernel exactly once; every unique
-    // launch of that kernel shares the dense program
-    let mut prepared: HashMap<usize, (Arc<DenseProgram>, Option<HashSet<usize>>)> = HashMap::new();
+    struct Prep {
+        program: Arc<DenseProgram>,
+        slice: Option<HashSet<usize>>,
+        /// `None` when the mode never consults the poly tier.
+        poly: Option<Result<KernelPoly, &'static str>>,
+    }
+
+    // decode (and slice, and poly-compile) each referenced kernel exactly
+    // once; every unique launch of that kernel shares the prepared state
+    let mut prepared: HashMap<usize, Prep> = HashMap::new();
     for (kidx, _, _) in &keys {
         prepared.entry(*kidx).or_insert_with(|| {
             let kernel = &plan.module.kernels[*kidx];
-            (
-                Arc::new(DenseProgram::decode(kernel)),
-                use_slice.then(|| branch_slice(kernel)),
-            )
+            let program = Arc::new(DenseProgram::decode(kernel));
+            let slice = use_slice.then(|| branch_slice(kernel));
+            let poly = matches!(mode, CountMode::Auto | CountMode::Poly)
+                .then(|| compile_kernel(&program, slice.as_ref()));
+            Prep {
+                program,
+                slice,
+                poly,
+            }
         });
     }
+
+    let poly_compiled = prepared
+        .values()
+        .filter(|p| matches!(p.poly, Some(Ok(_))))
+        .count() as u32;
+    let poly_rejected = prepared
+        .values()
+        .filter(|p| matches!(p.poly, Some(Err(_))))
+        .count() as u32;
+    let eval_fallbacks = std::sync::atomic::AtomicU32::new(0);
 
     let uniques: Result<Vec<LaunchCount>, ExecError> = keys
         .par_iter()
@@ -380,8 +648,30 @@ pub fn count_plan_budgeted(
                 bytes_read: 0,
                 bytes_written: 0,
             };
-            let (program, slice) = &prepared[kidx];
-            count_launch_prepared(program, slice.as_ref(), &launch, budget)
+            let prep = &prepared[kidx];
+            let unl = |reason: &str| ExecError::Unlaunchable {
+                kernel: prep.program.kernel_name().to_string(),
+                reason: format!("poly: {reason}"),
+            };
+            if mode == CountMode::Bruteforce {
+                return count_launch_bruteforce(&plan.module.kernels[*kidx], &launch);
+            }
+            match &prep.poly {
+                Some(Ok(kp)) => match count_launch_poly_prepared(kp, &launch, budget) {
+                    Ok(lc) => Ok(lc),
+                    Err(PolyBail::Exec(e)) => Err(e),
+                    Err(PolyBail::Unsupported(r)) => {
+                        POLY_EVAL_FALLBACKS.inc();
+                        eval_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        if mode == CountMode::Poly {
+                            return Err(unl(r));
+                        }
+                        count_launch_prepared(&prep.program, prep.slice.as_ref(), &launch, budget)
+                    }
+                },
+                Some(Err(r)) if mode == CountMode::Poly => Err(unl(r)),
+                _ => count_launch_prepared(&prep.program, prep.slice.as_ref(), &launch, budget),
+            }
         })
         .collect();
     let uniques = uniques?;
@@ -397,12 +687,35 @@ pub fn count_plan_budgeted(
             *acc += v;
         }
     }
-    Ok(PlanCount {
-        per_launch,
-        thread_instructions,
-        warp_issues,
-        by_category,
-    })
+    let report = CountingReport {
+        mode,
+        kernels: prepared.len() as u32,
+        poly_compiled,
+        poly_rejected,
+        poly_eval_fallbacks: eval_fallbacks.into_inner(),
+        unique_launches: keys.len() as u32,
+    };
+    Ok((
+        PlanCount {
+            per_launch,
+            thread_instructions,
+            warp_issues,
+            by_category,
+        },
+        report,
+    ))
+}
+
+/// [`count_plan_budgeted`] with an explicit [`CountMode`]. Each referenced
+/// kernel is decoded, sliced and poly-compiled exactly once; every unique
+/// launch of that kernel shares the prepared artifacts.
+pub fn count_plan_mode_budgeted(
+    plan: &LaunchPlan,
+    use_slice: bool,
+    budget: &ExecBudget,
+    mode: CountMode,
+) -> Result<PlanCount, ExecError> {
+    count_plan_report_budgeted(plan, use_slice, budget, mode).map(|(pc, _)| pc)
 }
 
 #[cfg(test)]
@@ -435,6 +748,22 @@ mod tests {
             bytes_read: 0,
             bytes_written: 0,
         }
+    }
+
+    fn loop_kernel(block: u32) -> Kernel {
+        let mut kb = KernelBuilder::new("k", block);
+        let p_n = kb.param("n", Type::U32);
+        let p_trip = kb.param("trip", Type::U32);
+        let n = kb.ld_param(&p_n, Type::U32);
+        let trip = kb.ld_param(&p_trip, Type::U32);
+        let (_gid, exit) = kb.guard_gid(n);
+        kb.counted_loop(trip, |kb, _| {
+            let f = kb.f();
+            kb.mov(Type::F32, f, Operand::ImmF(1.0));
+        });
+        kb.place_label(exit);
+        kb.ret();
+        kb.finish()
     }
 
     #[test]
@@ -487,24 +816,94 @@ mod tests {
 
     #[test]
     fn loop_kernel_matches_bruteforce() {
-        let mut kb = KernelBuilder::new("k", 32);
-        let p_n = kb.param("n", Type::U32);
-        let p_trip = kb.param("trip", Type::U32);
-        let n = kb.ld_param(&p_n, Type::U32);
-        let trip = kb.ld_param(&p_trip, Type::U32);
-        let (_gid, exit) = kb.guard_gid(n);
-        kb.counted_loop(trip, |kb, _| {
-            let f = kb.f();
-            kb.mov(Type::F32, f, Operand::ImmF(1.0));
-        });
-        kb.place_label(exit);
-        kb.ret();
-        let k = kb.finish();
+        let k = loop_kernel(32);
         let l = launch_of(&k, 96, vec![70, 9]);
         let fast = count_launch(&k, &l, false).unwrap();
         let brute = count_launch_bruteforce(&k, &l).unwrap();
         assert_eq!(fast.thread_instructions, brute.thread_instructions);
         assert_eq!(fast.warp_issues, brute.warp_issues);
+    }
+
+    #[test]
+    fn poly_and_interp_modes_agree_exactly() {
+        let budget = ExecBudget::default();
+        for k in [guard_kernel(64), loop_kernel(32)] {
+            for threads in [64u64, 320] {
+                let l = launch_of(&k, threads, vec![61, 7]);
+                let l = KernelLaunch {
+                    args: l.args[..k.params.len()].to_vec(),
+                    ..l
+                };
+                let poly = count_launch_mode(&k, &l, true, &budget, CountMode::Poly).unwrap();
+                let interp = count_launch_mode(&k, &l, true, &budget, CountMode::Interp).unwrap();
+                let auto = count_launch_mode(&k, &l, true, &budget, CountMode::Auto).unwrap();
+                assert_eq!(poly, interp, "poly vs interp on {}", k.name);
+                assert_eq!(auto, interp, "auto vs interp on {}", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn count_overflow_is_reported_not_wrapped() {
+        // 4e9 blocks x 1024 threads x ~4.7M-instruction paths: the exact
+        // total exceeds u64, which previously wrapped silently
+        let k = loop_kernel(1024);
+        let l = KernelLaunch {
+            kernel: 0,
+            tag: "t".into(),
+            grid: (4_000_000_000, 1, 1),
+            args: vec![u64::MAX, 1_560_000],
+            bytes_read: 0,
+            bytes_written: 0,
+        };
+        let budget = ExecBudget::default();
+        for mode in [CountMode::Interp, CountMode::Auto, CountMode::Poly] {
+            match count_launch_mode(&k, &l, true, &budget, mode) {
+                Err(ExecError::CountOverflow { kernel }) => assert_eq!(kernel, "k"),
+                other => panic!("{mode}: expected CountOverflow, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn strict_poly_mode_surfaces_fallback_reason() {
+        // data-dependent branch: compiles on no mode, so strict poly must
+        // error with an attributable reason while auto falls back cleanly
+        let mut kb = KernelBuilder::new("dd", 32);
+        let _p = kb.param("buf", Type::U64);
+        let a = kb.rd();
+        kb.mov(Type::U64, a, Operand::ImmI(0));
+        let v = kb.r();
+        kb.ld(
+            ptx::types::Space::Global,
+            Type::U32,
+            v,
+            ptx::inst::Address::reg(a),
+        );
+        let pr = kb.p();
+        kb.setp(ptx::types::CmpOp::Lt, Type::U32, pr, v, Operand::ImmI(10));
+        let done = kb.label();
+        kb.bra_if(pr, false, done);
+        let f = kb.f();
+        kb.mov(Type::F32, f, Operand::ImmF(0.0));
+        kb.place_label(done);
+        kb.ret();
+        let k = kb.finish();
+        let l = launch_of(&k, 64, vec![0]);
+        let budget = ExecBudget::default();
+        match count_launch_mode(&k, &l, true, &budget, CountMode::Poly) {
+            Err(ExecError::Unlaunchable { reason, .. }) => {
+                assert!(reason.starts_with("poly: "), "{reason}");
+            }
+            other => panic!("expected Unlaunchable, got {other:?}"),
+        }
+        // auto mode silently uses the interpreter — but the interpreter
+        // itself can't resolve a data-dependent branch either, so expect
+        // its error, not a poly-attributed one
+        match count_launch_mode(&k, &l, true, &budget, CountMode::Auto) {
+            Err(ExecError::DataDependentBranch { .. }) => {}
+            other => panic!("expected DataDependentBranch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -217,6 +217,10 @@ pub enum ExecError {
     /// device (e.g. per-block shared memory exceeding the SM budget):
     /// zero blocks fit, so there is nothing meaningful to model.
     Unlaunchable { kernel: String, reason: String },
+    /// An instruction-count accumulation overflowed `u64` (degenerate
+    /// launches with huge `nblocks x ntid x per-thread counts`). Surfaced
+    /// as a typed error instead of silently wrapping to a small count.
+    CountOverflow { kernel: String },
 }
 
 impl fmt::Display for ExecError {
@@ -245,6 +249,12 @@ impl fmt::Display for ExecError {
             ExecError::Unlaunchable { kernel, reason } => {
                 write!(f, "kernel `{kernel}` is unlaunchable: {reason}")
             }
+            ExecError::CountOverflow { kernel } => {
+                write!(
+                    f,
+                    "instruction-count accumulation overflowed u64 in kernel `{kernel}`"
+                )
+            }
         }
     }
 }
@@ -252,7 +262,7 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Result of executing one representative thread.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadOutcome {
     /// Instructions on the thread's control-flow path (predicated-off
     /// instructions issue and are therefore counted).
@@ -264,11 +274,11 @@ pub struct ThreadOutcome {
 
 /// Predicate-register state.
 #[derive(Debug, Clone, Copy)]
-struct PredInfo {
-    truth: Option<bool>,
+pub(crate) struct PredInfo {
+    pub(crate) truth: Option<bool>,
     /// The affine difference `d` with `cmp(d, 0)` defining the predicate,
     /// kept for breakpoint derivation.
-    lin: Option<(CmpOp, Val)>,
+    pub(crate) lin: Option<(CmpOp, Val)>,
 }
 
 const PRED_UNSET: PredInfo = PredInfo {
@@ -280,7 +290,7 @@ const PRED_UNSET: PredInfo = PredInfo {
 /// resolved at decode time (integer/float immediates and all special
 /// registers except `%nctaid.x`, which is a launch property).
 #[derive(Debug, Clone, Copy)]
-enum DOperand {
+pub(crate) enum DOperand {
     /// Dense value-register slot.
     Slot(u32),
     /// Decode-time constant (immediates, `%tid.x`/`%ctaid.x` affine forms,
@@ -295,7 +305,7 @@ enum DOperand {
 /// destinations poison predicate state, everything else poisons the value
 /// file.
 #[derive(Debug, Clone, Copy)]
-enum OffDst {
+pub(crate) enum OffDst {
     None,
     Value(u32),
     Pred(u32),
@@ -303,7 +313,7 @@ enum OffDst {
 
 /// A decoded instruction operation over dense slots.
 #[derive(Debug, Clone)]
-enum DOp {
+pub(crate) enum DOp {
     /// Write `src` to a value slot (`mov`, non-param `ld`).
     Set {
         dst: u32,
@@ -378,12 +388,12 @@ enum DOp {
 /// One decoded instruction: operation, guard (dense predicate slot),
 /// pre-computed category and off-slice destination.
 #[derive(Debug, Clone)]
-struct DInst {
-    op: DOp,
-    guard: Option<(u32, bool)>,
-    cat: Category,
-    cat_idx: u8,
-    off_dst: OffDst,
+pub(crate) struct DInst {
+    pub(crate) op: DOp,
+    pub(crate) guard: Option<(u32, bool)>,
+    pub(crate) cat: Category,
+    pub(crate) cat_idx: u8,
+    pub(crate) off_dst: OffDst,
 }
 
 /// Deterministic dense-slot allocator: registers get contiguous indices in
@@ -411,13 +421,13 @@ impl SlotAlloc {
 /// decodes each kernel exactly once and shares the program across all of
 /// its launches (and all grid-rectangle re-runs within a launch).
 pub struct DenseProgram {
-    prog: Vec<DInst>,
+    pub(crate) prog: Vec<DInst>,
     /// Parameter slot -> name, for `UnknownParam` attribution.
-    param_names: Vec<String>,
-    nregs: usize,
-    npreds: usize,
+    pub(crate) param_names: Vec<String>,
+    pub(crate) nregs: usize,
+    pub(crate) npreds: usize,
     ntid: u32,
-    kernel_name: String,
+    pub(crate) kernel_name: String,
 }
 
 impl DenseProgram {
@@ -793,29 +803,7 @@ impl Machine {
         let Val::Lin { ct, td, b } = d else {
             return Ok(()); // non-affine predicates carry no split info
         };
-        if ct == 0 && td == 0 {
-            return Ok(()); // constant predicate
-        }
-        let ntid = self.ntid as i128;
-        if ct == td * ntid && td != 0 {
-            // affine in tau = ctaid*ntid + tid with slope td
-            for r in roots(td, b) {
-                out.push(Break::Tau(r));
-            }
-            Ok(())
-        } else if ct == 0 {
-            for r in roots(td, b) {
-                out.push(Break::Tid(r));
-            }
-            Ok(())
-        } else if td == 0 {
-            for r in roots(ct, b) {
-                out.push(Break::Block(r));
-            }
-            Ok(())
-        } else {
-            Err(ExecError::MixedSlopePredicate { pc })
-        }
+        harvest_breaks_into(ct, td, b, self.ntid as i128, pc, out)
     }
 
     fn eval_dinst(
@@ -924,6 +912,41 @@ impl Machine {
     }
 }
 
+/// Classify an affine predicate difference `ct*ctaid + td*tid + b` into
+/// grid split points. Shared verbatim by the interpreter and the poly
+/// tier's evaluator so both harvest bit-identical breakpoints.
+pub(crate) fn harvest_breaks_into(
+    ct: i128,
+    td: i128,
+    b: i128,
+    ntid: i128,
+    pc: usize,
+    out: &mut Vec<Break>,
+) -> Result<(), ExecError> {
+    if ct == 0 && td == 0 {
+        return Ok(()); // constant predicate
+    }
+    if ct == td * ntid && td != 0 {
+        // affine in tau = ctaid*ntid + tid with slope td
+        for r in roots(td, b) {
+            out.push(Break::Tau(r));
+        }
+        Ok(())
+    } else if ct == 0 {
+        for r in roots(td, b) {
+            out.push(Break::Tid(r));
+        }
+        Ok(())
+    } else if td == 0 {
+        for r in roots(ct, b) {
+            out.push(Break::Block(r));
+        }
+        Ok(())
+    } else {
+        Err(ExecError::MixedSlopePredicate { pc })
+    }
+}
+
 /// Split points of `sign(s*i + b)` over integer `i`: the smallest `i` values
 /// around the real root, so interval splitting at these points yields
 /// constant truth on each side.
@@ -941,7 +964,7 @@ fn roots(s: i128, b: i128) -> Vec<i128> {
 }
 
 /// u32 wrap helper for concrete comparisons.
-fn wrap_for(t: Type, v: i128) -> i128 {
+pub(crate) fn wrap_for(t: Type, v: i128) -> i128 {
     match t {
         Type::U32 | Type::B32 => (v as u64 & 0xFFFF_FFFF) as i128,
         Type::U64 => (v as u128 & 0xFFFF_FFFF_FFFF_FFFF) as i128,

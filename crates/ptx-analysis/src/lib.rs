@@ -18,18 +18,22 @@ pub mod cfg;
 pub mod count;
 pub mod depgraph;
 pub mod exec;
+pub mod poly;
 pub mod slice;
 pub mod stats;
 
 pub use cfg::Cfg;
 pub use count::{
-    count_launch, count_launch_bruteforce, count_launch_budgeted, count_launch_prepared,
-    count_plan, count_plan_budgeted, LaunchCount, PlanCount, WARP,
+    count_launch, count_launch_bruteforce, count_launch_budgeted, count_launch_mode,
+    count_launch_poly_prepared, count_launch_prepared, count_plan, count_plan_budgeted,
+    count_plan_mode_budgeted, count_plan_report_budgeted, default_count_mode,
+    set_default_count_mode, CountMode, CountingReport, LaunchCount, PlanCount, WARP,
 };
 pub use depgraph::DepGraph;
 pub use exec::{
     Break, DenseProgram, ExecBudget, ExecError, Machine, ThreadOutcome, Val, CANCEL_CHECK_INTERVAL,
     NCAT,
 };
+pub use poly::{compile_kernel, KernelPoly, PolyBail};
 pub use slice::{branch_slice, slice_fraction};
 pub use stats::{kernel_stats, KernelStats};

@@ -1,0 +1,197 @@
+//! Property tests for the poly counting tier: randomly generated kernels
+//! with affine guards and counted loops must count **bit-identically**
+//! across the compiled-polynomial, interpreter and brute-force evaluators,
+//! in every [`CountMode`] — including kernels the poly compiler refuses
+//! (auto mode must fall back without changing a single number).
+
+use proptest::prelude::*;
+use ptx::builder::KernelBuilder;
+use ptx::inst::Operand;
+use ptx::kernel::{Kernel, KernelLaunch};
+use ptx::types::{BinOp, Type};
+use ptx_analysis::{count_launch_bruteforce, count_launch_mode, CountMode, ExecBudget};
+
+/// Shape of one generated kernel: an optional `gid < n` guard, some
+/// straight-line payload, then up to two sequential counted loops whose
+/// bodies do affine integer math over the induction variable.
+#[derive(Debug, Clone)]
+struct Recipe {
+    block: u32,
+    guard: bool,
+    prelude_movs: u8,
+    loops: Vec<LoopShape>,
+}
+
+#[derive(Debug, Clone)]
+struct LoopShape {
+    /// Loop body length (f32 movs) on top of the affine ops.
+    body_movs: u8,
+    /// Add affine integer math over the induction variable (exercises
+    /// loop-closure delta checking in the poly compiler).
+    affine_math: bool,
+    /// Trip count source: `false` = a dedicated uniform parameter (poly
+    /// compiles), `true` = the guarded gid itself (tid-sloped guard, poly
+    /// must refuse and auto must fall back bit-identically).
+    trip_is_gid: bool,
+}
+
+fn build(recipe: &Recipe) -> Kernel {
+    let mut kb = KernelBuilder::new("pk", recipe.block);
+    let p_n = kb.param("n", Type::U32);
+    let p_t0 = kb.param("t0", Type::U32);
+    let p_t1 = kb.param("t1", Type::U32);
+    let trip_params = [p_t0, p_t1];
+    let n = kb.ld_param(&p_n, Type::U32);
+    let guarded = recipe.guard.then(|| kb.guard_gid(n));
+    for _ in 0..recipe.prelude_movs {
+        let f = kb.f();
+        kb.mov(Type::F32, f, Operand::ImmF(1.0));
+    }
+    for (li, shape) in recipe.loops.iter().enumerate() {
+        let trip = match (shape.trip_is_gid, &guarded) {
+            (true, Some((gid, _))) => *gid,
+            _ => kb.ld_param(&trip_params[li], Type::U32),
+        };
+        kb.counted_loop(trip, |kb, i| {
+            if shape.affine_math {
+                let a = kb.r();
+                kb.bin(BinOp::Add, Type::U32, a, i, Operand::ImmI(3));
+                let b = kb.r();
+                kb.mad(Type::U32, b, a, Operand::ImmI(5), i);
+                let c = kb.r();
+                kb.bin(BinOp::Shl, Type::U32, c, b, Operand::ImmI(2));
+            }
+            for _ in 0..shape.body_movs {
+                let f = kb.f();
+                kb.mov(Type::F32, f, Operand::ImmF(2.0));
+            }
+        });
+    }
+    if let Some((_, exit)) = guarded {
+        kb.place_label(exit);
+    }
+    kb.ret();
+    kb.finish()
+}
+
+fn launch(blocks: u32, args: Vec<u64>) -> KernelLaunch {
+    KernelLaunch {
+        kernel: 0,
+        tag: String::new(),
+        grid: (blocks, 1, 1),
+        args,
+        bytes_read: 0,
+        bytes_written: 0,
+    }
+}
+
+fn loop_shape() -> impl Strategy<Value = LoopShape> {
+    (0u8..3, any::<bool>(), 0u32..8).prop_map(|(body_movs, affine_math, sel)| LoopShape {
+        body_movs,
+        affine_math,
+        // bias toward compilable loops; 1-in-8 is gid-driven
+        trip_is_gid: sel == 0,
+    })
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (
+        prop_oneof![Just(32u32), Just(64)],
+        any::<bool>(),
+        0u8..3,
+        prop::collection::vec(loop_shape(), 0..3),
+    )
+        .prop_map(|(block, guard, prelude_movs, mut loops)| {
+            // a gid-driven trip needs the guard's gid register
+            if !guard {
+                for l in &mut loops {
+                    l.trip_is_gid = false;
+                }
+            }
+            Recipe {
+                block,
+                guard,
+                prelude_movs,
+                loops,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Small grids: all four modes agree with the executed-every-thread
+    /// reference, field for field.
+    #[test]
+    fn all_modes_match_bruteforce(
+        r in recipe(),
+        blocks in 1u32..5,
+        n in 0u64..400,
+        t0 in 0u64..40,
+        t1 in 0u64..40,
+    ) {
+        let k = build(&r);
+        let l = launch(blocks, vec![n, t0, t1]);
+        let budget = ExecBudget::default();
+        let brute = count_launch_bruteforce(&k, &l).unwrap();
+        for mode in [CountMode::Auto, CountMode::Interp, CountMode::Bruteforce] {
+            let got = count_launch_mode(&k, &l, true, &budget, mode).unwrap();
+            prop_assert_eq!(got.thread_instructions, brute.thread_instructions,
+                "thread_instructions ({mode}) on {r:?} n={n} t0={t0} t1={t1}");
+            prop_assert_eq!(got.warp_issues, brute.warp_issues,
+                "warp_issues ({mode}) on {r:?}");
+            prop_assert_eq!(got.by_category, brute.by_category,
+                "by_category ({mode}) on {r:?}");
+            prop_assert_eq!(got.threads, brute.threads);
+        }
+        // strict poly mode either agrees exactly or refuses with an
+        // attributable reason — it never silently diverges
+        match count_launch_mode(&k, &l, true, &budget, CountMode::Poly) {
+            Ok(got) => {
+                prop_assert_eq!(got.thread_instructions, brute.thread_instructions);
+                prop_assert_eq!(got.warp_issues, brute.warp_issues);
+            }
+            Err(ptx_analysis::ExecError::Unlaunchable { reason, .. }) => {
+                prop_assert!(reason.starts_with("poly: "), "{}", reason);
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// Large grids (brute force infeasible): the poly and interpreter
+    /// tiers return structurally identical `LaunchCount`s — same totals,
+    /// same rectangle decomposition, same representative count.
+    #[test]
+    fn poly_equals_interp_on_large_grids(
+        r in recipe(),
+        blocks in 1u32..2_000,
+        n in 0u64..100_000,
+        t0 in 0u64..5_000,
+        t1 in 0u64..5_000,
+    ) {
+        // a gid-driven trip makes per-representative cost proportional to
+        // the grid itself (every thread runs ~gid iterations and the grid
+        // splits at every thread boundary) — keep those grids small; the
+        // equivalence claim is unchanged
+        let blocks = if r.loops.iter().any(|l| l.trip_is_gid) {
+            1 + blocks % 7
+        } else {
+            blocks
+        };
+        let k = build(&r);
+        let l = launch(blocks, vec![n, t0, t1]);
+        // tight fuel also checks StepLimit payload parity across tiers
+        let budget = ExecBudget::default().with_max_steps(250_000);
+        // errors must agree too: a gid-driven trip over a huge grid
+        // legitimately exhausts the split budget on every tier
+        let interp = count_launch_mode(&k, &l, true, &budget, CountMode::Interp);
+        let auto = count_launch_mode(&k, &l, true, &budget, CountMode::Auto);
+        prop_assert_eq!(&auto, &interp, "auto vs interp on {:?}", &r);
+        if let (Ok(poly), Ok(i)) = (
+            count_launch_mode(&k, &l, true, &budget, CountMode::Poly),
+            &interp,
+        ) {
+            prop_assert_eq!(&poly, i, "poly vs interp on {:?}", &r);
+        }
+    }
+}

@@ -137,7 +137,24 @@ lifecycle-smoke:
 
 # Decode-reuse ablation for the DCA interpreter. Besides the criterion
 # groups, emits target/figures/dca_counting.bench.json (the BENCH
-# artifact: decode-per-count vs shared dense program) and the obs stats
-# sidecar with the ptx.exec.decodes counter.
+# artifact: decode-per-count vs shared dense program, plus the poly
+# counting-tier group) and the obs stats sidecar.
 bench-dca:
     cargo bench -p cnnperf-bench --bench dca_counting
+
+# Regenerate the poly counting-tier artifact: per-launch interpreter vs
+# compiled trip-count polynomial timings with the median speedup headline
+# (target/figures/dca_counting.bench.json, `dca_poly_counting` line).
+bench-poly:
+    cargo bench -p cnnperf-bench --bench dca_counting -- counting/poly
+
+# Poly counting-tier equivalence gate: the zoo-wide bit-identical
+# PlanCount matrix, the randomized kernel property suite, and the
+# ptx.poly.* counter invariants over real estimation traffic.
+poly-equivalence:
+    cargo test -q --test counting_equivalence
+    cargo test -q -p ptx-analysis --test poly_prop
+    cargo run --release -- estimate "alexnet,mobilenet" "GTX 1080 Ti,V100S" \
+        --tiers analytical --deadline-ms 60000 --stats json > target/poly-smoke.out
+    cargo run --release -- stats-check target/poly-smoke.out
+    grep -q '"ptx.poly.compiled":' target/poly-smoke.out

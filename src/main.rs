@@ -93,6 +93,17 @@ fn usage() -> ExitCode {
                                          schema, shape, and counter invariants\n\
            ptx <model>                   print the generated PTX module\n\
            dot <model>                   print the model graph as Graphviz\n\
+         global flags (any command):\n\
+           --count-mode auto|poly|interp|bruteforce\n\
+                                         how the dynamic code analysis counts\n\
+                                         executed instructions: `auto` (default)\n\
+                                         compiles kernels to closed-form trip-count\n\
+                                         polynomials and falls back to the dense\n\
+                                         interpreter per kernel/launch; `poly` makes\n\
+                                         a fallback a hard error (diagnostics);\n\
+                                         `interp` forces the interpreter;\n\
+                                         `bruteforce` executes every thread\n\
+                                         (validation only — exponentially slower)\n\
          exit codes: 0 ok, 1 failure, 2 usage/config error, 3 overloaded,\n\
                      4 deadline exceeded, 5 corrupt cache/journal,\n\
                      6 server bind/socket error, 7 model store init failure"
@@ -106,6 +117,26 @@ fn model_or_exit(name: &str) -> cnn_ir::ModelGraph {
         None => {
             eprintln!("unknown model '{name}' — see `cnnperf list`");
             std::process::exit(EXIT_USAGE as i32);
+        }
+    }
+}
+
+/// Run the full model analysis, exiting cleanly on failure — reachable
+/// from the CLI via `--count-mode poly` when the strict tier refuses a
+/// kernel it cannot compile.
+fn analysis_or_exit(
+    model: &cnn_ir::ModelGraph,
+) -> (
+    cnnperf_core::CnnProfile,
+    ptx::kernel::LaunchPlan,
+    ptx_analysis::PlanCount,
+    cnn_ir::ModelSummary,
+) {
+    match profile_model(model) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -226,7 +257,7 @@ fn cmd_list() {
 
 fn cmd_analyze(name: &str) {
     let model = model_or_exit(name);
-    let (profile, plan, counts, summary) = profile_model(&model).expect("analysis");
+    let (profile, plan, counts, summary) = analysis_or_exit(&model);
     println!("model: {}", profile.name);
     println!(
         "  input:                {}x{}",
@@ -283,7 +314,7 @@ fn cmd_predict(name: &str, device: Option<&str>, all: bool, kind: RegressorKind)
     let model = model_or_exit(name);
     let corpus = corpus();
     let predictor = PerformancePredictor::train(&corpus.dataset, kind, 42);
-    let (profile, ..) = profile_model(&model).expect("analysis");
+    let (profile, ..) = analysis_or_exit(&model);
     let devices: Vec<_> = if all {
         gpu_sim::all_devices()
     } else {
@@ -1309,6 +1340,32 @@ fn cmd_stats_check(file: &str) -> ExitCode {
             failures += 1;
         }
     }
+    // poly counting tier: every compile attempt either produced a
+    // polynomial or fell back to the interpreter — the split is exhaustive
+    if let Some(attempts) = counter("ptx.poly.attempts") {
+        let resolved =
+            counter("ptx.poly.compiled").unwrap_or(0) + counter("ptx.poly.fallbacks").unwrap_or(0);
+        check(
+            &mut failures,
+            "compiled+fallbacks == ptx.poly.attempts",
+            resolved,
+            attempts,
+        );
+        // a compiled kernel is always evaluated at least once (compilation
+        // only happens on the counting path), so warm poly traffic shows up
+        if counter("ptx.poly.compiled").unwrap_or(0) > 0
+            && counter("ptx.poly.evals").unwrap_or(0) == 0
+        {
+            eprintln!("stats-check: invariant violated: ptx.poly.compiled > 0 but evals == 0");
+            failures += 1;
+        }
+        // an evaluation-time fallback is a subset of evaluations
+        if counter("ptx.poly.eval_fallbacks").unwrap_or(0) > counter("ptx.poly.evals").unwrap_or(0)
+        {
+            eprintln!("stats-check: invariant violated: ptx.poly.eval_fallbacks > evals");
+            failures += 1;
+        }
+    }
     // every corpus cell is either replayed from the journal or computed;
     // the split must account for all of them
     if counter("journal.replayed").is_some() || counter("journal.computed").is_some() {
@@ -1467,8 +1524,28 @@ fn cmd_stats_check(file: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Strip the global `--count-mode <mode>` flag (valid anywhere on the
+/// command line) and install the mode process-wide before dispatch, so
+/// every counting entry point — engine tiers, corpus builds, one-shot
+/// analyses — inherits it without plumbing.
+fn take_count_mode(args: &mut Vec<String>) -> Result<(), String> {
+    while let Some(i) = args.iter().position(|a| a == "--count-mode") {
+        let Some(v) = args.get(i + 1) else {
+            return Err("--count-mode needs a value (auto|poly|interp|bruteforce)".into());
+        };
+        let mode: ptx_analysis::CountMode = v.parse()?;
+        ptx_analysis::set_default_count_mode(mode);
+        args.drain(i..=i + 1);
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = take_count_mode(&mut args) {
+        eprintln!("{e}");
+        return ExitCode::from(EXIT_USAGE);
+    }
     let mut it = args.iter().map(|s| s.as_str());
     match it.next() {
         Some("list") => cmd_list(),

@@ -188,6 +188,72 @@ fn all_templates_match_bruteforce_on_representative_launches() {
 }
 
 // ---------------------------------------------------------------------------
+// zoo-wide mode equivalence: the compiled trip-count polynomials must
+// reproduce the interpreter's PlanCount bit for bit — every per-launch
+// field, every model the repo ships, at both lowering targets
+// ---------------------------------------------------------------------------
+
+mod zoo_mode_equivalence {
+    use ptx_analysis::{
+        count_plan_mode_budgeted, count_plan_report_budgeted, CountMode, ExecBudget, ExecError,
+    };
+
+    fn assert_modes_agree(target: &str, names: &[&str]) {
+        let budget = ExecBudget::default();
+        for name in names {
+            let model = cnn_ir::zoo::build(name).expect("zoo model");
+            let plan = ptx_codegen::lower(&model, target).expect("lower");
+            let interp = count_plan_mode_budgeted(&plan, true, &budget, CountMode::Interp)
+                .unwrap_or_else(|e| panic!("{name} ({target}) interp: {e}"));
+            let (auto, report) = count_plan_report_budgeted(&plan, true, &budget, CountMode::Auto)
+                .unwrap_or_else(|e| panic!("{name} ({target}) auto: {e}"));
+            // structural equality: totals, per-launch counts, mixes, and
+            // even the rectangle decomposition must be identical
+            assert_eq!(auto, interp, "auto vs interp diverged on {name} ({target})");
+            assert!(
+                report.poly_compiled > 0,
+                "{name} ({target}): no kernel compiled to a polynomial \
+                 ({} attempted)",
+                report.kernels
+            );
+            // strict poly mode: bit-identical when the whole plan compiles,
+            // an attributable refusal when any kernel doesn't
+            match count_plan_mode_budgeted(&plan, true, &budget, CountMode::Poly) {
+                Ok(poly) => assert_eq!(poly, interp, "poly vs interp on {name} ({target})"),
+                Err(ExecError::Unlaunchable { reason, .. }) => {
+                    assert!(reason.starts_with("poly: "), "{name}: {reason}");
+                }
+                Err(other) => panic!("{name} ({target}): unexpected poly error {other:?}"),
+            }
+        }
+    }
+
+    /// Every model of the Table I zoo at the default lowering target.
+    #[test]
+    fn full_zoo_modes_agree_sm61() {
+        let entries = cnn_ir::zoo::all();
+        let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+        assert_modes_agree("sm_61", &names);
+    }
+
+    /// Architecture-diverse sample at the sm_70 target (counts are
+    /// target-independent, but the lowered plans differ).
+    #[test]
+    fn sampled_zoo_modes_agree_sm70() {
+        assert_modes_agree(
+            "sm_70",
+            &[
+                "mobilenet",
+                "alexnet",
+                "inceptionv3",
+                "vgg16",
+                "densenet121",
+            ],
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // randomized program generation: the counter must either agree exactly with
 // brute force or fail with a structured error — never be silently wrong
 // ---------------------------------------------------------------------------
